@@ -1,0 +1,68 @@
+"""Downstream-algorithm benches: the point of building adjacency arrays.
+
+Times BFS, ``min.+`` shortest paths, components, and triangle counting on
+adjacency arrays constructed from R-MAT incidence data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.construction import adjacency_array
+from repro.graphs.algorithms import (
+    bfs_levels,
+    shortest_path_lengths,
+    triangle_count,
+    weakly_connected_components,
+)
+from repro.graphs.generators import rmat_multigraph
+from repro.graphs.incidence import incidence_arrays
+from repro.values.semiring import get_op_pair
+
+
+def _square_adjacency(scale, n_edges, pair_name, weights=None, seed=17):
+    pair = get_op_pair(pair_name)
+    graph = rmat_multigraph(scale, n_edges, seed=seed)
+    kwargs = {"zero": pair.zero}
+    if weights is not None:
+        kwargs.update(out_values=weights(graph), in_values=pair.one)
+    eout, ein = incidence_arrays(graph, **kwargs)
+    adj = adjacency_array(eout, ein, pair, kernel="generic")
+    verts = graph.vertices
+    return adj.with_keys(row_keys=verts, col_keys=verts)
+
+
+@pytest.mark.parametrize("scale,n_edges", [(6, 300), (8, 1500)])
+def test_bfs(benchmark, scale, n_edges):
+    adj = _square_adjacency(scale, n_edges, "max_min")
+    source = tuple(adj.row_keys)[0]
+    levels = benchmark(lambda: bfs_levels(adj, source))
+    assert levels[source] == 0
+
+
+@pytest.mark.parametrize("scale,n_edges", [(6, 300), (8, 1500)])
+def test_sssp_min_plus(benchmark, scale, n_edges):
+    import random
+
+    def weights(graph):
+        rng = random.Random(3)
+        return {k: float(rng.randint(1, 9)) for k in graph.edge_keys}
+
+    adj = _square_adjacency(scale, n_edges, "min_plus", weights)
+    source = tuple(adj.row_keys)[0]
+    dist = benchmark(lambda: shortest_path_lengths(adj, source))
+    assert dist[source] == 0.0
+
+
+@pytest.mark.parametrize("scale,n_edges", [(6, 300), (8, 1500)])
+def test_components(benchmark, scale, n_edges):
+    adj = _square_adjacency(scale, n_edges, "max_min")
+    comp = benchmark(lambda: weakly_connected_components(adj))
+    assert len(comp) == len(adj.row_keys)
+
+
+@pytest.mark.parametrize("scale,n_edges", [(6, 300), (7, 800)])
+def test_triangles(benchmark, scale, n_edges):
+    adj = _square_adjacency(scale, n_edges, "max_min")
+    count = benchmark(lambda: triangle_count(adj))
+    assert count >= 0

@@ -1,0 +1,76 @@
+"""Closure benches: all-pairs path problems over semiring closures.
+
+Times the repeated-squaring closure for ``min.+`` (APSP), ``max.min``
+(widest paths) and ``∨.∧``-equivalent reachability, cross-checking APSP
+against networkx Dijkstra — the design-choice ablation for the closure
+iteration strategy DESIGN.md calls out.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import networkx as nx
+import pytest
+
+from repro.core.construction import adjacency_array
+from repro.graphs.generators import erdos_renyi_multigraph
+from repro.graphs.incidence import incidence_arrays
+from repro.graphs.paths import (
+    all_pairs_shortest_paths,
+    all_pairs_widest_paths,
+    transitive_closure_pattern,
+)
+from repro.values.semiring import get_op_pair
+
+
+def _square(n_vertices, n_edges, pair_name, seed=31):
+    pair = get_op_pair(pair_name)
+    graph = erdos_renyi_multigraph(n_vertices, n_edges, seed=seed)
+    rng = random.Random(seed)
+    weights = {k: float(rng.randint(1, 9)) for k in graph.edge_keys}
+    eout, ein = incidence_arrays(graph, zero=pair.zero,
+                                 out_values=weights, in_values=pair.one)
+    adj = adjacency_array(eout, ein, pair, kernel="generic")
+    verts = graph.vertices
+    return graph, weights, adj.with_keys(row_keys=verts, col_keys=verts)
+
+
+@pytest.mark.parametrize("n,m", [(12, 50), (24, 150)])
+def test_apsp_min_plus_closure(benchmark, n, m):
+    graph, weights, adj = _square(n, m, "min_plus")
+    dist = benchmark(lambda: all_pairs_shortest_paths(adj))
+
+    g = nx.MultiDiGraph()
+    g.add_nodes_from(graph.vertices)
+    for k, s, t in graph.edges():
+        g.add_edge(s, t, weight=weights[k])
+    want = dict(nx.all_pairs_dijkstra_path_length(g))
+    for u in graph.vertices:
+        for v in graph.vertices:
+            expected = want.get(u, {}).get(v, math.inf)
+            got = dist.get(u, v)
+            assert (math.isinf(got) and math.isinf(expected)) \
+                or got == pytest.approx(expected)
+
+
+@pytest.mark.parametrize("n,m", [(12, 50), (24, 150)])
+def test_widest_max_min_closure(benchmark, n, m):
+    _graph, _weights, adj = _square(n, m, "max_min")
+    width = benchmark(lambda: all_pairs_widest_paths(adj))
+    for (u, v) in adj.nonzero_pattern():
+        assert width.get(u, v) >= adj.get(u, v)
+
+
+@pytest.mark.parametrize("n,m", [(12, 50), (24, 150)])
+def test_reachability_closure(benchmark, n, m):
+    graph, _weights, adj = _square(n, m, "max_min")
+    got = benchmark(lambda: transitive_closure_pattern(adj))
+    g = nx.DiGraph()
+    g.add_nodes_from(graph.vertices)
+    g.add_edges_from(graph.edge_pairs())
+    closure_g = nx.transitive_closure(g, reflexive=True)
+    want = frozenset(closure_g.edges()) \
+        | frozenset((v, v) for v in g.nodes)
+    assert got == want

@@ -1,0 +1,39 @@
+"""Figure 1 bench: table → exploded sparse associative array.
+
+Regenerates the 22 × 31 music array ``E`` (186 unit entries) and times the
+exploded-view construction, the paper's step from a database table to an
+incidence array.
+"""
+
+from __future__ import annotations
+
+from repro.arrays.io import explode_table
+from repro.arrays.printing import format_array
+from repro.datasets.music import music_table
+from repro.experiments.expected import (
+    FIG1_COL_KEYS,
+    FIG1_NNZ,
+    FIG1_ROW_KEYS,
+)
+
+from benchmarks.conftest import emit
+
+
+def test_fig1_explode_music_table(benchmark):
+    table = music_table()
+    e = benchmark(lambda: explode_table(table))
+    assert tuple(e.row_keys) == FIG1_ROW_KEYS
+    assert tuple(e.col_keys) == FIG1_COL_KEYS
+    assert e.nnz == FIG1_NNZ
+    emit("Figure 1: E (music table, exploded view)",
+         format_array(e, max_col_width=14))
+
+
+def test_fig1_explode_scales_with_rows(benchmark):
+    """Same construction on a 50× replicated table (throughput check)."""
+    base = music_table()
+    big = {f"{row}#{i:02d}": rec
+           for i in range(50) for row, rec in base.items()}
+    e = benchmark(lambda: explode_table(big))
+    assert e.nnz == 50 * FIG1_NNZ
+    assert len(e.col_keys) == len(FIG1_COL_KEYS)

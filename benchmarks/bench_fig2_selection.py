@@ -1,0 +1,45 @@
+"""Figure 2 bench: D4M range selection of incidence sub-arrays.
+
+Times ``E(:, 'Genre|A : Genre|Z')`` and ``E(:, 'Writer|A : Writer|Z')``
+and regenerates both sub-array tables.
+"""
+
+from __future__ import annotations
+
+from repro.arrays.printing import format_array
+from repro.datasets.music import music_incidence
+from repro.experiments.expected import FIG2_E1_PATTERN, FIG2_E2_PATTERN
+
+from benchmarks.conftest import emit
+
+
+def _pattern(array):
+    return {t: tuple(sorted(c for (tt, c) in array.nonzero_pattern()
+                            if tt == t))
+            for t in array.row_keys}
+
+
+def test_fig2_select_e1(benchmark):
+    e = music_incidence()
+    e1 = benchmark(lambda: e.select(":", "Genre|A : Genre|Z"))
+    want = {t: tuple(sorted(cs)) for t, cs in FIG2_E1_PATTERN.items()}
+    assert _pattern(e1) == want
+    emit("Figure 2: E1 = E(:, 'Genre|A : Genre|Z')",
+         format_array(e1, max_col_width=18))
+
+
+def test_fig2_select_e2(benchmark):
+    e = music_incidence()
+    e2 = benchmark(lambda: e.select(":", "Writer|A : Writer|Z"))
+    want = {t: tuple(sorted(cs)) for t, cs in FIG2_E2_PATTERN.items()}
+    assert _pattern(e2) == want
+    emit("Figure 2: E2 = E(:, 'Writer|A : Writer|Z')",
+         format_array(e2, hide_empty_rows=True, max_col_width=22))
+
+
+def test_fig2_prefix_selection_equivalent(benchmark):
+    """Prefix selection ('Genre|*') is the same sub-array; timed for the
+    selector-parsing ablation."""
+    e = music_incidence()
+    e1 = benchmark(lambda: e.select(":", "Genre|*"))
+    assert e1 == e.select(":", "Genre|A : Genre|Z")

@@ -1,0 +1,46 @@
+"""Figure 3 bench: ``E1ᵀ ⊕.⊗ E2`` under all seven op-pairs (unit values).
+
+One timed benchmark per op-pair; each asserts the exact value table the
+paper prints and, once per run, emits the stacked figure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arrays.printing import format_stacked
+from repro.core.construction import correlate
+from repro.datasets.music import music_e1, music_e2
+from repro.experiments.expected import FIG3_TABLES, FIG35_STACKS
+from repro.values.semiring import PAPER_FIGURE_PAIRS, get_op_pair
+
+from benchmarks.conftest import emit
+
+_E1 = music_e1()
+_E2 = music_e2()
+
+
+def _product(pair_name):
+    pair = get_op_pair(pair_name)
+    a = _E1 if pair.is_zero(0) else _E1.with_zero(pair.zero)
+    b = _E2 if pair.is_zero(0) else _E2.with_zero(pair.zero)
+    return correlate(a, b, pair)
+
+
+@pytest.mark.parametrize("pair_name", PAPER_FIGURE_PAIRS)
+def test_fig3_product(benchmark, pair_name):
+    adj = benchmark(lambda: _product(pair_name))
+    got = {rc: float(v) for rc, v in adj.to_dict().items()}
+    assert got == FIG3_TABLES[pair_name]
+
+
+def test_fig3_emit_stacked_figure(benchmark):
+    """Times the full 7-pair sweep and prints the stacked figure."""
+    results = benchmark(lambda: {n: _product(n)
+                                 for n in PAPER_FIGURE_PAIRS})
+    blocks = []
+    for stack in FIG35_STACKS:
+        label = " = ".join(get_op_pair(n).display for n in stack)
+        blocks.append((f"E1ᵀ {label} E2", results[stack[0]]))
+    emit("Figure 3 (unit-valued E1)",
+         format_stacked(blocks, max_col_width=22))

@@ -1,0 +1,40 @@
+"""Figure 4 bench: the genre re-weighting of E1 (values 1/2/3).
+
+Times the value-substitution map and regenerates the weighted array.
+"""
+
+from __future__ import annotations
+
+from repro.arrays.printing import format_array
+from repro.datasets.music import (
+    FIGURE4_GENRE_WEIGHTS,
+    music_e1,
+    music_e1_weighted,
+)
+from repro.experiments.expected import FIG4_E1_VALUES
+
+from benchmarks.conftest import emit
+
+
+def test_fig4_weighting(benchmark):
+    e1w = benchmark(music_e1_weighted)
+    got = {rc: int(v) for rc, v in e1w.to_dict().items()}
+    assert got == FIG4_E1_VALUES
+    emit("Figure 4: weighted E1 (Electronic 1, Pop 2, Rock 3)",
+         format_array(e1w, max_col_width=18))
+
+
+def test_fig4_weighting_via_map_values(benchmark):
+    """Equivalent formulation through the generic map_values API."""
+    e1 = music_e1()
+
+    def weight():
+        def per_entry(col):
+            return FIGURE4_GENRE_WEIGHTS[col]
+        data = {(r, c): per_entry(c) for (r, c) in e1.nonzero_pattern()}
+        from repro.arrays.associative import AssociativeArray
+        return AssociativeArray(data, row_keys=e1.row_keys,
+                                col_keys=e1.col_keys, zero=0)
+
+    e1w = benchmark(weight)
+    assert {rc: int(v) for rc, v in e1w.to_dict().items()} == FIG4_E1_VALUES

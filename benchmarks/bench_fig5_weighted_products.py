@@ -1,0 +1,46 @@
+"""Figure 5 bench: the seven products with Figure 4's weighted E1.
+
+Asserts every value table — including the ×2/×3 scaling of the ``+.×``
+Pop/Rock rows and the +1/+2 shifts under ``max.+``/``min.+`` that the
+paper walks through — and emits the stacked figure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arrays.printing import format_stacked
+from repro.core.construction import correlate
+from repro.datasets.music import music_e1_weighted, music_e2
+from repro.experiments.expected import FIG5_TABLES, FIG35_STACKS
+from repro.values.semiring import PAPER_FIGURE_PAIRS, get_op_pair
+
+from benchmarks.conftest import emit
+
+_E1W = music_e1_weighted()
+_E2 = music_e2()
+
+
+def _product(pair_name):
+    pair = get_op_pair(pair_name)
+    a = _E1W if pair.is_zero(0) else _E1W.with_zero(pair.zero)
+    b = _E2 if pair.is_zero(0) else _E2.with_zero(pair.zero)
+    return correlate(a, b, pair)
+
+
+@pytest.mark.parametrize("pair_name", PAPER_FIGURE_PAIRS)
+def test_fig5_product(benchmark, pair_name):
+    adj = benchmark(lambda: _product(pair_name))
+    got = {rc: float(v) for rc, v in adj.to_dict().items()}
+    assert got == FIG5_TABLES[pair_name]
+
+
+def test_fig5_emit_stacked_figure(benchmark):
+    results = benchmark(lambda: {n: _product(n)
+                                 for n in PAPER_FIGURE_PAIRS})
+    blocks = []
+    for stack in FIG35_STACKS:
+        label = " = ".join(get_op_pair(n).display for n in stack)
+        blocks.append((f"E1ᵀ {label} E2", results[stack[0]]))
+    emit("Figure 5 (weighted E1)",
+         format_stacked(blocks, max_col_width=22))

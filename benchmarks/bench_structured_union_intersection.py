@@ -1,0 +1,38 @@
+"""Section III bench: the structured ``∪.∩`` document×word exemption."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arrays.printing import format_array
+from repro.core.construction import correlate
+from repro.datasets.documents import (
+    example_word_sets,
+    expected_shared_adjacency,
+    random_word_sets,
+    shared_word_incidence,
+)
+from repro.values.semiring import get_op_pair
+
+from benchmarks.conftest import emit
+
+PAIR = get_op_pair("union_intersection")
+
+
+def test_structured_product_curated(benchmark):
+    words = example_word_sets()
+    e = shared_word_incidence(words)
+    prod = benchmark(lambda: correlate(e, e, PAIR))
+    exp = expected_shared_adjacency(words)
+    assert prod.same_pattern(exp)
+    emit("EᵀE over ∪.∩ (entries = shared word sets)",
+         format_array(prod, max_col_width=24))
+
+
+@pytest.mark.parametrize("n_docs", [10, 25])
+def test_structured_product_random(benchmark, n_docs):
+    vocab = [f"w{i:02d}" for i in range(20)]
+    words = random_word_sets(n_docs, vocab, seed=5, p_word=0.25)
+    e = shared_word_incidence(words)
+    prod = benchmark(lambda: correlate(e, e, PAIR))
+    assert prod.same_pattern(expected_shared_adjacency(words))

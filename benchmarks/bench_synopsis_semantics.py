@@ -1,0 +1,28 @@
+"""Section IV bench: validating the synopsis semantics per op-pair."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.synopsis import SYNOPSIS, validate_synopsis
+
+from benchmarks.conftest import emit
+
+
+def test_validate_full_synopsis(benchmark):
+    rows = benchmark(lambda: validate_synopsis(seeds=(11,)))
+    assert all(ok for (_n, ok, _d) in rows)
+    width = max(len(line.pair_name) for line in SYNOPSIS)
+    lines = [f"{line.pair_name.ljust(width)}  {line.prose}"
+             for line in SYNOPSIS]
+    emit("Section IV synopsis (validated on random weighted multigraphs)",
+         "\n".join(lines))
+
+
+@pytest.mark.parametrize("line", SYNOPSIS, ids=[l.pair_name for l in SYNOPSIS])
+def test_reference_semantics_cost(benchmark, line):
+    """Times the independent per-pair reference computation (the honest
+    baseline every adjacency entry is compared against)."""
+    terms = [float(x) for x in range(1, 40)]
+    benchmark(lambda: line.reference([line.term(a, b)
+                                      for a, b in zip(terms, terms[::-1])]))

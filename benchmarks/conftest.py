@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark doubles as a regeneration harness: it times the operation
+*and* asserts (or prints) the same rows the paper reports, so
+``pytest benchmarks/ --benchmark-only`` both measures and re-verifies.
+
+Run with ``-s`` to see the regenerated figure tables inline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(title: str, text: str) -> None:
+    """Print a regenerated artifact under a banner (visible with -s)."""
+    banner = f"== {title} =="
+    print()
+    print(banner)
+    print(text)

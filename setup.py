@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment has no ``wheel`` package (offline), so modern PEP 517
+editable installs fail with ``invalid command 'bdist_wheel'``.  This shim
+enables ``pip install -e . --no-use-pep517 --no-build-isolation``, which
+routes through ``setup.py develop``.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,122 @@
+"""repro — constructing adjacency arrays from incidence arrays.
+
+A from-scratch Python implementation of
+
+    Hayden Jananthan, Karia Dibert, Jeremy Kepner,
+    *Constructing Adjacency Arrays from Incidence Arrays*,
+    IPDPS Workshops / IPPS 2017 (arXiv:1702.07832),
+
+comprising a D4M-style associative-array library over arbitrary value
+algebras, a certification engine for the paper's Theorem II.1 criteria
+(with constructive Lemma II.2–II.4 witnesses), an edge-keyed multigraph
+substrate, semiring graph algorithms, and harnesses reproducing every
+figure of the paper.
+
+Quickstart
+----------
+>>> import repro
+>>> g = repro.EdgeKeyedDigraph([("e1", "alice", "bob"),
+...                             ("e2", "alice", "bob"),
+...                             ("e3", "bob", "carol")])
+>>> eout, ein = repro.incidence_arrays(g)
+>>> a = repro.adjacency_array(eout, ein, repro.get_op_pair("plus_times"))
+>>> a["alice", "bob"]
+2
+>>> repro.is_adjacency_array_of_graph(a, g)
+True
+
+See ``examples/`` for the full Figure 1–5 music pipeline, the semiring
+gallery, and the set-valued document example.
+"""
+
+from repro.values import (
+    BinaryOp,
+    Domain,
+    OpPair,
+    get_domain,
+    get_op_pair,
+    list_domains,
+    list_op_pairs,
+    PAPER_FIGURE_PAIRS,
+)
+from repro.values.semiring import PAPER_FIGURE_STACKS
+from repro.arrays import (
+    AssociativeArray,
+    KeySet,
+    explode_table,
+    format_array,
+    format_stacked,
+    multiply,
+)
+from repro.graphs import (
+    EdgeKeyedDigraph,
+    erdos_renyi_multigraph,
+    graph_from_incidence,
+    incidence_arrays,
+    rmat_multigraph,
+)
+from repro.core import (
+    Certification,
+    GraphConstructionPipeline,
+    Witness,
+    adjacency_array,
+    certify,
+    check_criteria,
+    correlate,
+    is_adjacency_array_of,
+    is_adjacency_array_of_graph,
+    reverse_adjacency_array,
+)
+from repro.core.streaming import StreamingAdjacencyBuilder
+from repro.arrays.kron import kron, kron_power, kronecker_graph
+from repro.arrays.reductions import reduce_cols, reduce_rows
+
+# Exotic and extension op-pairs register themselves on import.
+from repro.values import exotic as _exotic  # noqa: F401
+from repro.values import extensions as _extensions  # noqa: F401
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # values
+    "BinaryOp",
+    "Domain",
+    "OpPair",
+    "get_domain",
+    "get_op_pair",
+    "list_domains",
+    "list_op_pairs",
+    "PAPER_FIGURE_PAIRS",
+    "PAPER_FIGURE_STACKS",
+    # arrays
+    "AssociativeArray",
+    "KeySet",
+    "explode_table",
+    "format_array",
+    "format_stacked",
+    "multiply",
+    # graphs
+    "EdgeKeyedDigraph",
+    "incidence_arrays",
+    "graph_from_incidence",
+    "erdos_renyi_multigraph",
+    "rmat_multigraph",
+    # core
+    "adjacency_array",
+    "reverse_adjacency_array",
+    "correlate",
+    "is_adjacency_array_of",
+    "is_adjacency_array_of_graph",
+    "certify",
+    "check_criteria",
+    "Certification",
+    "Witness",
+    "GraphConstructionPipeline",
+    "StreamingAdjacencyBuilder",
+    "kron",
+    "kron_power",
+    "kronecker_graph",
+    "reduce_rows",
+    "reduce_cols",
+]

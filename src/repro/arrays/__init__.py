@@ -1,0 +1,39 @@
+"""Associative array substrate (the D4M-style core).
+
+Implements the paper's Definitions I.1–I.3:
+
+* :mod:`repro.arrays.keys` — finite totally ordered key sets with
+  D4M-style range/prefix selection (``'Genre|A : Genre|Z'``);
+* :mod:`repro.arrays.associative` — :class:`AssociativeArray`
+  ``A : K1 × K2 → V`` with transpose and sub-array selection;
+* :mod:`repro.arrays.matmul` — array multiplication ``C = A ⊕.⊗ B`` with
+  sparse and dense (Definition I.3) evaluation modes;
+* :mod:`repro.arrays.elementwise` — element-wise ``⊕``/``⊗``;
+* :mod:`repro.arrays.sparse_backend` — vectorised NumPy/SciPy kernels;
+* :mod:`repro.arrays.io` — the Figure 1 exploded-view construction and
+  TSV/CSV round-trips;
+* :mod:`repro.arrays.printing` — paper-figure-style rendering.
+"""
+
+from repro.arrays.keys import KeyError_ as KeySelectorError  # noqa: F401
+from repro.arrays.keys import KeySet
+from repro.arrays.associative import AssociativeArray
+from repro.arrays.matmul import MatmulError, multiply
+from repro.arrays.elementwise import elementwise_add, elementwise_multiply
+from repro.arrays.io import explode_table, read_tsv_triples, write_tsv_triples
+from repro.arrays.printing import format_array, format_stacked
+
+__all__ = [
+    "KeySet",
+    "KeySelectorError",
+    "AssociativeArray",
+    "MatmulError",
+    "multiply",
+    "elementwise_add",
+    "elementwise_multiply",
+    "explode_table",
+    "read_tsv_triples",
+    "write_tsv_triples",
+    "format_array",
+    "format_stacked",
+]

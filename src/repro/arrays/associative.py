@@ -1,0 +1,447 @@
+"""Associative arrays (Definition I.1) with transpose and selection.
+
+An :class:`AssociativeArray` is a map ``A : K1 × K2 → V`` over finite
+totally ordered key sets, stored sparsely: only entries different from the
+array's *zero* element are kept.  The zero defaults to ``0`` but can be any
+value (``−∞`` for max-plus arrays, ``∅`` for set-valued arrays, ``''`` for
+string lattices) — the paper's Figure 3 note that the zero may "be it 0,
+−∞, or ∞" is first-class here.
+
+Design notes
+------------
+* Key sets are part of the array's identity: an array can have empty rows
+  and columns (keys with no stored entries).  This matters because
+  Definition I.3's ``⊕``-sum ranges over the whole inner key set, and
+  because incidence arrays of a graph share the full edge set ``K`` even
+  when some edges touch no vertex of one side.
+* Entries equal to the zero are never stored; assigning the zero deletes.
+* Instances are immutable by convention: all operations return new arrays.
+  (Storage is a plain dict; we do not defensively copy on read.)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.arrays.keys import KeyError_, KeySet, Selector
+
+__all__ = ["AssociativeArray"]
+
+
+def _values_equal(a: Any, b: Any) -> bool:
+    """Equality robust to NaN and to int/float mixing."""
+    if isinstance(a, float) and isinstance(b, float) \
+            and math.isnan(a) and math.isnan(b):
+        return True
+    try:
+        return bool(a == b)
+    except Exception:  # pragma: no cover - defensive
+        return a is b
+
+
+class AssociativeArray:
+    """A sparse map ``K1 × K2 → V`` with a designated zero element.
+
+    Parameters
+    ----------
+    data:
+        Mapping ``(row_key, col_key) → value``.  Entries whose value equals
+        ``zero`` are dropped.
+    row_keys, col_keys:
+        Key sets (anything :meth:`KeySet.coerce` accepts).  When omitted,
+        they are derived from ``data``; passing them explicitly allows
+        empty rows/columns, which Definition I.3 semantics need.
+    zero:
+        The array's zero element (default ``0``).
+    """
+
+    __slots__ = ("_data", "_row_keys", "_col_keys", "_zero", "_cache")
+
+    def __init__(
+        self,
+        data: Optional[Mapping[Tuple[Any, Any], Any]] = None,
+        *,
+        row_keys: Union[KeySet, Iterable[Any], None] = None,
+        col_keys: Union[KeySet, Iterable[Any], None] = None,
+        zero: Any = 0,
+    ) -> None:
+        entries = dict(data or {})
+        if row_keys is None:
+            row_keys = {r for (r, _c) in entries}
+        if col_keys is None:
+            col_keys = {c for (_r, c) in entries}
+        self._row_keys = KeySet.coerce(row_keys)
+        self._col_keys = KeySet.coerce(col_keys)
+        self._zero = zero
+        clean: Dict[Tuple[Any, Any], Any] = {}
+        for (r, c), v in entries.items():
+            if r not in self._row_keys:
+                raise KeyError_(f"row key {r!r} not in row key set")
+            if c not in self._col_keys:
+                raise KeyError_(f"column key {c!r} not in column key set")
+            if not _values_equal(v, zero):
+                clean[(r, c)] = v
+        self._data = clean
+        # Derived-representation memo (e.g. CSR form for the vectorised
+        # kernels).  Arrays are immutable by convention, so caching is
+        # safe; the cache never participates in equality.
+        self._cache: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(
+        cls,
+        row_keys: Union[KeySet, Iterable[Any]],
+        col_keys: Union[KeySet, Iterable[Any]],
+        *,
+        zero: Any = 0,
+    ) -> "AssociativeArray":
+        """All-zero array over the given key sets."""
+        return cls({}, row_keys=row_keys, col_keys=col_keys, zero=zero)
+
+    @classmethod
+    def from_triples(
+        cls,
+        triples: Iterable[Tuple[Any, Any, Any]],
+        *,
+        row_keys: Union[KeySet, Iterable[Any], None] = None,
+        col_keys: Union[KeySet, Iterable[Any], None] = None,
+        zero: Any = 0,
+        combine: Optional[Callable[[Any, Any], Any]] = None,
+    ) -> "AssociativeArray":
+        """Build from ``(row, col, value)`` triples.
+
+        Duplicate coordinates raise unless ``combine`` is given, in which
+        case values are combined left-to-right in input order (D4M's
+        assoc-with-collision-function construction).
+        """
+        data: Dict[Tuple[Any, Any], Any] = {}
+        for r, c, v in triples:
+            key = (r, c)
+            if key in data:
+                if combine is None:
+                    raise KeyError_(
+                        f"duplicate coordinate {key!r}; pass combine= to "
+                        "merge values")
+                data[key] = combine(data[key], v)
+            else:
+                data[key] = v
+        return cls(data, row_keys=row_keys, col_keys=col_keys, zero=zero)
+
+    @classmethod
+    def from_dense(
+        cls,
+        rows: Sequence[Sequence[Any]],
+        row_keys: Union[KeySet, Iterable[Any]],
+        col_keys: Union[KeySet, Iterable[Any]],
+        *,
+        zero: Any = 0,
+    ) -> "AssociativeArray":
+        """Build from a dense row-major list of lists.
+
+        ``rows[i][j]`` corresponds to ``(row_keys[i], col_keys[j])`` in
+        *sorted* key order.
+        """
+        rk = KeySet.coerce(row_keys)
+        ck = KeySet.coerce(col_keys)
+        if len(rows) != len(rk):
+            raise KeyError_(f"expected {len(rk)} rows, got {len(rows)}")
+        data: Dict[Tuple[Any, Any], Any] = {}
+        for i, row in enumerate(rows):
+            if len(row) != len(ck):
+                raise KeyError_(
+                    f"row {i} has {len(row)} entries, expected {len(ck)}")
+            for j, v in enumerate(row):
+                if not _values_equal(v, zero):
+                    data[(rk[i], ck[j])] = v
+        return cls(data, row_keys=rk, col_keys=ck, zero=zero)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def row_keys(self) -> KeySet:
+        """The row key set ``K1``."""
+        return self._row_keys
+
+    @property
+    def col_keys(self) -> KeySet:
+        """The column key set ``K2``."""
+        return self._col_keys
+
+    @property
+    def zero(self) -> Any:
+        """The array's zero element (unstored value)."""
+        return self._zero
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(len(K1), len(K2))``."""
+        return (len(self._row_keys), len(self._col_keys))
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored (nonzero) entries."""
+        return len(self._data)
+
+    def is_zero_value(self, v: Any) -> bool:
+        """Whether ``v`` equals this array's zero."""
+        return _values_equal(v, self._zero)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def get(self, row: Any, col: Any, default: Any = None) -> Any:
+        """Value at ``(row, col)``; the zero (or ``default``) if unstored.
+
+        Keys outside the key sets raise :class:`KeyError_`.
+        """
+        if row not in self._row_keys:
+            raise KeyError_(f"row key {row!r} not in row key set")
+        if col not in self._col_keys:
+            raise KeyError_(f"column key {col!r} not in column key set")
+        fallback = self._zero if default is None else default
+        return self._data.get((row, col), fallback)
+
+    def __getitem__(self, item: Tuple[Any, Any]) -> Any:
+        """``A[r, c]`` → value; ``A[row_sel, col_sel]`` → sub-array.
+
+        Scalar access requires both components to be existing keys; any
+        other combination is interpreted as a pair of selectors (string
+        ranges, prefixes, ``':'``, lists, slices, KeySets) and yields the
+        selected sub-array, mirroring the paper's
+        ``E(:, 'Genre|A : Genre|Z')``.
+        """
+        if not isinstance(item, tuple) or len(item) != 2:
+            raise KeyError_("indexing requires a (row, col) pair")
+        row_sel, col_sel = item
+        scalar_row = not isinstance(row_sel, (slice, KeySet, list, tuple)) \
+            and row_sel in self._row_keys
+        scalar_col = not isinstance(col_sel, (slice, KeySet, list, tuple)) \
+            and col_sel in self._col_keys
+        # A string that is literally a key takes priority as scalar access;
+        # but a row scalar with a column selector (or vice versa) still
+        # produces a sub-array.
+        if scalar_row and scalar_col:
+            return self._data.get((row_sel, col_sel), self._zero)
+        return self.select(row_sel if not scalar_row else [row_sel],
+                           col_sel if not scalar_col else [col_sel])
+
+    def select(self, row_selector: Selector, col_selector: Selector) -> "AssociativeArray":
+        """Sub-array on the selected keys (selection semantics of Figure 1)."""
+        rows = self._row_keys.select(row_selector)
+        cols = self._col_keys.select(col_selector)
+        row_set, col_set = set(rows), set(cols)
+        data = {(r, c): v for (r, c), v in self._data.items()
+                if r in row_set and c in col_set}
+        return AssociativeArray(data, row_keys=rows, col_keys=cols,
+                                zero=self._zero)
+
+    def row(self, row: Any) -> Dict[Any, Any]:
+        """Stored entries of one row as ``{col: value}`` (sorted by col)."""
+        if row not in self._row_keys:
+            raise KeyError_(f"row key {row!r} not in row key set")
+        pairs = [(c, v) for (r, c), v in self._data.items() if r == row]
+        return dict(sorted(pairs, key=lambda cv: self._col_keys.index(cv[0])))
+
+    def col(self, col: Any) -> Dict[Any, Any]:
+        """Stored entries of one column as ``{row: value}`` (sorted by row)."""
+        if col not in self._col_keys:
+            raise KeyError_(f"column key {col!r} not in column key set")
+        pairs = [(r, v) for (r, c), v in self._data.items() if c == col]
+        return dict(sorted(pairs, key=lambda rv: self._row_keys.index(rv[0])))
+
+    def entries(self) -> Iterator[Tuple[Any, Any, Any]]:
+        """Stored entries as ``(row, col, value)`` in (row, col) key order."""
+        ri = self._row_keys.position_map()
+        ci = self._col_keys.position_map()
+        for (r, c) in sorted(self._data, key=lambda rc: (ri[rc[0]], ci[rc[1]])):
+            yield r, c, self._data[(r, c)]
+
+    def triples(self) -> List[Tuple[Any, Any, Any]]:
+        """:meth:`entries` as a list."""
+        return list(self.entries())
+
+    def nonzero_pattern(self) -> frozenset:
+        """The set of stored coordinates — the array's *structure*.
+
+        Definition I.5 characterises adjacency arrays purely through this
+        pattern, so pattern equality is the core predicate of the paper.
+        """
+        return frozenset(self._data)
+
+    def values_list(self) -> List[Any]:
+        """Stored values in (row, col) key order."""
+        return [v for (_r, _c, v) in self.entries()]
+
+    def rows_nonempty(self) -> KeySet:
+        """Row keys that have at least one stored entry."""
+        present = {r for (r, _c) in self._data}
+        return KeySet([r for r in self._row_keys if r in present],
+                      presorted=True)
+
+    def cols_nonempty(self) -> KeySet:
+        """Column keys that have at least one stored entry."""
+        present = {c for (_r, c) in self._data}
+        return KeySet([c for c in self._col_keys if c in present],
+                      presorted=True)
+
+    # ------------------------------------------------------------------
+    # Structural operations
+    # ------------------------------------------------------------------
+    def transpose(self) -> "AssociativeArray":
+        """Definition I.2: ``Aᵀ(k2, k1) = A(k1, k2)``."""
+        data = {(c, r): v for (r, c), v in self._data.items()}
+        return AssociativeArray(data, row_keys=self._col_keys,
+                                col_keys=self._row_keys, zero=self._zero)
+
+    @property
+    def T(self) -> "AssociativeArray":
+        """Alias for :meth:`transpose`."""
+        return self.transpose()
+
+    def with_zero(self, zero: Any) -> "AssociativeArray":
+        """Reinterpret the stored nonzeros over a different zero element.
+
+        This is the Figure 3 move: the same incidence array is multiplied
+        under op-pairs whose zeros are 0, −∞ or +∞; stored entries are the
+        nonzeros in every case.  Stored values equal to the *new* zero
+        would silently vanish, so that case raises.
+        """
+        for (r, c), v in self._data.items():
+            if _values_equal(v, zero):
+                raise KeyError_(
+                    f"stored value at {(r, c)!r} equals the new zero "
+                    f"{zero!r}; reinterpretation would drop it")
+        return AssociativeArray(self._data, row_keys=self._row_keys,
+                                col_keys=self._col_keys, zero=zero)
+
+    def map_values(self, func: Callable[[Any], Any],
+                   *, zero: Any = None) -> "AssociativeArray":
+        """Apply ``func`` to every stored value (results equal to the zero
+        are dropped).  ``zero`` overrides the result array's zero."""
+        z = self._zero if zero is None else zero
+        data = {rc: func(v) for rc, v in self._data.items()}
+        return AssociativeArray(data, row_keys=self._row_keys,
+                                col_keys=self._col_keys, zero=z)
+
+    def restrict_values(self, predicate: Callable[[Any], bool]) -> "AssociativeArray":
+        """Keep only stored entries whose value satisfies ``predicate``."""
+        data = {rc: v for rc, v in self._data.items() if predicate(v)}
+        return AssociativeArray(data, row_keys=self._row_keys,
+                                col_keys=self._col_keys, zero=self._zero)
+
+    def prune_to_pattern(self) -> "AssociativeArray":
+        """Drop empty rows/columns, shrinking the key sets to the pattern."""
+        return AssociativeArray(self._data,
+                                row_keys=self.rows_nonempty(),
+                                col_keys=self.cols_nonempty(),
+                                zero=self._zero)
+
+    def with_keys(
+        self,
+        row_keys: Union[KeySet, Iterable[Any], None] = None,
+        col_keys: Union[KeySet, Iterable[Any], None] = None,
+    ) -> "AssociativeArray":
+        """Re-embed into (super)key sets, e.g. to share an edge set ``K``."""
+        rk = self._row_keys if row_keys is None else KeySet.coerce(row_keys)
+        ck = self._col_keys if col_keys is None else KeySet.coerce(col_keys)
+        return AssociativeArray(self._data, row_keys=rk, col_keys=ck,
+                                zero=self._zero)
+
+    # ------------------------------------------------------------------
+    # Comparison
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        """Strict equality: key sets, zero, and stored entries all match."""
+        if not isinstance(other, AssociativeArray):
+            return NotImplemented
+        if self._row_keys != other._row_keys:
+            return False
+        if self._col_keys != other._col_keys:
+            return False
+        if not _values_equal(self._zero, other._zero):
+            return False
+        if set(self._data) != set(other._data):
+            return False
+        return all(_values_equal(v, other._data[rc])
+                   for rc, v in self._data.items())
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("AssociativeArray is unhashable")
+
+    def same_pattern(self, other: "AssociativeArray") -> bool:
+        """Whether both arrays store exactly the same coordinates."""
+        return self.nonzero_pattern() == other.nonzero_pattern()
+
+    def allclose(self, other: "AssociativeArray", *,
+                 rel_tol: float = 1e-9, abs_tol: float = 1e-12) -> bool:
+        """Pattern equality plus numeric closeness of stored values."""
+        if not self.same_pattern(other):
+            return False
+        for rc, v in self._data.items():
+            w = other._data[rc]
+            if isinstance(v, (int, float)) and isinstance(w, (int, float)):
+                v_nan = isinstance(v, float) and math.isnan(v)
+                w_nan = isinstance(w, float) and math.isnan(w)
+                if v_nan or w_nan:
+                    if not (v_nan and w_nan):
+                        return False
+                elif math.isinf(v) or math.isinf(w):
+                    if v != w:
+                        return False
+                elif not math.isclose(v, w, rel_tol=rel_tol, abs_tol=abs_tol):
+                    return False
+            elif not _values_equal(v, w):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Algebra (delegating to matmul / elementwise modules)
+    # ------------------------------------------------------------------
+    def dot(self, other: "AssociativeArray", op_pair,
+            *, mode: str = "sparse", kernel: str = "auto") -> "AssociativeArray":
+        """Array multiplication ``self ⊕.⊗ other`` (Definition I.3).
+
+        See :func:`repro.arrays.matmul.multiply` for ``mode``/``kernel``.
+        """
+        from repro.arrays.matmul import multiply
+        return multiply(self, other, op_pair, mode=mode, kernel=kernel)
+
+    def add(self, other: "AssociativeArray", op) -> "AssociativeArray":
+        """Element-wise ``⊕`` (union-pattern evaluation)."""
+        from repro.arrays.elementwise import elementwise_add
+        return elementwise_add(self, other, op)
+
+    def multiply_elementwise(self, other: "AssociativeArray", op) -> "AssociativeArray":
+        """Element-wise ``⊗`` (union-pattern evaluation)."""
+        from repro.arrays.elementwise import elementwise_multiply
+        return elementwise_multiply(self, other, op)
+
+    # ------------------------------------------------------------------
+    # Conversion / display
+    # ------------------------------------------------------------------
+    def to_dense(self) -> List[List[Any]]:
+        """Dense row-major list of lists, zero-filled."""
+        out = [[self._zero] * len(self._col_keys)
+               for _ in range(len(self._row_keys))]
+        ri = self._row_keys.position_map()
+        ci = self._col_keys.position_map()
+        for (r, c), v in self._data.items():
+            out[ri[r]][ci[c]] = v
+        return out
+
+    def to_dict(self) -> Dict[Tuple[Any, Any], Any]:
+        """A copy of the stored entries."""
+        return dict(self._data)
+
+    def __str__(self) -> str:
+        from repro.arrays.printing import format_array
+        return format_array(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"AssociativeArray(shape={self.shape}, nnz={self.nnz}, "
+                f"zero={self._zero!r})")

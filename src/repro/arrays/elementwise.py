@@ -1,0 +1,89 @@
+"""Element-wise operations on associative arrays.
+
+D4M exposes element-wise ``⊕`` and ``⊗`` alongside array multiplication
+(the paper's Section IV: "the same element-wise addition, element-wise
+multiplication, and array multiplication syntax").  Both are evaluated over
+the **union** of the operands' stored patterns with unstored entries read
+as the arrays' zero; coordinates outside both patterns take the value
+``op(zero, zero)``, which must equal the zero for the result to be
+sparse-representable — checked and enforced.
+
+For criteria-compliant op-pairs this reduces to the familiar semantics:
+element-wise ``⊕`` unions patterns (zero-sum-freeness: nothing cancels),
+and element-wise ``⊗`` with an annihilating zero intersects them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.arrays.associative import AssociativeArray
+from repro.arrays.keys import KeyError_
+from repro.values.operations import BinaryOp
+
+__all__ = ["elementwise_add", "elementwise_multiply", "elementwise_apply"]
+
+
+def _check_aligned(a: AssociativeArray, b: AssociativeArray) -> None:
+    if a.row_keys != b.row_keys or a.col_keys != b.col_keys:
+        raise KeyError_(
+            "element-wise operations require identical key sets; "
+            "re-embed with with_keys() over the key-set unions first")
+
+
+def elementwise_apply(
+    a: AssociativeArray,
+    b: AssociativeArray,
+    op: BinaryOp,
+    *,
+    zero: Any = None,
+) -> AssociativeArray:
+    """``C(i,j) = op(A(i,j), B(i,j))`` over the union pattern.
+
+    ``zero`` sets the result's zero element (default: ``a.zero``).  Raises
+    if ``op(a.zero, b.zero)`` is not that zero — such results are not
+    sparse-representable.
+    """
+    _check_aligned(a, b)
+    result_zero = a.zero if zero is None else zero
+    background = op(a.zero, b.zero)
+    if not _eq(background, result_zero):
+        raise KeyError_(
+            f"op({a.zero!r}, {b.zero!r}) = {background!r} ≠ {result_zero!r}: "
+            "result would be dense; element-wise evaluation refused")
+    data: Dict[Tuple[Any, Any], Any] = {}
+    a_data, b_data = a.to_dict(), b.to_dict()
+    for rc in set(a_data) | set(b_data):
+        v = op(a_data.get(rc, a.zero), b_data.get(rc, b.zero))
+        if not _eq(v, result_zero):
+            data[rc] = v
+    return AssociativeArray(data, row_keys=a.row_keys, col_keys=a.col_keys,
+                            zero=result_zero)
+
+
+def elementwise_add(a: AssociativeArray, b: AssociativeArray,
+                    op: BinaryOp) -> AssociativeArray:
+    """Element-wise ``⊕`` (alias of :func:`elementwise_apply`)."""
+    return elementwise_apply(a, b, op)
+
+
+def elementwise_multiply(a: AssociativeArray, b: AssociativeArray,
+                         op: BinaryOp) -> AssociativeArray:
+    """Element-wise ``⊗`` over the union pattern.
+
+    With an annihilating zero this yields the pattern *intersection*; for
+    ops without an annihilator (e.g. ``⊗ = +`` read element-wise) entries
+    survive wherever either operand is stored.
+    """
+    return elementwise_apply(a, b, op)
+
+
+def _eq(x: Any, y: Any) -> bool:
+    import math
+    if isinstance(x, float) and isinstance(y, float) \
+            and math.isnan(x) and math.isnan(y):
+        return True
+    try:
+        return bool(x == y)
+    except Exception:  # pragma: no cover
+        return x is y

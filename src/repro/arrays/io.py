@@ -1,0 +1,216 @@
+"""Exploded-view construction and file round-trips.
+
+Figure 1's construction: a database table (rows = records, columns =
+fields) becomes a sparse associative array whose column keys are
+``field|value`` strings — "the column key and the value are concatenated
+with a separator symbol (in this case ``|``) resulting in every unique pair
+of column and value having its own column in the sparse view.  The new
+value is usually 1 to denote the existence of an entry."
+
+Multi-valued fields (a record with three writers) explode into several
+columns, which is exactly how the music table yields multiple ``Writer|*``
+entries per track.
+
+Also provides TSV triple round-trips (the D4M on-disk format) and CSV table
+reading.
+"""
+
+from __future__ import annotations
+
+import csv
+import io as _io
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.arrays.associative import AssociativeArray
+from repro.arrays.keys import KeyError_, KeySet
+
+__all__ = [
+    "explode_table",
+    "collapse_exploded",
+    "read_tsv_triples",
+    "write_tsv_triples",
+    "read_csv_table",
+]
+
+#: The separator the paper uses between field and value in column keys.
+DEFAULT_SEPARATOR = "|"
+
+
+def explode_table(
+    table: Mapping[Any, Mapping[str, Any]],
+    *,
+    separator: str = DEFAULT_SEPARATOR,
+    one: Any = 1,
+    zero: Any = 0,
+    fields: Optional[Sequence[str]] = None,
+) -> AssociativeArray:
+    """Build the Figure 1 sparse view of a table.
+
+    Parameters
+    ----------
+    table:
+        ``{row_key: {field: value_or_values}}``.  A field value may be a
+        single scalar or a list/tuple/set/frozenset of scalars, each of
+        which becomes its own ``field|value`` column.
+    separator:
+        Separator between field name and value in column keys.
+    one:
+        Stored value denoting presence (the paper uses 1).
+    zero:
+        The resulting array's zero element.
+    fields:
+        Optional whitelist of fields to explode (default: all).
+
+    Returns
+    -------
+    AssociativeArray
+        Rows = table row keys; columns = all observed ``field|value``
+        strings; entries = ``one``.
+    """
+    data: Dict[Tuple[Any, str], Any] = {}
+    for row_key, record in table.items():
+        for field, value in record.items():
+            if fields is not None and field not in fields:
+                continue
+            if separator in field:
+                raise KeyError_(
+                    f"field name {field!r} contains separator {separator!r}")
+            values = value if isinstance(value, (list, tuple, set, frozenset)) \
+                else [value]
+            for v in values:
+                col = f"{field}{separator}{v}"
+                data[(row_key, col)] = one
+    return AssociativeArray(data, zero=zero)
+
+
+def collapse_exploded(
+    array: AssociativeArray,
+    *,
+    separator: str = DEFAULT_SEPARATOR,
+) -> Dict[Any, Dict[str, List[str]]]:
+    """Invert :func:`explode_table` (values come back as strings).
+
+    Returns ``{row_key: {field: [values...]}}`` with values in column-key
+    order.  Only stored (nonzero) entries are reported.
+    """
+    out: Dict[Any, Dict[str, List[str]]] = {}
+    for r, c, _v in array.entries():
+        if not isinstance(c, str) or separator not in c:
+            raise KeyError_(
+                f"column key {c!r} is not an exploded '{separator}' key")
+        field, _, value = c.partition(separator)
+        out.setdefault(r, {}).setdefault(field, []).append(value)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# TSV triples (the D4M interchange format)
+# ---------------------------------------------------------------------------
+
+def write_tsv_triples(
+    array: AssociativeArray,
+    path: Union[str, Path],
+    *,
+    value_formatter=str,
+) -> None:
+    """Write stored entries as ``row<TAB>col<TAB>value`` lines in key order."""
+    p = Path(path)
+    with p.open("w", encoding="utf-8", newline="") as fh:
+        for r, c, v in array.entries():
+            fh.write(f"{r}\t{c}\t{value_formatter(v)}\n")
+
+
+def read_tsv_triples(
+    path: Union[str, Path],
+    *,
+    value_parser=None,
+    zero: Any = 0,
+    row_keys: Optional[Iterable[Any]] = None,
+    col_keys: Optional[Iterable[Any]] = None,
+) -> AssociativeArray:
+    """Read ``row<TAB>col<TAB>value`` lines into an associative array.
+
+    ``value_parser`` converts the value text (default: int if possible,
+    else float if possible, else the raw string).
+    """
+    parse = value_parser or _parse_scalar
+    triples: List[Tuple[str, str, Any]] = []
+    p = Path(path)
+    with p.open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise KeyError_(
+                    f"{p}:{lineno}: expected 3 tab-separated fields, "
+                    f"got {len(parts)}")
+            r, c, v = parts
+            triples.append((r, c, parse(v)))
+    return AssociativeArray.from_triples(
+        triples, zero=zero, row_keys=row_keys, col_keys=col_keys)
+
+
+def _parse_scalar(text: str) -> Any:
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+# ---------------------------------------------------------------------------
+# CSV tables
+# ---------------------------------------------------------------------------
+
+def read_csv_table(
+    source: Union[str, Path, _io.TextIOBase],
+    *,
+    row_key_column: Optional[str] = None,
+    multivalue_separator: str = ";",
+) -> Dict[str, Dict[str, Any]]:
+    """Read a CSV file into the ``{row: {field: value(s)}}`` shape that
+    :func:`explode_table` consumes.
+
+    The first column (or ``row_key_column``) provides row keys.  Cell text
+    containing ``multivalue_separator`` becomes a list of values.  Empty
+    cells are omitted (they would otherwise explode into ``field|``
+    columns).
+    """
+    close = False
+    if isinstance(source, (str, Path)):
+        fh: _io.TextIOBase = open(source, "r", encoding="utf-8", newline="")
+        close = True
+    else:
+        fh = source
+    try:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None:
+            raise KeyError_("CSV file has no header row")
+        key_col = row_key_column or reader.fieldnames[0]
+        if key_col not in reader.fieldnames:
+            raise KeyError_(f"row key column {key_col!r} not in header")
+        table: Dict[str, Dict[str, Any]] = {}
+        for record in reader:
+            row_key = record[key_col]
+            fields: Dict[str, Any] = {}
+            for field, cell in record.items():
+                if field == key_col or cell is None or cell == "":
+                    continue
+                if multivalue_separator in cell:
+                    fields[field] = [p.strip()
+                                     for p in cell.split(multivalue_separator)
+                                     if p.strip()]
+                else:
+                    fields[field] = cell.strip()
+            table[row_key] = fields
+        return table
+    finally:
+        if close:
+            fh.close()

@@ -1,0 +1,175 @@
+"""Array multiplication ``C = A ⊕.⊗ B`` (Definition I.3).
+
+``C(k1, k2) = ⊕_{k3 ∈ K3} A(k1, k3) ⊗ B(k3, k2)`` where ``K3`` is the
+shared inner key set (``A``'s columns = ``B``'s rows).
+
+Two evaluation modes are provided, and their relationship *is* the content
+of Theorem II.1:
+
+``mode="dense"``
+    The definition verbatim: the ``⊕``-fold ranges over **all** of ``K3``
+    in key order, with unstored entries contributing the op-pair's zero.
+    Always mathematically faithful; cost ``O(|K1|·|K2|·|K3|)``.
+
+``mode="sparse"``
+    Folds only over inner keys where **both** operands store a value — the
+    sparse shortcut every real system (D4M, GraphBLAS) takes.  Exact
+    whenever the op-pair satisfies the paper's criteria (0 annihilates, so
+    missing terms contribute 0; zero-sum-freeness/no-zero-divisors make
+    dropped zeros harmless).  For non-compliant pairs the two modes can
+    disagree — the property suite exhibits this on the paper's
+    non-examples.
+
+Fold order follows ``K3``'s total order (left fold) because ``⊕`` need not
+be associative or commutative; ``⊗`` is always applied as
+``A-value ⊗ B-value`` because it need not be commutative either.
+
+The ``kernel`` argument selects an implementation: ``"generic"`` (pure
+Python, any value set), or the vectorised kernels of
+:mod:`repro.arrays.sparse_backend` for numeric ufunc op-pairs
+(``"scipy"``, ``"reduceat"``, ``"dense_blocked"``).  ``"auto"`` picks the
+fastest applicable one; all kernels are property-tested to agree with
+``"generic"``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.arrays.associative import AssociativeArray
+from repro.values.semiring import OpPair
+
+__all__ = ["MatmulError", "multiply", "multiply_generic"]
+
+
+class MatmulError(ValueError):
+    """Raised for incompatible operands or unsupported kernel choices."""
+
+
+def _check_conformable(a: AssociativeArray, b: AssociativeArray) -> None:
+    if a.col_keys != b.row_keys:
+        raise MatmulError(
+            "inner key sets differ: A has columns "
+            f"{tuple(a.col_keys)[:4]}..., B has rows "
+            f"{tuple(b.row_keys)[:4]}...; Definition I.3 requires a shared "
+            "K3 — re-embed with with_keys() first")
+
+
+def multiply(
+    a: AssociativeArray,
+    b: AssociativeArray,
+    op_pair: OpPair,
+    *,
+    mode: str = "sparse",
+    kernel: str = "auto",
+) -> AssociativeArray:
+    """``a ⊕.⊗ b`` over ``op_pair``; see module docstring for semantics.
+
+    The result's key sets are ``(a.row_keys, b.col_keys)`` and its zero is
+    ``op_pair.zero``; result entries equal to that zero are not stored.
+    """
+    _check_conformable(a, b)
+    if mode not in ("sparse", "dense"):
+        raise MatmulError(f"unknown mode {mode!r}; use 'sparse' or 'dense'")
+    if kernel == "auto":
+        kernel = _pick_kernel(a, b, op_pair, mode)
+    if kernel == "generic":
+        return multiply_generic(a, b, op_pair, mode=mode)
+    from repro.arrays import sparse_backend
+    return sparse_backend.multiply_vectorized(
+        a, b, op_pair, kernel=kernel, mode=mode)
+
+
+def _pick_kernel(a: AssociativeArray, b: AssociativeArray,
+                 op_pair: OpPair, mode: str) -> str:
+    """Choose the fastest applicable kernel.
+
+    Vectorised kernels need numeric values and NumPy ufunc forms of both
+    operations; `scipy` additionally needs the genuine ``+.×`` pair.  Tiny
+    operands stay on the generic kernel (conversion overhead dominates).
+    """
+    from repro.arrays import sparse_backend
+    if not sparse_backend.vectorizable(a, b, op_pair):
+        return "generic"
+    if a.nnz + b.nnz < 256 and len(a.row_keys) * len(b.col_keys) < 4096:
+        return "generic"
+    if mode == "dense":
+        return "dense_blocked"
+    if op_pair.name in ("plus_times", "nat_plus_times"):
+        return "scipy"
+    return "reduceat"
+
+
+def multiply_generic(
+    a: AssociativeArray,
+    b: AssociativeArray,
+    op_pair: OpPair,
+    *,
+    mode: str = "sparse",
+) -> AssociativeArray:
+    """Reference implementation for arbitrary value sets.
+
+    Sparse mode builds, for every output coordinate, the term list in
+    inner-key order and left-folds ``⊕`` over it; dense mode folds over the
+    entire inner key set.  Both fold ``A(k1,k3) ⊗ B(k3,k2)`` with operands
+    in that order.
+    """
+    zero = op_pair.zero
+    inner = a.col_keys
+    if mode == "dense":
+        return _generic_dense(a, b, op_pair)
+
+    # Row-major view of A with inner keys ordered, and row-major view of B.
+    inner_pos = inner.position_map()
+    a_rows: Dict[Any, List[Tuple[int, Any, Any]]] = {}
+    for (r, k), v in a.to_dict().items():
+        a_rows.setdefault(r, []).append((inner_pos[k], k, v))
+    for terms in a_rows.values():
+        terms.sort(key=lambda t: t[0])
+    b_rows: Dict[Any, List[Tuple[Any, Any]]] = {}
+    for (k, c), v in b.to_dict().items():
+        b_rows.setdefault(k, []).append((c, v))
+
+    # Accumulate per-(row, col) term lists; iterating A's row entries in
+    # ascending inner-key order keeps each term list fold-ordered.
+    out: Dict[Tuple[Any, Any], Any] = {}
+    started: Dict[Tuple[Any, Any], bool] = {}
+    mul = op_pair.mul
+    add = op_pair.add
+    for r, row_terms in a_rows.items():
+        for _pos, k, av in row_terms:
+            for c, bv in b_rows.get(k, ()):
+                term = mul(av, bv)
+                rc = (r, c)
+                if rc in started:
+                    out[rc] = add(out[rc], term)
+                else:
+                    out[rc] = term
+                    started[rc] = True
+    data = {rc: v for rc, v in out.items()
+            if not op_pair.is_zero(v)}
+    return AssociativeArray(data, row_keys=a.row_keys, col_keys=b.col_keys,
+                            zero=zero)
+
+
+def _generic_dense(
+    a: AssociativeArray,
+    b: AssociativeArray,
+    op_pair: OpPair,
+) -> AssociativeArray:
+    """Definition I.3 verbatim: ⊕-fold over the whole inner key set."""
+    zero = op_pair.zero
+    mul = op_pair.mul
+    inner = tuple(a.col_keys)
+    a_data = a.to_dict()
+    b_data = b.to_dict()
+    data: Dict[Tuple[Any, Any], Any] = {}
+    for r in a.row_keys:
+        for c in b.col_keys:
+            terms = (mul(a_data.get((r, k), zero), b_data.get((k, c), zero))
+                     for k in inner)
+            total = op_pair.fold_add(terms)
+            if not op_pair.is_zero(total):
+                data[(r, c)] = total
+    return AssociativeArray(data, row_keys=a.row_keys, col_keys=b.col_keys,
+                            zero=zero)

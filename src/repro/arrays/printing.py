@@ -1,0 +1,103 @@
+"""Paper-figure-style text rendering of associative arrays.
+
+The paper's figures display associative arrays as tables: row keys down the
+left, column keys across the top, blank cells for zeros, and integer-valued
+floats shown without a decimal point.  :func:`format_array` reproduces that
+look in monospaced text; :func:`format_stacked` renders several arrays that
+share keys under one header, the way Figures 3 and 5 stack op-pairs whose
+results coincide.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["format_value", "format_array", "format_stacked"]
+
+
+def format_value(v: Any) -> str:
+    """Render one value the way the figures do.
+
+    Integer-valued floats lose the ``.0``; ±∞ render as ``inf``/``-inf``;
+    frozensets render as ``{a,b}`` sorted; everything else via ``str``.
+    """
+    if isinstance(v, bool):
+        return "1" if v else "0"
+    if isinstance(v, float):
+        if math.isinf(v):
+            return "inf" if v > 0 else "-inf"
+        if v.is_integer():
+            return str(int(v))
+        return f"{v:g}"
+    if isinstance(v, (set, frozenset)):
+        return "{" + ",".join(sorted(map(str, v))) + "}"
+    return str(v)
+
+
+def format_array(
+    array,
+    *,
+    title: Optional[str] = None,
+    hide_empty_rows: bool = False,
+    hide_empty_cols: bool = False,
+    max_col_width: int = 24,
+) -> str:
+    """Aligned table rendering of an :class:`AssociativeArray`.
+
+    ``hide_empty_rows/cols`` reproduce how D4M displays omit all-zero rows
+    (Figure 2's ``E2`` has no row for the writerless track).
+    """
+    view = array
+    if hide_empty_rows or hide_empty_cols:
+        rows = array.rows_nonempty() if hide_empty_rows else array.row_keys
+        cols = array.cols_nonempty() if hide_empty_cols else array.col_keys
+        view = array.select(list(rows), list(cols))
+    rows = list(view.row_keys)
+    cols = list(view.col_keys)
+    cells = {(r, c): format_value(v) for r, c, v in view.entries()}
+
+    def clip(s: str) -> str:
+        return s if len(s) <= max_col_width else s[: max_col_width - 1] + "…"
+
+    row_header_w = max([len(clip(str(r))) for r in rows], default=0)
+    col_ws = []
+    for c in cols:
+        w = len(clip(str(c)))
+        for r in rows:
+            w = max(w, len(cells.get((r, c), "")))
+        col_ws.append(w)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " " * row_header_w + "  " + "  ".join(
+        clip(str(c)).rjust(w) for c, w in zip(cols, col_ws))
+    lines.append(header.rstrip())
+    for r in rows:
+        body = "  ".join(
+            cells.get((r, c), "").rjust(w) for c, w in zip(cols, col_ws))
+        lines.append((clip(str(r)).ljust(row_header_w) + "  " + body).rstrip())
+    return "\n".join(lines)
+
+
+def format_stacked(
+    arrays_with_labels: Sequence[Tuple[str, Any]],
+    *,
+    title: Optional[str] = None,
+    max_col_width: int = 24,
+) -> str:
+    """Render several same-shaped arrays stacked with per-block labels.
+
+    Mirrors Figures 3/5: each block is one (possibly stacked) op-pair
+    result, labelled like ``E1ᵀ +.× E2``.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for label, arr in arrays_with_labels:
+        lines.append("")
+        lines.append(f"-- {label} --")
+        lines.append(format_array(arr, max_col_width=max_col_width))
+    return "\n".join(lines)

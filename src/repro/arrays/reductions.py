@@ -1,0 +1,110 @@
+"""Row/column reductions over arbitrary ``⊕`` operations.
+
+The D4M idiom ``sum(A, 1)`` / ``sum(A, 2)`` generalised to any binary
+operation with identity: reduce each row (or column) of an associative
+array by a left fold in key order.  Degree vectors, row maxima for
+``max.min`` normalisation, per-vertex strengths — the standard
+post-processing steps after adjacency construction — are all instances.
+
+Folds include **stored entries only** (the sparse convention); as with
+array multiplication, that matches the dense Definition-I.3-style fold
+exactly when the op's identity annihilates the missing terms, i.e. when
+the entries' op is the ``⊕`` of a certified pair.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.arrays.associative import AssociativeArray
+from repro.arrays.keys import KeySet
+from repro.values.operations import BinaryOp
+
+__all__ = [
+    "reduce_rows",
+    "reduce_cols",
+    "row_counts",
+    "col_counts",
+    "total_reduce",
+    "scale_rows",
+    "scale_cols",
+]
+
+
+def reduce_rows(array: AssociativeArray, op: BinaryOp) -> Dict[Any, Any]:
+    """``out[r] = ⊕_c A(r, c)`` over stored entries, folded in column-key
+    order.  Rows with no stored entries are omitted."""
+    grouped: Dict[Any, list] = {}
+    for r, _c, v in array.entries():       # entries() is (row, col)-ordered
+        grouped.setdefault(r, []).append(v)
+    return {r: op.fold(vs) for r, vs in grouped.items()}
+
+
+def reduce_cols(array: AssociativeArray, op: BinaryOp) -> Dict[Any, Any]:
+    """``out[c] = ⊕_r A(r, c)`` over stored entries, folded in row-key
+    order.  Columns with no stored entries are omitted."""
+    grouped: Dict[Any, list] = {}
+    for r, c, v in array.entries():
+        grouped.setdefault(c, []).append(v)
+    return {c: op.fold(vs) for c, vs in grouped.items()}
+
+
+def row_counts(array: AssociativeArray) -> Dict[Any, int]:
+    """Stored entries per row (the pattern out-degree), zero-filled."""
+    out = {r: 0 for r in array.row_keys}
+    for (r, _c) in array.nonzero_pattern():
+        out[r] += 1
+    return out
+
+
+def col_counts(array: AssociativeArray) -> Dict[Any, int]:
+    """Stored entries per column (the pattern in-degree), zero-filled."""
+    out = {c: 0 for c in array.col_keys}
+    for (_r, c) in array.nonzero_pattern():
+        out[c] += 1
+    return out
+
+
+def total_reduce(array: AssociativeArray, op: BinaryOp) -> Any:
+    """Fold ``op`` over every stored value in (row, col) key order.
+
+    Returns the op's identity for an empty array.
+    """
+    return op.fold(array.values_list())
+
+
+def scale_rows(
+    array: AssociativeArray,
+    factors: Dict[Any, Any],
+    op: BinaryOp,
+    *,
+    missing: Optional[Any] = None,
+) -> AssociativeArray:
+    """``B(r, c) = op(factors[r], A(r, c))`` — e.g. row normalisation.
+
+    Rows absent from ``factors`` use ``missing`` (default: the op's
+    identity, leaving the row unchanged).
+    """
+    default = op.identity if missing is None else missing
+    data = {(r, c): op(factors.get(r, default), v)
+            for (r, c), v in array.to_dict().items()}
+    return AssociativeArray(data, row_keys=array.row_keys,
+                            col_keys=array.col_keys, zero=array.zero)
+
+
+def scale_cols(
+    array: AssociativeArray,
+    factors: Dict[Any, Any],
+    op: BinaryOp,
+    *,
+    missing: Optional[Any] = None,
+) -> AssociativeArray:
+    """``B(r, c) = op(A(r, c), factors[c])`` — column-wise scaling.
+
+    The factor is the *right* operand (op may be non-commutative).
+    """
+    default = op.identity if missing is None else missing
+    data = {(r, c): op(v, factors.get(c, default))
+            for (r, c), v in array.to_dict().items()}
+    return AssociativeArray(data, row_keys=array.row_keys,
+                            col_keys=array.col_keys, zero=array.zero)

@@ -1,0 +1,314 @@
+"""Vectorised NumPy/SciPy kernels for numeric op-pairs.
+
+The generic kernel in :mod:`repro.arrays.matmul` works for every value set
+but pays Python-interpreter cost per term.  When an op-pair's operations
+have NumPy ufunc forms (``+``, ``×``, ``max``, ``min``) and the array
+values are plain numbers, three vectorised kernels apply:
+
+``"scipy"``
+    ``scipy.sparse`` CSR×CSR for the genuine ``+.×`` pair — the fastest
+    path and the standard adjacency-construction route in production
+    systems.
+
+``"reduceat"``
+    A single-pass semiring SpGEMM for *any* ufunc pair: expand all
+    ``A(i,k) ⊗ B(k,j)`` products with one gather, lexsort by output
+    coordinate (stable, so inner-key order is preserved within groups),
+    and group-reduce ``⊕`` with ``np.ufunc.reduceat``.  Memory is
+    proportional to the number of multiplicative terms (the flop count),
+    which is the classic space/time trade of expansion-based SpGEMM.
+
+``"dense_blocked"``
+    Definition I.3's dense fold, blocked over output rows: operands are
+    densified with the op-pair's **zero as fill** (0, −∞ or +∞ — the
+    semiring-aware fill makes annihilation native), then
+    ``C = ⊕.reduce(⊗(A[:, :, None], B[None, :, :]), axis=1)`` per block.
+
+Kernel/mode pairing is strict: ``scipy``/``reduceat`` implement *sparse*
+evaluation semantics, ``dense_blocked`` implements *dense* semantics (they
+coincide exactly for criteria-compliant op-pairs — property-tested).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.arrays.associative import AssociativeArray
+from repro.values.semiring import OpPair
+
+__all__ = [
+    "vectorizable",
+    "multiply_vectorized",
+    "to_scipy",
+    "from_scipy",
+    "KERNELS",
+]
+
+#: Kernel names accepted by :func:`multiply_vectorized`.
+KERNELS = ("scipy", "reduceat", "dense_blocked")
+
+#: Row-block size for the dense kernel (bounds peak memory at
+#: ``block × |K3| × |K2|`` float64).
+DENSE_BLOCK_ROWS = 64
+
+
+def _is_number(v: Any) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def vectorizable(a: AssociativeArray, b: AssociativeArray,
+                 op_pair: OpPair) -> bool:
+    """Whether the vectorised kernels can run this product exactly.
+
+    Requires ufunc forms for both operations, numeric zero/one, and
+    numeric stored values throughout both operands.
+    """
+    if not (op_pair.has_ufuncs and op_pair.is_numeric):
+        return False
+    return all(_is_number(v) for v in a.to_dict().values()) and \
+        all(_is_number(v) for v in b.to_dict().values())
+
+
+# ---------------------------------------------------------------------------
+# CSR conversion
+# ---------------------------------------------------------------------------
+
+def _to_csr_arrays(
+    array: AssociativeArray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(data, indices, indptr)`` float64 CSR arrays in key order.
+
+    Memoised on the array (immutable by convention), so repeated products
+    against the same operand pay the dict→CSR conversion once — the same
+    trick D4M uses by keeping arrays in sorted-triple form.
+    """
+    cached = array._cache.get("csr")
+    if cached is not None:
+        return cached
+    m = len(array.row_keys)
+    rpos = array.row_keys.position_map()
+    cpos = array.col_keys.position_map()
+    items = array.to_dict()
+    nnz = len(items)
+    rows = np.empty(nnz, dtype=np.int64)
+    cols = np.empty(nnz, dtype=np.int64)
+    vals = np.empty(nnz, dtype=np.float64)
+    for t, ((r, c), v) in enumerate(items.items()):
+        rows[t] = rpos[r]
+        cols[t] = cpos[c]
+        vals[t] = float(v)
+    order = np.lexsort((cols, rows))
+    rows, cols, vals = rows[order], cols[order], vals[order]
+    indptr = np.zeros(m + 1, dtype=np.int64)
+    np.add.at(indptr, rows + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    result = (vals, cols, indptr)
+    array._cache["csr"] = result
+    return result
+
+
+def to_scipy(array: AssociativeArray) -> sp.csr_matrix:
+    """Convert to ``scipy.sparse.csr_matrix`` (requires zero == 0).
+
+    SciPy's implicit background value is 0, so arrays with a different
+    zero (−∞, +∞, ...) cannot be represented faithfully and raise.
+    """
+    if array.zero != 0:
+        raise ValueError(
+            f"scipy sparse matrices assume zero == 0, array has "
+            f"{array.zero!r}")
+    data, indices, indptr = _to_csr_arrays(array)
+    return sp.csr_matrix(
+        (data, indices, indptr),
+        shape=(len(array.row_keys), len(array.col_keys)))
+
+
+def from_scipy(
+    matrix: sp.spmatrix,
+    row_keys,
+    col_keys,
+    *,
+    zero: float = 0.0,
+) -> AssociativeArray:
+    """Wrap a SciPy sparse matrix as an associative array over given keys."""
+    coo = matrix.tocoo()
+    rk = list(row_keys)
+    ck = list(col_keys)
+    if coo.shape != (len(rk), len(ck)):
+        raise ValueError(
+            f"shape {coo.shape} does not match key sets "
+            f"({len(rk)}, {len(ck)})")
+    data: Dict[Tuple[Any, Any], Any] = {}
+    for i, j, v in zip(coo.row, coo.col, coo.data):
+        if v != zero:
+            data[(rk[i], ck[j])] = float(v)
+    return AssociativeArray(data, row_keys=rk, col_keys=ck, zero=zero)
+
+
+# ---------------------------------------------------------------------------
+# Kernels
+# ---------------------------------------------------------------------------
+
+def multiply_vectorized(
+    a: AssociativeArray,
+    b: AssociativeArray,
+    op_pair: OpPair,
+    *,
+    kernel: str,
+    mode: str = "sparse",
+) -> AssociativeArray:
+    """Dispatch to a vectorised kernel; see module docstring for pairing."""
+    from repro.arrays.matmul import MatmulError
+    if kernel not in KERNELS:
+        raise MatmulError(f"unknown kernel {kernel!r}; choose from {KERNELS}")
+    if not vectorizable(a, b, op_pair):
+        raise MatmulError(
+            f"op-pair {op_pair.name!r} / operand values are not vectorisable; "
+            "use kernel='generic'")
+    if kernel == "dense_blocked":
+        if mode != "dense":
+            raise MatmulError(
+                "dense_blocked implements dense semantics; pass mode='dense' "
+                "(for compliant op-pairs the results coincide with sparse)")
+        return _dense_blocked(a, b, op_pair)
+    if mode != "sparse":
+        raise MatmulError(
+            f"kernel {kernel!r} implements sparse semantics; pass "
+            "mode='sparse' or kernel='dense_blocked'")
+    if kernel == "scipy":
+        if op_pair.add.ufunc is not np.add or op_pair.mul.ufunc is not np.multiply:
+            raise MatmulError(
+                "the scipy kernel applies only to the +.× op-pair")
+        return _scipy_plus_times(a, b, op_pair)
+    return _reduceat_spgemm(a, b, op_pair)
+
+
+def _scipy_plus_times(a: AssociativeArray, b: AssociativeArray,
+                      op_pair: OpPair) -> AssociativeArray:
+    """CSR×CSR through scipy for the arithmetic semiring."""
+    sa = _csr_for_pair(a)
+    sb = _csr_for_pair(b)
+    sc = sa @ sb
+    sc.eliminate_zeros()
+    return _result_from_coo(sc.tocoo(), a, b, op_pair)
+
+
+def _csr_for_pair(array: AssociativeArray) -> sp.csr_matrix:
+    data, indices, indptr = _to_csr_arrays(array)
+    return sp.csr_matrix(
+        (data, indices, indptr),
+        shape=(len(array.row_keys), len(array.col_keys)))
+
+
+def _result_from_coo(coo: sp.coo_matrix, a: AssociativeArray,
+                     b: AssociativeArray, op_pair: OpPair) -> AssociativeArray:
+    rk = tuple(a.row_keys)
+    ck = tuple(b.col_keys)
+    zero = float(op_pair.zero)
+    data: Dict[Tuple[Any, Any], Any] = {}
+    for i, j, v in zip(coo.row, coo.col, coo.data):
+        fv = float(v)
+        if fv != zero:
+            data[(rk[i], ck[j])] = fv
+    return AssociativeArray(data, row_keys=a.row_keys, col_keys=b.col_keys,
+                            zero=op_pair.zero)
+
+
+def _reduceat_spgemm(a: AssociativeArray, b: AssociativeArray,
+                     op_pair: OpPair) -> AssociativeArray:
+    """Expansion SpGEMM: gather → ⊗ → stable lexsort → ⊕ reduceat.
+
+    Stability matters: within an output coordinate group the products stay
+    in ascending inner-key order, so the ``reduceat`` fold follows the key
+    order exactly as the generic kernel does.
+    """
+    add_uf = op_pair.add.ufunc
+    mul_uf = op_pair.mul.ufunc
+    a_data, a_indices, a_indptr = _to_csr_arrays(a)
+    b_data, b_indices, b_indptr = _to_csr_arrays(b)
+    m = len(a.row_keys)
+
+    if a_data.size == 0 or b_data.size == 0:
+        return AssociativeArray.empty(a.row_keys, b.col_keys,
+                                      zero=op_pair.zero)
+
+    # Per A-entry: the row it lives in, and its inner key's B-row segment.
+    entry_rows = np.repeat(np.arange(m, dtype=np.int64), np.diff(a_indptr))
+    seg_starts = b_indptr[a_indices]
+    seg_lens = b_indptr[a_indices + 1] - seg_starts
+    total = int(seg_lens.sum())
+    if total == 0:
+        return AssociativeArray.empty(a.row_keys, b.col_keys,
+                                      zero=op_pair.zero)
+
+    # Flat gather of every multiplicative term (the expansion).
+    cum = np.concatenate(([0], np.cumsum(seg_lens)[:-1]))
+    within = np.arange(total, dtype=np.int64) - np.repeat(cum, seg_lens)
+    gather = np.repeat(seg_starts, seg_lens) + within
+    out_rows = np.repeat(entry_rows, seg_lens)
+    out_cols = b_indices[gather]
+    prods = mul_uf(np.repeat(a_data, seg_lens), b_data[gather])
+
+    # Stable sort by output coordinate; equal coordinates keep gather order
+    # (= ascending inner key).
+    order = np.lexsort((out_cols, out_rows))
+    out_rows, out_cols, prods = out_rows[order], out_cols[order], prods[order]
+    change = np.empty(total, dtype=bool)
+    change[0] = True
+    np.logical_or(out_rows[1:] != out_rows[:-1],
+                  out_cols[1:] != out_cols[:-1], out=change[1:])
+    starts = np.flatnonzero(change)
+    reduced = add_uf.reduceat(prods, starts)
+    grp_rows = out_rows[starts]
+    grp_cols = out_cols[starts]
+
+    zero = float(op_pair.zero)
+    keep = reduced != zero
+    rk = tuple(a.row_keys)
+    ck = tuple(b.col_keys)
+    data = {(rk[i], ck[j]): float(v)
+            for i, j, v in zip(grp_rows[keep], grp_cols[keep], reduced[keep])}
+    return AssociativeArray(data, row_keys=a.row_keys, col_keys=b.col_keys,
+                            zero=op_pair.zero)
+
+
+def _dense_blocked(a: AssociativeArray, b: AssociativeArray,
+                   op_pair: OpPair) -> AssociativeArray:
+    """Blocked dense evaluation with semiring-zero fill."""
+    add_uf = op_pair.add.ufunc
+    mul_uf = op_pair.mul.ufunc
+    zero = float(op_pair.zero)
+    m, k = a.shape
+    k2, n = b.shape
+    assert k == k2
+
+    da = _to_dense(a, zero)
+    db = _to_dense(b, zero)
+    rk = tuple(a.row_keys)
+    ck = tuple(b.col_keys)
+    data: Dict[Tuple[Any, Any], Any] = {}
+    if k == 0:
+        # Empty inner key set: every ⊕-fold is empty, i.e. all zero.
+        return AssociativeArray.empty(a.row_keys, b.col_keys,
+                                      zero=op_pair.zero)
+    for start in range(0, m, DENSE_BLOCK_ROWS):
+        stop = min(start + DENSE_BLOCK_ROWS, m)
+        block = mul_uf(da[start:stop, :, None], db[None, :, :])
+        cblock = add_uf.reduce(block, axis=1)
+        nz = np.argwhere(cblock != zero)
+        for bi, j in nz:
+            data[(rk[start + int(bi)], ck[int(j)])] = float(cblock[bi, j])
+    return AssociativeArray(data, row_keys=a.row_keys, col_keys=b.col_keys,
+                            zero=op_pair.zero)
+
+
+def _to_dense(array: AssociativeArray, fill: float) -> np.ndarray:
+    out = np.full(array.shape, fill, dtype=np.float64)
+    rpos = array.row_keys.position_map()
+    cpos = array.col_keys.position_map()
+    for (r, c), v in array.to_dict().items():
+        out[rpos[r], cpos[c]] = float(v)
+    return out

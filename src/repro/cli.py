@@ -1,0 +1,160 @@
+"""Command-line interface.
+
+``python -m repro <command>``:
+
+``figures``
+    Run every paper experiment and print the paper-vs-measured report
+    (exit 1 on any mismatch) — the one-command reproduction.
+``catalog``
+    Certify the whole op-pair catalog and print the verdict table.
+``certify PAIR``
+    Certify one op-pair; prints criteria verdicts and, for violators, the
+    lemma witness graph.
+``music [--pair NAME] [--weighted]``
+    Print the music-figure product for one op-pair (Figures 3/5 rows).
+``render FIGURE``
+    Print one regenerated figure (fig1..fig5, criteria, structured).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Constructing adjacency arrays from incidence arrays "
+                    "(Jananthan, Dibert & Kepner, 2017) — reproduction CLI.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("figures",
+                   help="run all experiments; print paper-vs-measured")
+
+    sub.add_parser("catalog", help="certify the full op-pair catalog")
+
+    p_cert = sub.add_parser("certify", help="certify one op-pair")
+    p_cert.add_argument("pair", help="registry name, e.g. plus_times")
+    p_cert.add_argument("--seed", type=int, default=0xA55)
+    p_cert.add_argument("--samples", type=int, default=400)
+
+    p_music = sub.add_parser("music",
+                             help="print a Figure 3/5 product table")
+    p_music.add_argument("--pair", default="plus_times")
+    p_music.add_argument("--weighted", action="store_true",
+                         help="use Figure 4's weighted E1 (Figure 5)")
+
+    p_render = sub.add_parser("render", help="print one regenerated figure")
+    p_render.add_argument("figure",
+                          choices=["fig1", "fig2", "fig3", "fig4", "fig5",
+                                   "criteria", "reverse", "structured"])
+    return parser
+
+
+def _cmd_figures() -> int:
+    from repro.experiments.harness import render_report, run_all
+    report = run_all()
+    print(render_report(report))
+    return 0 if report.all_matched else 1
+
+
+def _cmd_catalog() -> int:
+    from repro.core.certify import certify
+    from repro.values import exotic  # noqa: F401 — registers pairs
+    from repro.values.semiring import get_op_pair, list_op_pairs
+    rows = []
+    for name in list_op_pairs():
+        pair = get_op_pair(name)
+        cert = certify(pair, seed=0xA55)
+        verdict = "SAFE  " if cert.safe else "UNSAFE"
+        expected = pair.expected_safe
+        mark = " " if expected is None or expected == cert.safe else "!"
+        detail = ""
+        if not cert.safe:
+            violation = cert.criteria.first_violation()
+            if violation is not None:
+                detail = f"  ({violation.property_name})"
+        rows.append(f"{verdict}{mark} {pair.display:24s} [{name}]{detail}")
+    print("\n".join(rows))
+    return 0
+
+
+def _cmd_certify(name: str, seed: int, samples: int) -> int:
+    from repro.core.certify import certify
+    from repro.values import exotic  # noqa: F401
+    from repro.values.semiring import SemiringError, get_op_pair
+    try:
+        pair = get_op_pair(name)
+    except SemiringError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    cert = certify(pair, seed=seed, samples=samples)
+    print(cert.summary())
+    if cert.witness is not None:
+        from repro.arrays.printing import format_array
+        print("\nwitness graph edges:",
+              ", ".join(f"{k}: {s}→{t}"
+                        for k, s, t in cert.witness.graph.edges()))
+        print("Eout:")
+        print(format_array(cert.witness.eout))
+        print("Ein:")
+        print(format_array(cert.witness.ein))
+        print("EoutᵀEin (dense):")
+        print(format_array(cert.witness.product) or "(all zero)")
+    return 0 if cert.safe else 1
+
+
+def _cmd_music(pair_name: str, weighted: bool) -> int:
+    from repro.arrays.printing import format_array
+    from repro.core.construction import correlate
+    from repro.datasets.music import music_e1, music_e1_weighted, music_e2
+    from repro.values.semiring import SemiringError, get_op_pair
+    try:
+        pair = get_op_pair(pair_name)
+    except SemiringError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    e1 = music_e1_weighted() if weighted else music_e1()
+    e2 = music_e2()
+    if not pair.is_zero(0):
+        e1 = e1.with_zero(pair.zero)
+        e2 = e2.with_zero(pair.zero)
+    adj = correlate(e1, e2, pair)
+    source = "Figure 5 (weighted E1)" if weighted else "Figure 3"
+    print(format_array(
+        adj, title=f"{source}: E1ᵀ {pair.display} E2", max_col_width=22))
+    return 0
+
+
+def _cmd_render(figure: str) -> int:
+    from repro.experiments.figures import all_experiments
+    for exp in all_experiments():
+        if exp.name == figure:
+            print(exp.render())
+            return 0
+    print(f"unknown figure {figure!r}", file=sys.stderr)  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "figures":
+        return _cmd_figures()
+    if args.command == "catalog":
+        return _cmd_catalog()
+    if args.command == "certify":
+        return _cmd_certify(args.pair, args.seed, args.samples)
+    if args.command == "music":
+        return _cmd_music(args.pair, args.weighted)
+    if args.command == "render":
+        return _cmd_render(args.figure)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""The paper's primary contribution, as a public API.
+
+* :mod:`repro.core.construction` — build ``A = EoutᵀEin`` (and the reverse
+  graph's ``EinᵀEout``, Corollary III.1) over any op-pair, and decide
+  whether a given array *is* an adjacency array of a graph/incidence pair
+  (Definition I.5);
+* :mod:`repro.core.criteria` — the three Theorem II.1 criteria bundled as
+  one checkable object;
+* :mod:`repro.core.certify` — the certification engine: criteria checking
+  plus the constructive converse (Lemmas II.2–II.4): every violation is
+  turned into an explicit witness graph whose incidence product fails to
+  be an adjacency array;
+* :mod:`repro.core.pipeline` — the end-to-end "data processing pipeline"
+  of the introduction: table → exploded incidence array → sub-array
+  selection → correlation → adjacency array.
+"""
+
+from repro.core.construction import (
+    adjacency_array,
+    correlate,
+    expected_adjacency_pattern,
+    is_adjacency_array_of,
+    is_adjacency_array_of_graph,
+    reverse_adjacency_array,
+)
+from repro.core.criteria import CriteriaResult, check_criteria
+from repro.core.certify import (
+    Certification,
+    Witness,
+    certify,
+    witness_for_violation,
+)
+from repro.core.pipeline import GraphConstructionPipeline
+
+__all__ = [
+    "adjacency_array",
+    "reverse_adjacency_array",
+    "correlate",
+    "expected_adjacency_pattern",
+    "is_adjacency_array_of",
+    "is_adjacency_array_of_graph",
+    "CriteriaResult",
+    "check_criteria",
+    "Certification",
+    "Witness",
+    "certify",
+    "witness_for_violation",
+    "GraphConstructionPipeline",
+]

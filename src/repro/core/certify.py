@@ -1,0 +1,234 @@
+"""Certification engine: Theorem II.1 as executable mathematics.
+
+:func:`certify` answers, for an op-pair ``(V, ⊕, ⊗, 0, 1)``: *is
+``EoutᵀEin`` guaranteed to be an adjacency array for every graph?*
+
+* If the three criteria hold (checked exhaustively on finite domains,
+  by seeded search otherwise), the answer is yes — Theorem II.1's
+  sufficiency direction, which the property-based test-suite re-validates
+  on random graphs.
+
+* If a criterion fails, the engine does what the paper's *proof* does:
+  it builds the tiny witness graph of the corresponding lemma and
+  demonstrates — by actually multiplying the incidence arrays under the
+  faithful dense semantics of Definition I.3 — that the product is not an
+  adjacency array of that graph:
+
+  - **Lemma II.2** (zero sums, ``v ⊕ w = 0``): two parallel edges
+    ``a → b`` with out-values ``v, w`` and in-values ``1``; the edge
+    entry ``A(a, b) = (v ⊗ 1) ⊕ (w ⊗ 1) = 0`` vanishes.
+  - **Lemma II.3** (zero divisors, ``v ⊗ w = 0``): one self-loop at
+    ``a`` with ``Eout(k, a) = v``, ``Ein(k, a) = w``; the loop entry
+    ``A(a, a) = v ⊗ w = 0`` vanishes.
+  - **Lemma II.4** (0 not annihilating, ``v ⊗ 0 ≠ 0`` or ``0 ⊗ v ≠ 0``):
+    self-loops at ``a`` and ``b`` with value ``v``; the off-diagonal
+    entry ``A(a, b) = (v ⊗ 0) ⊕ (0 ⊗ v)`` appears although no edge
+    ``a → b`` exists.
+
+Because Lemma II.4's failure involves *unstored* zeros, its demonstration
+requires ``mode="dense"`` — which is precisely why sparse kernels are only
+trustworthy on certified algebras.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.arrays.associative import AssociativeArray
+from repro.arrays.keys import KeySet
+from repro.core.construction import (
+    adjacency_array,
+    is_adjacency_array_of_graph,
+)
+from repro.core.criteria import CriteriaResult, check_criteria
+from repro.graphs.digraph import EdgeKeyedDigraph
+from repro.values.properties import DEFAULT_SAMPLES, PropertyReport
+from repro.values.semiring import OpPair
+
+__all__ = ["Witness", "Certification", "certify", "witness_for_violation"]
+
+
+@dataclass(frozen=True)
+class Witness:
+    """A concrete refutation of Theorem II.1(ii) for one op-pair.
+
+    Attributes
+    ----------
+    kind:
+        ``"zero_sum"``, ``"zero_divisor"`` or ``"annihilator"`` — which
+        lemma's construction this is.
+    values:
+        The violating elements the construction was built from.
+    graph:
+        The witness graph ``G``.
+    eout, ein:
+        Valid incidence arrays of ``G`` (checked by construction).
+    product:
+        ``EoutᵀEin`` evaluated under dense (Definition I.3) semantics.
+    """
+
+    kind: str
+    values: Tuple[Any, ...]
+    graph: EdgeKeyedDigraph
+    eout: AssociativeArray
+    ein: AssociativeArray
+    product: AssociativeArray
+
+    @property
+    def refutes(self) -> bool:
+        """True when the product is *not* an adjacency array of the graph
+        — i.e. the witness actually works."""
+        return not is_adjacency_array_of_graph(self.product, self.graph)
+
+    def explain(self) -> str:
+        """Human-readable account of what goes wrong."""
+        expected = sorted(self.graph.adjacency_pairs())
+        actual = sorted(self.product.nonzero_pattern())
+        return (
+            f"[{self.kind}] values {self.values!r}: graph edges imply "
+            f"adjacency pattern {expected}, but EoutᵀEin has nonzero "
+            f"pattern {actual}")
+
+
+@dataclass(frozen=True)
+class Certification:
+    """Outcome of :func:`certify` for one op-pair."""
+
+    op_pair: OpPair
+    criteria: CriteriaResult
+    witness: Optional[Witness]
+
+    @property
+    def safe(self) -> bool:
+        """Whether ``EoutᵀEin`` is certified to be an adjacency array for
+        every graph over this op-pair (Theorem II.1)."""
+        return self.criteria.satisfied and self.criteria.well_formed
+
+    def summary(self) -> str:
+        """Multi-line report: criteria verdicts plus witness, if any."""
+        head = (f"{self.op_pair.display} over {self.op_pair.domain.name}: "
+                + ("SAFE (criteria satisfied)" if self.safe
+                   else "UNSAFE (criteria violated)"))
+        lines = [head, self.criteria.describe()]
+        if self.witness is not None:
+            lines.append("witness: " + self.witness.explain())
+        return "\n".join(lines)
+
+
+def certify(
+    op_pair: OpPair,
+    *,
+    samples: int = DEFAULT_SAMPLES,
+    seed: Optional[int] = None,
+    build_witness: bool = True,
+) -> Certification:
+    """Check the criteria and, on violation, build a verified witness.
+
+    The returned witness (if any) has been *validated*: its incidence
+    product really fails Definition I.5.  If a raw violation's
+    construction happens not to refute (possible only under randomized
+    search noise on pathological ops), the engine searches the remaining
+    violated criteria.
+    """
+    criteria = check_criteria(op_pair, samples=samples, seed=seed)
+    witness = None
+    if build_witness and not criteria.satisfied:
+        witness = witness_for_violation(op_pair, criteria)
+    return Certification(op_pair=op_pair, criteria=criteria, witness=witness)
+
+
+def witness_for_violation(
+    op_pair: OpPair,
+    criteria: CriteriaResult,
+) -> Optional[Witness]:
+    """Build the lemma construction for each violated criterion, returning
+    the first one whose product verifiably fails to be an adjacency array."""
+    candidates = []
+    if not criteria.zero_sum_free and criteria.zero_sum_free.witness:
+        candidates.append(("zero_sum", criteria.zero_sum_free.witness))
+    if not criteria.no_zero_divisors and criteria.no_zero_divisors.witness:
+        candidates.append(("zero_divisor", criteria.no_zero_divisors.witness))
+    if not criteria.annihilator and criteria.annihilator.witness:
+        candidates.append(("annihilator", criteria.annihilator.witness))
+    for kind, values in candidates:
+        w = _build_witness(op_pair, kind, tuple(values))
+        if w is not None and w.refutes:
+            return w
+    return None
+
+
+def _build_witness(op_pair: OpPair, kind: str,
+                   values: Tuple[Any, ...]) -> Optional[Witness]:
+    builder = {
+        "zero_sum": _zero_sum_witness,
+        "zero_divisor": _zero_divisor_witness,
+        "annihilator": _annihilator_witness,
+    }[kind]
+    try:
+        graph, eout, ein = builder(op_pair, values)
+    except Exception:
+        return None
+    # The lemmas require *valid* incidence arrays; if a violating element
+    # was itself the zero (possible only for broken identities), the
+    # construction degenerates and is rejected.
+    from repro.graphs.incidence import (
+        is_source_incidence_of,
+        is_target_incidence_of,
+    )
+    if not (is_source_incidence_of(eout, graph)
+            and is_target_incidence_of(ein, graph)):
+        return None
+    product = adjacency_array(eout, ein, op_pair, mode="dense",
+                              kernel="generic")
+    return Witness(kind=kind, values=values, graph=graph,
+                   eout=eout, ein=ein, product=product)
+
+
+def _zero_sum_witness(
+    op_pair: OpPair, values: Tuple[Any, ...],
+) -> Tuple[EdgeKeyedDigraph, AssociativeArray, AssociativeArray]:
+    """Lemma II.2: nonzero v ⊕ w = 0 ⇒ two parallel edges a → b cancel."""
+    v, w = values
+    graph = EdgeKeyedDigraph([("k1", "a", "b"), ("k2", "a", "b")])
+    zero = op_pair.zero
+    one = op_pair.one
+    k = graph.edge_keys
+    eout = AssociativeArray({("k1", "a"): v, ("k2", "a"): w},
+                            row_keys=k, col_keys=KeySet(["a"]), zero=zero)
+    ein = AssociativeArray({("k1", "b"): one, ("k2", "b"): one},
+                           row_keys=k, col_keys=KeySet(["b"]), zero=zero)
+    return graph, eout, ein
+
+
+def _zero_divisor_witness(
+    op_pair: OpPair, values: Tuple[Any, ...],
+) -> Tuple[EdgeKeyedDigraph, AssociativeArray, AssociativeArray]:
+    """Lemma II.3: nonzero v ⊗ w = 0 ⇒ a self-loop's entry vanishes."""
+    v, w = values
+    graph = EdgeKeyedDigraph([("k", "a", "a")])
+    zero = op_pair.zero
+    k = graph.edge_keys
+    eout = AssociativeArray({("k", "a"): v},
+                            row_keys=k, col_keys=KeySet(["a"]), zero=zero)
+    ein = AssociativeArray({("k", "a"): w},
+                           row_keys=k, col_keys=KeySet(["a"]), zero=zero)
+    return graph, eout, ein
+
+
+def _annihilator_witness(
+    op_pair: OpPair, values: Tuple[Any, ...],
+) -> Tuple[EdgeKeyedDigraph, AssociativeArray, AssociativeArray]:
+    """Lemma II.4: v ⊗ 0 ≠ 0 (or 0 ⊗ v ≠ 0) ⇒ two disjoint self-loops
+    produce a spurious off-diagonal entry under dense evaluation."""
+    (v,) = values
+    graph = EdgeKeyedDigraph([("k1", "a", "a"), ("k2", "b", "b")])
+    zero = op_pair.zero
+    k = graph.edge_keys
+    eout = AssociativeArray({("k1", "a"): v, ("k2", "b"): v},
+                            row_keys=k, col_keys=KeySet(["a", "b"]),
+                            zero=zero)
+    ein = AssociativeArray({("k1", "a"): v, ("k2", "b"): v},
+                           row_keys=k, col_keys=KeySet(["a", "b"]),
+                           zero=zero)
+    return graph, eout, ein

@@ -1,0 +1,101 @@
+"""The Theorem II.1 criteria, bundled.
+
+Criterion (a) — zero-sum-free ``⊕``;
+criterion (b) — no zero divisors for ``⊗``;
+criterion (c) — the additive identity annihilates under ``⊗``.
+
+:func:`check_criteria` evaluates all three over the op-pair's domain and
+returns a :class:`CriteriaResult`; its :attr:`~CriteriaResult.satisfied`
+is the hypothesis of Theorem II.1(i), i.e. exactly the condition under
+which ``EoutᵀEin`` is guaranteed to be an adjacency array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.values.properties import (
+    DEFAULT_SAMPLES,
+    PropertyReport,
+    check_annihilator,
+    check_identity,
+    check_no_zero_divisors,
+    check_zero_sum_free,
+)
+from repro.values.semiring import OpPair
+
+__all__ = ["CriteriaResult", "check_criteria"]
+
+
+@dataclass(frozen=True)
+class CriteriaResult:
+    """Reports for the three criteria (plus the identity prerequisites).
+
+    ``add_identity``/``mul_identity`` are prerequisites from the paper's
+    setup ("⊕ and ⊗ each have identity elements 0 and 1") rather than
+    criteria; they are reported so malformed op-pairs fail loudly instead
+    of producing vacuous certifications.
+    """
+
+    zero_sum_free: PropertyReport
+    no_zero_divisors: PropertyReport
+    annihilator: PropertyReport
+    add_identity: PropertyReport
+    mul_identity: PropertyReport
+
+    @property
+    def satisfied(self) -> bool:
+        """Theorem II.1(i): all three criteria hold."""
+        return bool(self.zero_sum_free and self.no_zero_divisors
+                    and self.annihilator)
+
+    @property
+    def well_formed(self) -> bool:
+        """Identity prerequisites hold."""
+        return bool(self.add_identity and self.mul_identity)
+
+    @property
+    def exhaustive(self) -> bool:
+        """Whether every report was exhaustive (finite domain ⇒ proof)."""
+        return all(r.exhaustive for r in self.reports())
+
+    def reports(self) -> Tuple[PropertyReport, ...]:
+        """All five reports, criteria first."""
+        return (self.zero_sum_free, self.no_zero_divisors, self.annihilator,
+                self.add_identity, self.mul_identity)
+
+    def first_violation(self) -> Optional[PropertyReport]:
+        """The first failing *criterion* report (identity issues excluded)."""
+        for r in (self.zero_sum_free, self.no_zero_divisors, self.annihilator):
+            if not r:
+                return r
+        return None
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [r.describe() for r in self.reports()]
+        verdict = "criteria SATISFIED" if self.satisfied else "criteria VIOLATED"
+        return "\n".join([verdict] + ["  " + ln for ln in lines])
+
+
+def check_criteria(
+    op_pair: OpPair,
+    *,
+    samples: int = DEFAULT_SAMPLES,
+    seed: Optional[int] = None,
+) -> CriteriaResult:
+    """Evaluate the Theorem II.1 criteria for ``op_pair`` over its domain."""
+    dom = op_pair.domain
+    return CriteriaResult(
+        zero_sum_free=check_zero_sum_free(
+            op_pair.add, dom, zero=op_pair.zero, samples=samples, seed=seed),
+        no_zero_divisors=check_no_zero_divisors(
+            op_pair.mul, dom, zero=op_pair.zero, samples=samples, seed=seed),
+        annihilator=check_annihilator(
+            op_pair.mul, dom, zero=op_pair.zero, samples=samples, seed=seed),
+        add_identity=check_identity(
+            op_pair.add, dom, samples=samples, seed=seed),
+        mul_identity=check_identity(
+            op_pair.mul, dom, samples=samples, seed=seed),
+    )

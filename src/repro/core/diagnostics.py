@@ -1,0 +1,199 @@
+"""Provenance and validation diagnostics for adjacency construction.
+
+When an adjacency entry looks wrong, the question is always "*which edges
+contributed, with what values, in what order?*".  :func:`explain_entry`
+answers it: the term-by-term provenance of one ``A(a, b)`` cell — the
+contributing edges (in inner-key fold order), each edge's incidence
+values, each ``⊗`` product, the running ``⊕`` fold, and both sparse and
+dense final values (whose disagreement is itself the Theorem II.1
+red flag).
+
+:func:`validate_incidence_pair` lints an ``(Eout, Ein)`` pair against
+Definition I.4 before it is ever multiplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.arrays.associative import AssociativeArray
+from repro.values.semiring import OpPair
+
+__all__ = [
+    "TermTrace",
+    "EntryExplanation",
+    "explain_entry",
+    "validate_incidence_pair",
+]
+
+
+@dataclass(frozen=True)
+class TermTrace:
+    """One edge's contribution to an adjacency entry."""
+
+    edge: Any
+    out_value: Any
+    in_value: Any
+    product: Any
+    running: Any            #: the ⊕ fold after absorbing this term
+
+
+@dataclass(frozen=True)
+class EntryExplanation:
+    """Full provenance of one ``A(a, b)`` cell."""
+
+    row: Any
+    col: Any
+    terms: Tuple[TermTrace, ...]
+    sparse_value: Any
+    dense_value: Any
+    zero: Any
+
+    @property
+    def contributing_edges(self) -> Tuple[Any, ...]:
+        """Edges with both incidence entries stored, in fold order."""
+        return tuple(t.edge for t in self.terms)
+
+    @property
+    def modes_agree(self) -> bool:
+        """Whether sparse and dense evaluation coincide for this cell —
+        guaranteed by Theorem II.1 for certified pairs."""
+        return _eq(self.sparse_value, self.dense_value)
+
+    def describe(self) -> str:
+        lines = [f"A({self.row!r}, {self.col!r}):"]
+        if not self.terms:
+            lines.append("  no edge has stored entries for both endpoints")
+        for t in self.terms:
+            lines.append(
+                f"  edge {t.edge!r}: Eout = {t.out_value!r}, "
+                f"Ein = {t.in_value!r}, ⊗ → {t.product!r}, "
+                f"⊕ running → {t.running!r}")
+        lines.append(f"  sparse value: {self.sparse_value!r}")
+        lines.append(f"  dense value:  {self.dense_value!r}"
+                     + ("" if self.modes_agree
+                        else "   ← MODES DISAGREE (uncertified algebra?)"))
+        return "\n".join(lines)
+
+
+def _eq(a: Any, b: Any) -> bool:
+    import math
+    if isinstance(a, float) and isinstance(b, float) \
+            and math.isnan(a) and math.isnan(b):
+        return True
+    return a == b
+
+
+def explain_entry(
+    eout: AssociativeArray,
+    ein: AssociativeArray,
+    op_pair: OpPair,
+    row: Any,
+    col: Any,
+) -> EntryExplanation:
+    """Trace ``(EoutᵀEin)(row, col)`` term by term.
+
+    ``row`` must be a column key of ``Eout`` (an out-vertex) and ``col``
+    a column key of ``Ein`` (an in-vertex); the shared row key set of the
+    incidence arrays is the edge set folded over.
+    """
+    if eout.row_keys != ein.row_keys:
+        raise ValueError("Eout and Ein must share the edge key set K")
+    if row not in eout.col_keys:
+        raise ValueError(f"{row!r} is not an out-vertex (Eout column)")
+    if col not in ein.col_keys:
+        raise ValueError(f"{col!r} is not an in-vertex (Ein column)")
+
+    zero = op_pair.zero
+    eout_d = eout.to_dict()
+    ein_d = ein.to_dict()
+
+    # Sparse trace: only edges with both entries stored.
+    terms: List[TermTrace] = []
+    running: Any = None
+    for k in eout.row_keys:
+        ov = eout_d.get((k, row))
+        iv = ein_d.get((k, col))
+        if ov is None or iv is None:
+            continue
+        product = op_pair.multiply(ov, iv)
+        running = product if running is None \
+            else op_pair.add(running, product)
+        terms.append(TermTrace(edge=k, out_value=ov, in_value=iv,
+                               product=product, running=running))
+    sparse_value = zero if running is None else running
+
+    # Dense value: the Definition I.3 fold over all of K.
+    dense_terms = (op_pair.multiply(eout_d.get((k, row), zero),
+                                    ein_d.get((k, col), zero))
+                   for k in eout.row_keys)
+    dense_value = op_pair.fold_add(dense_terms)
+
+    return EntryExplanation(row=row, col=col, terms=tuple(terms),
+                            sparse_value=sparse_value,
+                            dense_value=dense_value, zero=zero)
+
+
+@dataclass(frozen=True)
+class _Issue:
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.kind}] {self.detail}"
+
+
+def validate_incidence_pair(
+    eout: AssociativeArray,
+    ein: AssociativeArray,
+    *,
+    op_pair: Optional[OpPair] = None,
+) -> List[_Issue]:
+    """Lint an incidence pair against Definition I.4.
+
+    Returns a list of issues (empty = clean):
+
+    * mismatched edge key sets;
+    * zeros mismatching the op-pair (when given);
+    * edges stored in only one array (dangling);
+    * edges with several sources/targets (hyperedges — legal for the
+      construction, flagged as information);
+    * edges with no stored entries at all (phantom edge keys).
+    """
+    issues: List[_Issue] = []
+    if eout.row_keys != ein.row_keys:
+        issues.append(_Issue("edge-keys",
+                             "Eout and Ein row key sets differ"))
+        return issues
+    if op_pair is not None:
+        for name, arr in (("Eout", eout), ("Ein", ein)):
+            if not _eq(arr.zero, op_pair.zero):
+                issues.append(_Issue(
+                    "zero", f"{name} zero {arr.zero!r} differs from "
+                            f"op-pair zero {op_pair.zero!r}"))
+    out_rows: dict = {}
+    in_rows: dict = {}
+    for (k, a) in eout.nonzero_pattern():
+        out_rows.setdefault(k, []).append(a)
+    for (k, b) in ein.nonzero_pattern():
+        in_rows.setdefault(k, []).append(b)
+    for k in eout.row_keys:
+        n_out = len(out_rows.get(k, ()))
+        n_in = len(in_rows.get(k, ()))
+        if n_out == 0 and n_in == 0:
+            issues.append(_Issue("phantom",
+                                 f"edge {k!r} has no stored entries"))
+        elif n_out == 0:
+            issues.append(_Issue("dangling",
+                                 f"edge {k!r} has targets but no source"))
+        elif n_in == 0:
+            issues.append(_Issue("dangling",
+                                 f"edge {k!r} has sources but no target"))
+        if n_out > 1 or n_in > 1:
+            issues.append(_Issue(
+                "hyperedge",
+                f"edge {k!r} touches {n_out} source(s) / {n_in} "
+                "target(s) — legal for the construction, not an "
+                "ordinary directed edge"))
+    return issues

@@ -1,0 +1,195 @@
+"""Streaming (incremental) adjacency construction.
+
+The introduction frames adjacency construction as a step "in a data
+processing system" — where edges usually *arrive over time* rather than
+as a finished incidence array.  :class:`StreamingAdjacencyBuilder`
+maintains the adjacency array under edge insertions:
+
+    ``A(a, b)  ⊕=  w_out ⊗ w_in``
+
+which matches batch construction exactly when the op-pair satisfies the
+Theorem II.1 criteria **and** ``⊕`` is associative and commutative — the
+streaming order is arrival order while Definition I.3 folds in edge-key
+order, so order-sensitive ``⊕`` operations can legitimately disagree.
+The builder therefore takes the op-pair's certification stance seriously:
+
+* by default it requires a certified-safe pair (pass ``unsafe_ok=True``
+  to experiment with violators — the builder is then *not* guaranteed to
+  produce an adjacency array, exactly as the theorem predicts);
+* ``order_sensitive`` is reported when ``⊕`` is flagged non-associative
+  or non-commutative, and the equivalence-to-batch guarantee is waived.
+
+Deletions are supported by *rebuild*, not inverse ``⊕``: zero-sum-freeness
+(criterion a) means compliant algebras have no non-trivial additive
+inverses, so true decremental updates are impossible — a nice corollary
+the docstring of :meth:`remove_edge` records.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.arrays.associative import AssociativeArray
+from repro.arrays.keys import KeySet
+from repro.core.certify import certify
+from repro.graphs.digraph import EdgeKeyedDigraph, GraphError
+from repro.values.semiring import OpPair
+
+__all__ = ["StreamingAdjacencyBuilder"]
+
+
+class StreamingAdjacencyBuilder:
+    """Build ``A = EoutᵀEin`` incrementally as edges arrive.
+
+    Parameters
+    ----------
+    op_pair:
+        The ``⊕.⊗`` algebra.  Certified on construction (seeded, cached
+        per instance); violators are rejected unless ``unsafe_ok``.
+    unsafe_ok:
+        Accept non-compliant pairs (the resulting array may then fail
+        Definition I.5 — useful for demonstrations, dangerous for
+        production, exactly as the paper says).
+
+    Examples
+    --------
+    >>> from repro.values.semiring import get_op_pair
+    >>> b = StreamingAdjacencyBuilder(get_op_pair("plus_times"))
+    >>> b.add_edge("e1", "alice", "bob", 120)
+    >>> b.add_edge("e2", "alice", "bob", 30)
+    >>> b.adjacency()["alice", "bob"]
+    150
+    """
+
+    def __init__(self, op_pair: OpPair, *, unsafe_ok: bool = False,
+                 certification_seed: int = 0xD4) -> None:
+        self._pair = op_pair
+        self._certification = certify(op_pair, seed=certification_seed,
+                                      build_witness=False)
+        if not self._certification.safe and not unsafe_ok:
+            raise ValueError(
+                "op-pair fails the Theorem II.1 criteria; streaming "
+                "construction would not be guaranteed to produce an "
+                "adjacency array.  Pass unsafe_ok=True to override.\n"
+                + self._certification.criteria.describe())
+        self._edges: Dict[Any, Tuple[Any, Any, Any, Any]] = {}
+        self._acc: Dict[Tuple[Any, Any], Any] = {}
+
+    # -- properties ------------------------------------------------------
+    @property
+    def op_pair(self) -> OpPair:
+        """The algebra this builder accumulates over."""
+        return self._pair
+
+    @property
+    def num_edges(self) -> int:
+        """Edges inserted so far."""
+        return len(self._edges)
+
+    @property
+    def order_sensitive(self) -> bool:
+        """Whether ``⊕`` is flagged non-associative/non-commutative, in
+        which case streaming order may differ from batch key order."""
+        return not (self._pair.add.associative
+                    and self._pair.add.commutative)
+
+    # -- updates -----------------------------------------------------------
+    def add_edge(self, key: Any, src: Any, dst: Any,
+                 out_value: Optional[Any] = None,
+                 in_value: Optional[Any] = None) -> None:
+        """Insert one edge and fold its term into ``A(src, dst)``.
+
+        ``out_value``/``in_value`` default to the op-pair's one; both must
+        be nonzero (Definition I.4).
+        """
+        if key in self._edges:
+            raise GraphError(f"duplicate edge key {key!r}")
+        ov = self._pair.one if out_value is None else out_value
+        iv = self._pair.one if in_value is None else in_value
+        if self._pair.is_zero(ov) or self._pair.is_zero(iv):
+            raise GraphError(
+                f"incidence values for edge {key!r} must be nonzero")
+        self._edges[key] = (src, dst, ov, iv)
+        term = self._pair.multiply(ov, iv)
+        rc = (src, dst)
+        if rc in self._acc:
+            self._acc[rc] = self._pair.add(self._acc[rc], term)
+        else:
+            self._acc[rc] = term
+
+    def add_edges(self, triples) -> None:
+        """Insert ``(key, src, dst)`` or ``(key, src, dst, w_out, w_in)``
+        tuples in order."""
+        for item in triples:
+            if len(item) == 3:
+                self.add_edge(*item)
+            elif len(item) == 5:
+                self.add_edge(*item)
+            else:
+                raise GraphError(
+                    f"expected 3- or 5-tuples, got {len(item)}-tuple")
+
+    def remove_edge(self, key: Any) -> None:
+        """Remove an edge; the affected entry is **rebuilt**, not
+        decremented.
+
+        Zero-sum-freeness — criterion (a), required for this builder's
+        algebra — forbids non-trivial additive inverses, so compliant
+        algebras admit no true decremental ``⊕``.  Rebuilding the affected
+        (src, dst) cell from the surviving parallel edges (in edge-key
+        order) is the honest alternative; cost is O(parallel edges).
+        """
+        try:
+            src, dst, _ov, _iv = self._edges.pop(key)
+        except KeyError:
+            raise GraphError(f"unknown edge key {key!r}") from None
+        survivors = sorted(
+            (k for k, (s, t, _o, _i) in self._edges.items()
+             if s == src and t == dst))
+        rc = (src, dst)
+        if not survivors:
+            self._acc.pop(rc, None)
+            return
+        terms = []
+        for k in survivors:
+            _s, _t, ov, iv = self._edges[k]
+            terms.append(self._pair.multiply(ov, iv))
+        self._acc[rc] = self._pair.fold_add(terms)
+
+    # -- outputs ------------------------------------------------------------
+    def graph(self) -> EdgeKeyedDigraph:
+        """The multigraph of edges inserted so far."""
+        return EdgeKeyedDigraph(
+            (k, s, t) for k, (s, t, _o, _i) in sorted(self._edges.items()))
+
+    def incidence_arrays(self) -> Tuple[AssociativeArray, AssociativeArray]:
+        """Batch incidence arrays of the current edge set."""
+        keys = KeySet(self._edges)
+        kout = KeySet({s for (s, _t, _o, _i) in self._edges.values()})
+        kin = KeySet({t for (_s, t, _o, _i) in self._edges.values()})
+        zero = self._pair.zero
+        out_data = {(k, s): o
+                    for k, (s, _t, o, _i) in self._edges.items()}
+        in_data = {(k, t): i
+                   for k, (_s, t, _o, i) in self._edges.items()}
+        return (AssociativeArray(out_data, row_keys=keys, col_keys=kout,
+                                 zero=zero),
+                AssociativeArray(in_data, row_keys=keys, col_keys=kin,
+                                 zero=zero))
+
+    def adjacency(self) -> AssociativeArray:
+        """The current adjacency array (accumulated, O(1) per lookup)."""
+        kout = KeySet({s for (s, _t, _o, _i) in self._edges.values()})
+        kin = KeySet({t for (_s, t, _o, _i) in self._edges.values()})
+        data = {rc: v for rc, v in self._acc.items()
+                if not self._pair.is_zero(v)}
+        return AssociativeArray(data, row_keys=kout, col_keys=kin,
+                                zero=self._pair.zero)
+
+    def batch_adjacency(self) -> AssociativeArray:
+        """Reference: rebuild ``EoutᵀEin`` from scratch (edge-key fold
+        order).  Equal to :meth:`adjacency` for associative+commutative
+        certified pairs; property-tested."""
+        from repro.core.construction import adjacency_array
+        eout, ein = self.incidence_arrays()
+        return adjacency_array(eout, ein, self._pair, kernel="generic")

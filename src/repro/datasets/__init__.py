@@ -1,0 +1,32 @@
+"""Datasets used by the paper's evaluation and remarks.
+
+* :mod:`repro.datasets.music` — the Figure 1 music-metadata table
+  (22 tracks × 31 ``field|value`` columns), reconstructed from the
+  figures; see DESIGN.md §4 for the reconstruction and its caveats.
+* :mod:`repro.datasets.documents` — document×word set-valued arrays for
+  Section III's ``∪.∩`` structured-data exemption.
+"""
+
+from repro.datasets.music import (
+    music_e1,
+    music_e1_weighted,
+    music_e2,
+    music_incidence,
+    music_table,
+)
+from repro.datasets.documents import (
+    example_word_sets,
+    random_word_sets,
+    shared_word_incidence,
+)
+
+__all__ = [
+    "music_table",
+    "music_incidence",
+    "music_e1",
+    "music_e2",
+    "music_e1_weighted",
+    "example_word_sets",
+    "random_word_sets",
+    "shared_word_incidence",
+]

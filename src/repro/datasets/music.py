@@ -1,0 +1,230 @@
+"""The Figure 1 music-metadata dataset.
+
+22 tracks of the band Kitten ("ktn" in the row keys) with seven fields
+(Artist, Date, Genre, Label, Release, Type, Writer), exploded per Figure 1
+into a 22 × 31 sparse associative array with ``field|value`` column keys.
+
+Reconstruction provenance (full derivation in DESIGN.md §4): the Genre and
+Writer columns — the only fields entering Figures 2–5 — are pinned exactly
+by cross-checking Figures 2–5; the remaining fields are the unique natural
+assignment consistent with Figure 1's per-row nonzero counts
+(:data:`FIGURE1_ROW_COUNTS`).  Two documented inferences: track
+``031013ktnA1``'s third writer (Nicholas Johns) and track ``093012ktnA8``'s
+genres (Electronic + Pop).
+
+The track groups correspond to real releases: *Yesterday* (single),
+*Japanese Eyes* (single), *Kill The Light* (EP), *Cut It Out* (EP, with two
+remix tracks by Bandayde and Kastle) and *Like A Stranger* (LP, with a
+writerless bonus cut of *Cut It Out/Sugar*).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.arrays.associative import AssociativeArray
+from repro.arrays.io import explode_table
+
+__all__ = [
+    "music_table",
+    "music_incidence",
+    "music_e1",
+    "music_e2",
+    "music_e1_weighted",
+    "FIGURE1_ROW_COUNTS",
+    "FIGURE4_GENRE_WEIGHTS",
+    "GENRE_COLUMNS",
+    "WRITER_COLUMNS",
+]
+
+#: Figure 1's per-row nonzero counts, in row-key order (used as a
+#: reconstruction invariant and verified in the tests).
+FIGURE1_ROW_COUNTS: Dict[str, int] = {
+    "031013ktnA1": 10,
+    "053013ktnA1": 9,
+    "053013ktnA2": 7,
+    "063012ktnA1": 8,
+    "063012ktnA2": 8,
+    "063012ktnA3": 8,
+    "063012ktnA4": 8,
+    "063012ktnA5": 8,
+    "082812ktnA1": 9,
+    "082812ktnA2": 8,
+    "082812ktnA3": 8,
+    "082812ktnA4": 8,
+    "082812ktnA5": 9,
+    "082812ktnA6": 8,
+    "093012ktnA1": 9,
+    "093012ktnA2": 9,
+    "093012ktnA3": 10,
+    "093012ktnA4": 9,
+    "093012ktnA5": 9,
+    "093012ktnA6": 9,
+    "093012ktnA7": 9,
+    "093012ktnA8": 6,
+}
+
+#: Figure 4's re-weighting of E1's nonzero values, per genre column.
+FIGURE4_GENRE_WEIGHTS: Dict[str, int] = {
+    "Genre|Electronic": 1,
+    "Genre|Pop": 2,
+    "Genre|Rock": 3,
+}
+
+GENRE_COLUMNS = ("Genre|Electronic", "Genre|Pop", "Genre|Rock")
+WRITER_COLUMNS = (
+    "Writer|Barrett Rich",
+    "Writer|Chad Anderson",
+    "Writer|Chloe Chaidez",
+    "Writer|Julian Chaidez",
+    "Writer|Nicholas Johns",
+)
+
+# Short-hand writer names used below.
+_BR = "Barrett Rich"
+_CA = "Chad Anderson"
+_CC = "Chloe Chaidez"
+_JC = "Julian Chaidez"
+_NJ = "Nicholas Johns"
+
+
+def music_table() -> Dict[str, Dict[str, Any]]:
+    """The music table: ``{track: {field: value_or_values}}``.
+
+    Feed to :func:`repro.arrays.io.explode_table` (or
+    :class:`repro.core.pipeline.GraphConstructionPipeline`) to obtain the
+    Figure 1 sparse view.
+    """
+    table: Dict[str, Dict[str, Any]] = {}
+
+    # -- Yesterday (single, 2013-10-03) ------------------------------------
+    table["031013ktnA1"] = {
+        "Artist": "Kitten",
+        "Date": "2013-10-03",
+        "Genre": "Rock",
+        "Label": ["Elektra Records", "Atlantic"],
+        "Release": "Yesterday",
+        "Type": "Single",
+        "Writer": [_CA, _CC, _NJ],
+    }
+
+    # -- Japanese Eyes (single, 2013-05-30) ---------------------------------
+    table["053013ktnA1"] = {
+        "Artist": "Kitten",
+        "Date": "2013-05-30",
+        "Genre": "Electronic",
+        "Label": ["Atlantic", "Elektra Records"],
+        "Release": "Japanese Eyes",
+        "Type": "Single",
+        "Writer": [_BR, _JC],
+    }
+    table["053013ktnA2"] = {
+        "Artist": "Kitten",
+        "Date": "2013-05-30",
+        "Genre": "Electronic",
+        "Label": "Atlantic",
+        "Release": "Japanese Eyes",
+        "Type": "Single",
+        "Writer": _NJ,
+    }
+
+    # -- Kill The Light EP (2010-06-30, The Control Group) -------------------
+    for i in range(1, 6):
+        table[f"063012ktnA{i}"] = {
+            "Artist": "Kitten",
+            "Date": "2010-06-30",
+            "Genre": "Rock",
+            "Label": "The Control Group",
+            "Release": "Kill The Light",
+            "Type": "EP",
+            "Writer": [_CA, _CC],
+        }
+
+    # -- Cut It Out EP (2012-08-28, Atlantic) + remixes ----------------------
+    cut_it_out_writers = {
+        1: [_CA, _CC, _JC],
+        2: [_CA, _CC],
+        3: [_CA, _CC],
+        4: [_CA, _CC],
+    }
+    for i, writers in cut_it_out_writers.items():
+        table[f"082812ktnA{i}"] = {
+            "Artist": "Kitten",
+            "Date": "2012-08-28",
+            "Genre": "Pop",
+            "Label": "Atlantic",
+            "Release": "Cut It Out",
+            "Type": "EP",
+            "Writer": writers,
+        }
+    table["082812ktnA5"] = {
+        "Artist": "Bandayde",
+        "Date": "2012-08-28",
+        "Genre": "Pop",
+        "Label": "Free",
+        "Release": "Cut It Out Remixes",
+        "Type": "Single",
+        "Writer": [_CA, _CC, _JC],
+    }
+    table["082812ktnA6"] = {
+        "Artist": "Kastle",
+        "Date": "2012-09-16",
+        "Genre": "Pop",
+        "Label": "Free",
+        "Release": "Cut It Out Remixes",
+        "Type": "Single",
+        "Writer": [_CA, _CC],
+    }
+
+    # -- Like A Stranger LP (2013-09-30, Elektra Records) --------------------
+    for i in range(1, 8):
+        writers = [_CA, _CC, _JC] if i == 3 else [_CA, _CC]
+        table[f"093012ktnA{i}"] = {
+            "Artist": "Kitten",
+            "Date": "2013-09-30",
+            "Genre": ["Electronic", "Pop"],
+            "Label": "Elektra Records",
+            "Release": "Like A Stranger",
+            "Type": "LP",
+            "Writer": writers,
+        }
+    # Writerless, label-less bonus cut (see DESIGN.md §4: its zero writer
+    # count and missing label are *forced* by the Figure 3 row sums and the
+    # Figure 1 row count of 6).
+    table["093012ktnA8"] = {
+        "Artist": "Kitten",
+        "Date": "2013-09-30",
+        "Genre": ["Electronic", "Pop"],
+        "Release": "Cut It Out/Sugar",
+        "Type": "Single",
+    }
+    return table
+
+
+def music_incidence() -> AssociativeArray:
+    """Figure 1's associative array ``E``: the exploded music table."""
+    return explode_table(music_table())
+
+
+def music_e1() -> AssociativeArray:
+    """Figure 2's ``E1 = E(:, 'Genre|A : Genre|Z')`` (22 × 3, unit values)."""
+    return music_incidence().select(":", "Genre|A : Genre|Z")
+
+
+def music_e2() -> AssociativeArray:
+    """Figure 2's ``E2 = E(:, 'Writer|A : Writer|Z')`` (22 × 5, unit values)."""
+    return music_incidence().select(":", "Writer|A : Writer|Z")
+
+
+def music_e1_weighted() -> AssociativeArray:
+    """Figure 4's ``E1``: nonzero genre entries re-weighted 1/2/3.
+
+    "a value of 2 is given to the non-zero values in the column Genre|Pop
+    and a value of 3 is given to the non-zero values in the column
+    Genre|Rock" (Electronic keeps 1).
+    """
+    e1 = music_e1()
+    data = {(r, c): FIGURE4_GENRE_WEIGHTS[c] * v
+            for (r, c), v in e1.to_dict().items()}
+    return AssociativeArray(data, row_keys=e1.row_keys,
+                            col_keys=e1.col_keys, zero=e1.zero)

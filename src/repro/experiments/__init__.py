@@ -1,0 +1,38 @@
+"""Experiment harness: one reproducible experiment per paper artifact.
+
+* :mod:`repro.experiments.expected` — the paper's tables, hard-coded;
+* :mod:`repro.experiments.figures` — experiment objects for Figures 1–5,
+  the criteria table and the structured ``∪.∩`` exemption;
+* :mod:`repro.experiments.synopsis` — programmatic validation of the
+  Section IV synopsis (what each op-pair computes);
+* :mod:`repro.experiments.harness` — run-everything driver producing the
+  paper-vs-measured report behind EXPERIMENTS.md.
+"""
+
+from repro.experiments.figures import (
+    CriteriaTableExperiment,
+    Figure1Experiment,
+    Figure2Experiment,
+    Figure3Experiment,
+    Figure4Experiment,
+    Figure5Experiment,
+    ReverseGraphExperiment,
+    StructuredUnionIntersectionExperiment,
+    all_experiments,
+)
+from repro.experiments.harness import ExperimentReport, run_all, render_report
+
+__all__ = [
+    "Figure1Experiment",
+    "Figure2Experiment",
+    "Figure3Experiment",
+    "Figure4Experiment",
+    "Figure5Experiment",
+    "CriteriaTableExperiment",
+    "ReverseGraphExperiment",
+    "StructuredUnionIntersectionExperiment",
+    "all_experiments",
+    "ExperimentReport",
+    "run_all",
+    "render_report",
+]

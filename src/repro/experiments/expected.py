@@ -1,0 +1,252 @@
+"""The paper's figures as hard-coded expected data.
+
+Everything below is transcribed from the paper (arXiv:1702.07832) — the
+row/column key inventories of Figure 1, the ``E1``/``E2`` patterns of
+Figure 2, the re-weighted values of Figure 4, and the full value tables of
+Figures 3 and 5.  Two cells rest on documented reconstruction inferences
+(DESIGN.md §4): the placement of the Rock row's trailing ``1`` under
+Nicholas Johns, and track ``093012ktnA8``'s genres.
+
+The tests and the experiment harness compare library *outputs* against
+these constants; nothing here imports from :mod:`repro.datasets`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.arrays.associative import AssociativeArray
+
+__all__ = [
+    "FIG1_ROW_KEYS",
+    "FIG1_COL_KEYS",
+    "FIG1_ROW_COUNTS",
+    "FIG1_NNZ",
+    "FIG2_E1_PATTERN",
+    "FIG2_E2_PATTERN",
+    "FIG4_E1_VALUES",
+    "FIG3_TABLES",
+    "FIG5_TABLES",
+    "FIG35_STACKS",
+    "CRITERIA_TABLE",
+    "expected_array",
+]
+
+# ---------------------------------------------------------------------------
+# Figure 1: the exploded music array E
+# ---------------------------------------------------------------------------
+
+FIG1_ROW_KEYS: Tuple[str, ...] = (
+    "031013ktnA1",
+    "053013ktnA1", "053013ktnA2",
+    "063012ktnA1", "063012ktnA2", "063012ktnA3", "063012ktnA4", "063012ktnA5",
+    "082812ktnA1", "082812ktnA2", "082812ktnA3", "082812ktnA4",
+    "082812ktnA5", "082812ktnA6",
+    "093012ktnA1", "093012ktnA2", "093012ktnA3", "093012ktnA4",
+    "093012ktnA5", "093012ktnA6", "093012ktnA7", "093012ktnA8",
+)
+
+FIG1_COL_KEYS: Tuple[str, ...] = (
+    "Artist|Bandayde", "Artist|Kastle", "Artist|Kitten",
+    "Date|2010-06-30", "Date|2012-08-28", "Date|2012-09-16",
+    "Date|2013-05-30", "Date|2013-09-30", "Date|2013-10-03",
+    "Genre|Electronic", "Genre|Pop", "Genre|Rock",
+    "Label|Atlantic", "Label|Elektra Records", "Label|Free",
+    "Label|The Control Group",
+    "Release|Cut It Out", "Release|Cut It Out Remixes",
+    "Release|Cut It Out/Sugar", "Release|Japanese Eyes",
+    "Release|Kill The Light", "Release|Like A Stranger",
+    "Release|Yesterday",
+    "Type|EP", "Type|LP", "Type|Single",
+    "Writer|Barrett Rich", "Writer|Chad Anderson", "Writer|Chloe Chaidez",
+    "Writer|Julian Chaidez", "Writer|Nicholas Johns",
+)
+
+#: Per-row nonzero counts read off Figure 1.
+FIG1_ROW_COUNTS: Dict[str, int] = {
+    "031013ktnA1": 10,
+    "053013ktnA1": 9, "053013ktnA2": 7,
+    "063012ktnA1": 8, "063012ktnA2": 8, "063012ktnA3": 8,
+    "063012ktnA4": 8, "063012ktnA5": 8,
+    "082812ktnA1": 9, "082812ktnA2": 8, "082812ktnA3": 8,
+    "082812ktnA4": 8, "082812ktnA5": 9, "082812ktnA6": 8,
+    "093012ktnA1": 9, "093012ktnA2": 9, "093012ktnA3": 10,
+    "093012ktnA4": 9, "093012ktnA5": 9, "093012ktnA6": 9,
+    "093012ktnA7": 9, "093012ktnA8": 6,
+}
+
+FIG1_NNZ = sum(FIG1_ROW_COUNTS.values())  # = 186
+
+# ---------------------------------------------------------------------------
+# Figure 2: the incidence sub-array patterns
+# ---------------------------------------------------------------------------
+
+#: E1 pattern: track → genre columns (Figure 2 left table; unit values).
+FIG2_E1_PATTERN: Dict[str, Tuple[str, ...]] = {
+    "031013ktnA1": ("Genre|Rock",),
+    "053013ktnA1": ("Genre|Electronic",),
+    "053013ktnA2": ("Genre|Electronic",),
+    "063012ktnA1": ("Genre|Rock",),
+    "063012ktnA2": ("Genre|Rock",),
+    "063012ktnA3": ("Genre|Rock",),
+    "063012ktnA4": ("Genre|Rock",),
+    "063012ktnA5": ("Genre|Rock",),
+    "082812ktnA1": ("Genre|Pop",),
+    "082812ktnA2": ("Genre|Pop",),
+    "082812ktnA3": ("Genre|Pop",),
+    "082812ktnA4": ("Genre|Pop",),
+    "082812ktnA5": ("Genre|Pop",),
+    "082812ktnA6": ("Genre|Pop",),
+    "093012ktnA1": ("Genre|Electronic", "Genre|Pop"),
+    "093012ktnA2": ("Genre|Electronic", "Genre|Pop"),
+    "093012ktnA3": ("Genre|Electronic", "Genre|Pop"),
+    "093012ktnA4": ("Genre|Electronic", "Genre|Pop"),
+    "093012ktnA5": ("Genre|Electronic", "Genre|Pop"),
+    "093012ktnA6": ("Genre|Electronic", "Genre|Pop"),
+    "093012ktnA7": ("Genre|Electronic", "Genre|Pop"),
+    "093012ktnA8": ("Genre|Electronic", "Genre|Pop"),
+}
+
+_BR = "Writer|Barrett Rich"
+_CA = "Writer|Chad Anderson"
+_CC = "Writer|Chloe Chaidez"
+_JC = "Writer|Julian Chaidez"
+_NJ = "Writer|Nicholas Johns"
+
+#: E2 pattern: track → writer columns (Figure 2 right table; unit values).
+#: Track 093012ktnA8 has no writers (its row is absent from the display).
+FIG2_E2_PATTERN: Dict[str, Tuple[str, ...]] = {
+    "031013ktnA1": (_CA, _CC, _NJ),
+    "053013ktnA1": (_BR, _JC),
+    "053013ktnA2": (_NJ,),
+    "063012ktnA1": (_CA, _CC),
+    "063012ktnA2": (_CA, _CC),
+    "063012ktnA3": (_CA, _CC),
+    "063012ktnA4": (_CA, _CC),
+    "063012ktnA5": (_CA, _CC),
+    "082812ktnA1": (_CA, _CC, _JC),
+    "082812ktnA2": (_CA, _CC),
+    "082812ktnA3": (_CA, _CC),
+    "082812ktnA4": (_CA, _CC),
+    "082812ktnA5": (_CA, _CC, _JC),
+    "082812ktnA6": (_CA, _CC),
+    "093012ktnA1": (_CA, _CC),
+    "093012ktnA2": (_CA, _CC),
+    "093012ktnA3": (_CA, _CC, _JC),
+    "093012ktnA4": (_CA, _CC),
+    "093012ktnA5": (_CA, _CC),
+    "093012ktnA6": (_CA, _CC),
+    "093012ktnA7": (_CA, _CC),
+    "093012ktnA8": (),
+}
+
+# ---------------------------------------------------------------------------
+# Figure 4: re-weighted E1
+# ---------------------------------------------------------------------------
+
+_GENRE_WEIGHT = {"Genre|Electronic": 1, "Genre|Pop": 2, "Genre|Rock": 3}
+
+#: E1 values after Figure 4's substitution (pattern unchanged from Fig. 2).
+FIG4_E1_VALUES: Dict[Tuple[str, str], int] = {
+    (track, genre): _GENRE_WEIGHT[genre]
+    for track, genres in FIG2_E1_PATTERN.items()
+    for genre in genres
+}
+
+# ---------------------------------------------------------------------------
+# Figures 3 and 5: adjacency tables per op-pair
+# ---------------------------------------------------------------------------
+
+_E = "Genre|Electronic"
+_P = "Genre|Pop"
+_R = "Genre|Rock"
+
+def _table(elec, pop, rock) -> Dict[Tuple[str, str], float]:
+    """Build a genre×writer table from per-row value lists.
+
+    ``elec`` covers (BR, CA, CC, JC, NJ); ``pop`` covers (CA, CC, JC);
+    ``rock`` covers (CA, CC, NJ) — the patterns shared by every op-pair in
+    Figures 3 and 5.
+    """
+    out: Dict[Tuple[str, str], float] = {}
+    for col, v in zip((_BR, _CA, _CC, _JC, _NJ), elec):
+        out[(_E, col)] = v
+    for col, v in zip((_CA, _CC, _JC), pop):
+        out[(_P, col)] = v
+    for col, v in zip((_CA, _CC, _NJ), rock):
+        out[(_R, col)] = v
+    return out
+
+
+#: Figure 3 (unit-valued E1, E2): op-pair name → expected table.
+FIG3_TABLES: Dict[str, Dict[Tuple[str, str], float]] = {
+    "plus_times": _table((1, 7, 7, 2, 1), (13, 13, 3), (6, 6, 1)),
+    "max_times": _table((1, 1, 1, 1, 1), (1, 1, 1), (1, 1, 1)),
+    "min_times": _table((1, 1, 1, 1, 1), (1, 1, 1), (1, 1, 1)),
+    "max_plus": _table((2, 2, 2, 2, 2), (2, 2, 2), (2, 2, 2)),
+    "min_plus": _table((2, 2, 2, 2, 2), (2, 2, 2), (2, 2, 2)),
+    "max_min": _table((1, 1, 1, 1, 1), (1, 1, 1), (1, 1, 1)),
+    "min_max": _table((1, 1, 1, 1, 1), (1, 1, 1), (1, 1, 1)),
+}
+
+#: Figure 5 (Figure 4's weighted E1 against unit E2).
+FIG5_TABLES: Dict[str, Dict[Tuple[str, str], float]] = {
+    "plus_times": _table((1, 7, 7, 2, 1), (26, 26, 6), (18, 18, 3)),
+    "max_times": _table((1, 1, 1, 1, 1), (2, 2, 2), (3, 3, 3)),
+    "min_times": _table((1, 1, 1, 1, 1), (2, 2, 2), (3, 3, 3)),
+    "max_plus": _table((2, 2, 2, 2, 2), (3, 3, 3), (4, 4, 4)),
+    "min_plus": _table((2, 2, 2, 2, 2), (3, 3, 3), (4, 4, 4)),
+    "max_min": _table((1, 1, 1, 1, 1), (1, 1, 1), (1, 1, 1)),
+    "min_max": _table((1, 1, 1, 1, 1), (2, 2, 2), (3, 3, 3)),
+}
+
+#: The stacking the figures display ("operator pairs that produce the same
+#: values ... are stacked"), top to bottom.
+FIG35_STACKS: Tuple[Tuple[str, ...], ...] = (
+    ("plus_times",),
+    ("max_times", "min_times"),
+    ("max_plus", "min_plus"),
+    ("max_min",),
+    ("min_max",),
+)
+
+# ---------------------------------------------------------------------------
+# Section III: expected certification verdicts
+# ---------------------------------------------------------------------------
+
+#: op-pair name → (expected_safe, criterion expected to fail or None).
+CRITERIA_TABLE: Dict[str, Tuple[bool, str]] = {
+    "plus_times": (True, ""),
+    "nat_plus_times": (True, ""),
+    "max_times": (True, ""),
+    "min_times": (True, ""),
+    "max_plus": (True, ""),
+    "min_plus": (True, ""),
+    "max_min": (True, ""),
+    "min_max": (True, ""),
+    "or_and": (True, ""),
+    "string_max_min": (True, ""),
+    "gcd_lcm": (True, ""),
+    "max_concat": (True, ""),
+    "union_intersection": (False, "no zero divisors"),
+    "completed_max_plus": (False, "0 annihilates ⊗"),
+    "nonneg_max_plus": (False, "0 annihilates ⊗"),
+    "int_plus_times": (False, "zero-sum-free"),
+    "gf2_xor_and": (False, "zero-sum-free"),
+    "z6_plus_times": (False, "zero-sum-free"),
+}
+
+
+def expected_array(
+    table: Dict[Tuple[str, str], float],
+    *,
+    zero: float = 0,
+) -> AssociativeArray:
+    """Materialise one of the FIG3/FIG5 tables as an associative array
+    over the full genre × writer key sets."""
+    return AssociativeArray(
+        dict(table),
+        row_keys=(_E, _P, _R),
+        col_keys=(_BR, _CA, _CC, _JC, _NJ),
+        zero=zero,
+    )

@@ -1,0 +1,440 @@
+"""Experiment objects, one per paper artifact.
+
+Each experiment knows how to *run* (produce the artifact from the library's
+public API), what the paper *expects* (from
+:mod:`repro.experiments.expected`), and how to *verify* the two against
+each other.  The harness and the per-figure benchmarks drive these; the
+test suite asserts ``verify().matched`` for every one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.arrays.associative import AssociativeArray
+from repro.arrays.printing import format_array, format_stacked
+from repro.core.certify import certify
+from repro.core.construction import correlate, reverse_adjacency_array
+from repro.datasets.documents import (
+    example_word_sets,
+    expected_shared_adjacency,
+    shared_word_incidence,
+)
+from repro.datasets.music import (
+    music_e1,
+    music_e1_weighted,
+    music_e2,
+    music_incidence,
+)
+from repro.experiments import expected as X
+from repro.graphs.generators import erdos_renyi_multigraph, random_incidence_values
+from repro.graphs.incidence import incidence_arrays
+from repro.values.semiring import get_op_pair
+
+__all__ = [
+    "Verification",
+    "FigureExperiment",
+    "Figure1Experiment",
+    "Figure2Experiment",
+    "Figure3Experiment",
+    "Figure4Experiment",
+    "Figure5Experiment",
+    "CriteriaTableExperiment",
+    "ReverseGraphExperiment",
+    "StructuredUnionIntersectionExperiment",
+    "all_experiments",
+]
+
+
+@dataclass
+class Verification:
+    """Outcome of checking one experiment against the paper."""
+
+    experiment: str
+    matched: bool
+    checks: List[Tuple[str, bool, str]] = field(default_factory=list)
+
+    def add(self, name: str, ok: bool, detail: str = "") -> None:
+        self.checks.append((name, bool(ok), detail))
+        self.matched = self.matched and bool(ok)
+
+    def describe(self) -> str:
+        lines = [f"{self.experiment}: "
+                 + ("MATCH" if self.matched else "MISMATCH")]
+        for name, ok, detail in self.checks:
+            mark = "ok " if ok else "FAIL"
+            suffix = f" — {detail}" if detail else ""
+            lines.append(f"  [{mark}] {name}{suffix}")
+        return "\n".join(lines)
+
+
+class FigureExperiment:
+    """Base protocol: ``run`` → artifacts, ``verify`` → Verification."""
+
+    #: Experiment id used in DESIGN.md's index and in EXPERIMENTS.md.
+    name: str = "experiment"
+    #: One-line description of the paper artifact.
+    title: str = ""
+
+    def run(self) -> Dict[str, Any]:
+        """Produce the artifact(s) from the library's public API."""
+        raise NotImplementedError
+
+    def verify(self) -> Verification:
+        """Compare :meth:`run` output against the paper's expectation."""
+        raise NotImplementedError
+
+    def render(self) -> str:
+        """Human-readable rendition (the 'regenerated figure')."""
+        raise NotImplementedError
+
+
+def _stored_table(arr: AssociativeArray) -> Dict[Tuple[Any, Any], float]:
+    """Stored entries as a plain {(row, col): float} dict for comparison."""
+    return {rc: float(v) for rc, v in arr.to_dict().items()}
+
+
+def _tables_equal(a: Dict, b: Dict, *, tol: float = 1e-9) -> bool:
+    if set(a) != set(b):
+        return False
+    for k, v in a.items():
+        w = b[k]
+        if math.isinf(v) or math.isinf(w):
+            if v != w:
+                return False
+        elif not math.isclose(float(v), float(w), rel_tol=tol, abs_tol=tol):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Figure 1
+# ---------------------------------------------------------------------------
+
+class Figure1Experiment(FigureExperiment):
+    """Figure 1: the exploded music array ``E`` (22 × 31, 186 nonzeros)."""
+
+    name = "fig1"
+    title = "D4M sparse associative array E of the music table"
+
+    def run(self) -> Dict[str, Any]:
+        return {"E": music_incidence()}
+
+    def verify(self) -> Verification:
+        e = self.run()["E"]
+        v = Verification(self.name, True)
+        v.add("row keys", tuple(e.row_keys) == X.FIG1_ROW_KEYS,
+              f"{len(e.row_keys)} rows")
+        v.add("column keys", tuple(e.col_keys) == X.FIG1_COL_KEYS,
+              f"{len(e.col_keys)} columns")
+        counts: Dict[str, int] = {r: 0 for r in e.row_keys}
+        for (r, _c) in e.nonzero_pattern():
+            counts[r] += 1
+        v.add("per-row nonzero counts", counts == X.FIG1_ROW_COUNTS)
+        v.add("total nonzeros", e.nnz == X.FIG1_NNZ, f"nnz={e.nnz}")
+        v.add("all values are 1", all(val == 1 for val in e.to_dict().values()))
+        return v
+
+    def render(self) -> str:
+        return format_array(self.run()["E"], title="Figure 1: E",
+                            max_col_width=18)
+
+
+# ---------------------------------------------------------------------------
+# Figure 2
+# ---------------------------------------------------------------------------
+
+class Figure2Experiment(FigureExperiment):
+    """Figure 2: ``E1 = E(:, 'Genre|A : Genre|Z')``,
+    ``E2 = E(:, 'Writer|A : Writer|Z')``."""
+
+    name = "fig2"
+    title = "Incidence sub-arrays E1 (genres) and E2 (writers)"
+
+    def run(self) -> Dict[str, Any]:
+        e = music_incidence()
+        return {
+            "E1": e.select(":", "Genre|A : Genre|Z"),
+            "E2": e.select(":", "Writer|A : Writer|Z"),
+        }
+
+    def verify(self) -> Verification:
+        arts = self.run()
+        e1, e2 = arts["E1"], arts["E2"]
+        v = Verification(self.name, True)
+        expected_e1 = {(t, g) for t, gs in X.FIG2_E1_PATTERN.items()
+                       for g in gs}
+        expected_e2 = {(t, w) for t, ws in X.FIG2_E2_PATTERN.items()
+                       for w in ws}
+        v.add("E1 pattern", e1.nonzero_pattern() == frozenset(expected_e1),
+              f"nnz={e1.nnz}")
+        v.add("E2 pattern", e2.nonzero_pattern() == frozenset(expected_e2),
+              f"nnz={e2.nnz}")
+        v.add("E1 unit values", all(val == 1 for val in e1.to_dict().values()))
+        v.add("E2 unit values", all(val == 1 for val in e2.to_dict().values()))
+        v.add("E1 columns", tuple(e1.col_keys) == (
+            "Genre|Electronic", "Genre|Pop", "Genre|Rock"))
+        v.add("E2 columns", tuple(e2.col_keys) == (
+            "Writer|Barrett Rich", "Writer|Chad Anderson",
+            "Writer|Chloe Chaidez", "Writer|Julian Chaidez",
+            "Writer|Nicholas Johns"))
+        # Selection must preserve the full row key set (tracks with no
+        # genre/writer entries keep empty rows — E2's writerless track).
+        v.add("E1/E2 keep all 22 track rows",
+              len(e1.row_keys) == 22 and len(e2.row_keys) == 22)
+        return v
+
+    def render(self) -> str:
+        arts = self.run()
+        return (format_array(arts["E1"], title="Figure 2: E1",
+                             max_col_width=18)
+                + "\n\n"
+                + format_array(arts["E2"], title="Figure 2: E2",
+                               max_col_width=22))
+
+
+# ---------------------------------------------------------------------------
+# Figures 3 and 5 (shared machinery)
+# ---------------------------------------------------------------------------
+
+def _figure_products(e1: AssociativeArray,
+                     e2: AssociativeArray) -> Dict[str, AssociativeArray]:
+    """``E1ᵀ ⊕.⊗ E2`` for the seven Figure 3/5 op-pairs.
+
+    Arrays are reinterpreted over each pair's zero first (Figure 3's
+    "respective values of zero be it 0, −∞, or ∞").
+    """
+    out: Dict[str, AssociativeArray] = {}
+    for name in ("plus_times", "max_times", "min_times", "max_plus",
+                 "min_plus", "max_min", "min_max"):
+        pair = get_op_pair(name)
+        a = e1 if pair.is_zero(0) else e1.with_zero(pair.zero)
+        b = e2 if pair.is_zero(0) else e2.with_zero(pair.zero)
+        out[name] = correlate(a, b, pair)
+    return out
+
+
+class _ProductFigure(FigureExperiment):
+    """Shared implementation for Figures 3 and 5."""
+
+    expected_tables: Dict[str, Dict[Tuple[str, str], float]] = {}
+
+    def _operands(self) -> Tuple[AssociativeArray, AssociativeArray]:
+        raise NotImplementedError
+
+    def run(self) -> Dict[str, Any]:
+        e1, e2 = self._operands()
+        return dict(_figure_products(e1, e2))
+
+    def verify(self) -> Verification:
+        arts = self.run()
+        v = Verification(self.name, True)
+        for name, expected in self.expected_tables.items():
+            got = _stored_table(arts[name])
+            v.add(f"{name} table", _tables_equal(got, expected),
+                  f"{len(got)} entries")
+        # Stacking claim: pairs the paper displays stacked agree exactly.
+        for stack in X.FIG35_STACKS:
+            first = _stored_table(arts[stack[0]])
+            for other in stack[1:]:
+                v.add(f"stack {stack[0]} == {other}",
+                      _tables_equal(first, _stored_table(arts[other])))
+        return v
+
+    def render(self) -> str:
+        arts = self.run()
+        blocks = []
+        for stack in X.FIG35_STACKS:
+            label = " = ".join(get_op_pair(n).display for n in stack)
+            blocks.append((f"E1ᵀ {label} E2", arts[stack[0]]))
+        return format_stacked(blocks, title=self.title)
+
+
+class Figure3Experiment(_ProductFigure):
+    """Figure 3: seven semiring products of the unit-valued E1, E2."""
+
+    name = "fig3"
+    title = "Figure 3: E1ᵀ ⊕.⊗ E2 under seven op-pairs (unit values)"
+    expected_tables = X.FIG3_TABLES
+
+    def _operands(self) -> Tuple[AssociativeArray, AssociativeArray]:
+        return music_e1(), music_e2()
+
+
+class Figure4Experiment(FigureExperiment):
+    """Figure 4: E1 re-weighted (Electronic 1, Pop 2, Rock 3)."""
+
+    name = "fig4"
+    title = "Figure 4: weighted incidence array E1"
+
+    def run(self) -> Dict[str, Any]:
+        return {"E1w": music_e1_weighted(), "E2": music_e2()}
+
+    def verify(self) -> Verification:
+        arts = self.run()
+        e1w, e2 = arts["E1w"], arts["E2"]
+        v = Verification(self.name, True)
+        got = {rc: int(val) for rc, val in e1w.to_dict().items()}
+        v.add("E1 weighted values", got == X.FIG4_E1_VALUES,
+              f"nnz={len(got)}")
+        unit_e1 = music_e1()
+        v.add("pattern unchanged from Figure 2",
+              e1w.nonzero_pattern() == unit_e1.nonzero_pattern())
+        expected_e2 = {(t, w) for t, ws in X.FIG2_E2_PATTERN.items()
+                       for w in ws}
+        v.add("E2 unchanged", e2.nonzero_pattern() == frozenset(expected_e2)
+              and all(val == 1 for val in e2.to_dict().values()))
+        return v
+
+    def render(self) -> str:
+        return format_array(self.run()["E1w"], title="Figure 4: weighted E1",
+                            max_col_width=18)
+
+
+class Figure5Experiment(_ProductFigure):
+    """Figure 5: the seven products with Figure 4's weighted E1."""
+
+    name = "fig5"
+    title = "Figure 5: E1ᵀ ⊕.⊗ E2 under seven op-pairs (weighted E1)"
+    expected_tables = X.FIG5_TABLES
+
+    def _operands(self) -> Tuple[AssociativeArray, AssociativeArray]:
+        return music_e1_weighted(), music_e2()
+
+
+# ---------------------------------------------------------------------------
+# Criteria table (Theorem II.1 / Section III)
+# ---------------------------------------------------------------------------
+
+class CriteriaTableExperiment(FigureExperiment):
+    """Section III's examples/non-examples as a certification table."""
+
+    name = "criteria"
+    title = "Theorem II.1 certification of the op-pair catalog"
+
+    SEED = 20170225  # arXiv posting date of the paper
+
+    def run(self) -> Dict[str, Any]:
+        out = {}
+        for name in X.CRITERIA_TABLE:
+            out[name] = certify(get_op_pair(name), seed=self.SEED)
+        return out
+
+    def verify(self) -> Verification:
+        certs = self.run()
+        v = Verification(self.name, True)
+        for name, (want_safe, want_criterion) in X.CRITERIA_TABLE.items():
+            cert = certs[name]
+            v.add(f"{name} safe={want_safe}", cert.safe == want_safe)
+            if not want_safe:
+                violation = cert.criteria.first_violation()
+                v.add(f"{name} violates {want_criterion!r}",
+                      violation is not None
+                      and violation.property_name == want_criterion,
+                      "" if violation is None else violation.property_name)
+                v.add(f"{name} witness refutes",
+                      cert.witness is not None and cert.witness.refutes)
+        return v
+
+    def render(self) -> str:
+        certs = self.run()
+        lines = [self.title, "=" * len(self.title)]
+        for name, cert in certs.items():
+            lines.append("")
+            lines.append(cert.summary())
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Corollary III.1
+# ---------------------------------------------------------------------------
+
+class ReverseGraphExperiment(FigureExperiment):
+    """Corollary III.1: ``EinᵀEout`` is an adjacency array of the reverse."""
+
+    name = "reverse"
+    title = "Corollary III.1 on random multigraphs"
+
+    SEEDS = (1, 2, 3, 4, 5)
+
+    def run(self) -> Dict[str, Any]:
+        from repro.core.construction import is_adjacency_array_of_graph
+        results = {}
+        pair = get_op_pair("plus_times")
+        for seed in self.SEEDS:
+            g = erdos_renyi_multigraph(8, 20, seed=seed)
+            ow, iw = random_incidence_values(g, pair, seed=seed + 100)
+            eout, ein = incidence_arrays(g, out_values=ow, in_values=iw)
+            rev = reverse_adjacency_array(eout, ein, pair)
+            results[f"seed{seed}"] = (rev, g.reverse(),
+                                      is_adjacency_array_of_graph(
+                                          rev, g.reverse()))
+        return results
+
+    def verify(self) -> Verification:
+        v = Verification(self.name, True)
+        for key, (_rev, _gr, ok) in self.run().items():
+            v.add(f"{key}: EinᵀEout is adjacency of reverse(G)", ok)
+        return v
+
+    def render(self) -> str:
+        rev, _gr, _ok = self.run()["seed1"]
+        return format_array(rev, title="EinᵀEout for seed 1 (reverse graph)")
+
+
+# ---------------------------------------------------------------------------
+# Section III structured ∪.∩ exemption
+# ---------------------------------------------------------------------------
+
+class StructuredUnionIntersectionExperiment(FigureExperiment):
+    """Structured document×word data rescues the uncertified ``∪.∩``."""
+
+    name = "structured"
+    title = "Section III: ∪.∩ on shared-word document arrays"
+
+    def run(self) -> Dict[str, Any]:
+        words = example_word_sets()
+        e = shared_word_incidence(words)
+        pair = get_op_pair("union_intersection")
+        # Reinterpret over the pair's zero (∅ already) and multiply.
+        product = correlate(e, e, pair)
+        return {
+            "E": e,
+            "product": product,
+            "expected": expected_shared_adjacency(words),
+        }
+
+    def verify(self) -> Verification:
+        arts = self.run()
+        v = Verification(self.name, True)
+        prod, exp = arts["product"], arts["expected"]
+        v.add("EᵀE pattern equals shared-word pattern",
+              prod.same_pattern(exp))
+        v.add("entries are exactly the shared word sets",
+              all(frozenset(prod.get(r, c)) == frozenset(exp.get(r, c))
+                  for (r, c) in exp.nonzero_pattern()))
+        cert = certify(get_op_pair("union_intersection"), seed=7)
+        v.add("∪.∩ itself remains uncertified", not cert.safe)
+        return v
+
+    def render(self) -> str:
+        arts = self.run()
+        return format_array(arts["product"],
+                            title="EᵀE over ∪.∩ (shared words)",
+                            max_col_width=26)
+
+
+def all_experiments() -> List[FigureExperiment]:
+    """Every experiment, in DESIGN.md index order."""
+    return [
+        Figure1Experiment(),
+        Figure2Experiment(),
+        Figure3Experiment(),
+        Figure4Experiment(),
+        Figure5Experiment(),
+        CriteriaTableExperiment(),
+        ReverseGraphExperiment(),
+        StructuredUnionIntersectionExperiment(),
+    ]

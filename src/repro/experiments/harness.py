@@ -1,0 +1,77 @@
+"""Run-everything driver and paper-vs-measured reporting.
+
+``python -m repro.experiments.harness`` runs every experiment, prints each
+verification, and exits nonzero on any mismatch — the same artifacts the
+per-figure benchmarks exercise, in one command.  The EXPERIMENTS.md
+"measured" column is produced by :func:`render_report`.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.experiments.figures import FigureExperiment, Verification, all_experiments
+from repro.experiments.synopsis import validate_synopsis
+
+__all__ = ["ExperimentReport", "run_all", "render_report", "main"]
+
+
+@dataclass
+class ExperimentReport:
+    """All verifications plus the synopsis validation rows."""
+
+    verifications: List[Verification]
+    synopsis_rows: List[tuple]
+
+    @property
+    def all_matched(self) -> bool:
+        return (all(v.matched for v in self.verifications)
+                and all(ok for (_n, ok, _d) in self.synopsis_rows))
+
+    def summary_rows(self) -> List[tuple]:
+        """``(experiment, matched)`` rows for tabulation."""
+        rows = [(v.experiment, v.matched) for v in self.verifications]
+        rows.append(("synopsis",
+                     all(ok for (_n, ok, _d) in self.synopsis_rows)))
+        return rows
+
+
+def run_all(
+    experiments: Optional[Sequence[FigureExperiment]] = None,
+) -> ExperimentReport:
+    """Run and verify every experiment plus the synopsis validation."""
+    exps = list(experiments) if experiments is not None else all_experiments()
+    verifications = [e.verify() for e in exps]
+    synopsis_rows = validate_synopsis()
+    return ExperimentReport(verifications=verifications,
+                            synopsis_rows=synopsis_rows)
+
+
+def render_report(report: ExperimentReport) -> str:
+    """Full text report: per-experiment checks + synopsis table."""
+    lines: List[str] = ["Paper-vs-measured verification", "=" * 31, ""]
+    for v in report.verifications:
+        lines.append(v.describe())
+        lines.append("")
+    lines.append("Section IV synopsis validation")
+    lines.append("-" * 30)
+    for name, ok, detail in report.synopsis_rows:
+        mark = "ok " if ok else "FAIL"
+        suffix = f" — {detail}" if detail else ""
+        lines.append(f"  [{mark}] {name}{suffix}")
+    lines.append("")
+    lines.append("ALL MATCHED" if report.all_matched else "MISMATCHES FOUND")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: run everything, print, return exit status."""
+    report = run_all()
+    print(render_report(report))
+    return 0 if report.all_matched else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

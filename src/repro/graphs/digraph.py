@@ -1,0 +1,176 @@
+"""Edge-keyed directed multigraphs.
+
+The paper's Definition I.4 treats edges as *keys*: the incidence arrays are
+indexed ``K × Kout`` and ``K × Kin`` where ``K`` is the edge set.  So the
+graph model here names every edge explicitly, and permits the two features
+the Theorem II.1 proofs depend on:
+
+* **parallel edges** — Lemma II.2's witness has two edges from ``a`` to
+  ``b``;
+* **self-loops** — Lemmas II.3 and II.4 use them.
+
+Following the paper, ``Kout`` is the set of vertices that are sources of at
+least one edge, ``Kin`` the set of targets, and the vertex set is their
+union.  An isolated vertex cannot exist in this model (it would appear in
+neither incidence array), matching the paper's assumption.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.arrays.keys import KeySet
+
+__all__ = ["GraphError", "EdgeKeyedDigraph"]
+
+
+class GraphError(ValueError):
+    """Raised for malformed graphs (duplicate edge keys, unknown edges)."""
+
+
+class EdgeKeyedDigraph:
+    """A directed multigraph whose edges carry explicit, unique keys.
+
+    Parameters
+    ----------
+    edges:
+        Iterable of ``(edge_key, source, target)`` triples.  Edge keys must
+        be unique and totally ordered (they become incidence-array rows);
+        vertices must be totally ordered (they become columns).
+    """
+
+    __slots__ = ("_edges",)
+
+    def __init__(self, edges: Iterable[Tuple[Any, Any, Any]] = ()) -> None:
+        self._edges: Dict[Any, Tuple[Any, Any]] = {}
+        for key, src, dst in edges:
+            self.add_edge(key, src, dst)
+
+    # -- construction ---------------------------------------------------------
+    def add_edge(self, key: Any, src: Any, dst: Any) -> None:
+        """Add edge ``key`` from ``src`` to ``dst``; keys are unique."""
+        if key in self._edges:
+            raise GraphError(f"duplicate edge key {key!r}")
+        self._edges[key] = (src, dst)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[Any, Any]],
+                   *, prefix: str = "e") -> "EdgeKeyedDigraph":
+        """Build from ``(source, target)`` pairs with generated edge keys
+        ``e000, e001, ...`` in input order."""
+        pairs = list(pairs)
+        width = max(3, len(str(max(len(pairs) - 1, 0))))
+        return cls((f"{prefix}{i:0{width}d}", s, t)
+                   for i, (s, t) in enumerate(pairs))
+
+    # -- key sets (Definition I.4 naming) --------------------------------------
+    @property
+    def edge_keys(self) -> KeySet:
+        """``K``: the edge set, totally ordered."""
+        return KeySet(self._edges)
+
+    @property
+    def out_vertices(self) -> KeySet:
+        """``Kout``: vertices that are the source of at least one edge."""
+        return KeySet({s for (s, _t) in self._edges.values()})
+
+    @property
+    def in_vertices(self) -> KeySet:
+        """``Kin``: vertices that are the target of at least one edge."""
+        return KeySet({t for (_s, t) in self._edges.values()})
+
+    @property
+    def vertices(self) -> KeySet:
+        """``Kout ∪ Kin``: the graph's vertex set."""
+        return self.out_vertices.union(self.in_vertices)
+
+    # -- queries ----------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges (counting parallels)."""
+        return len(self._edges)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of distinct vertices."""
+        return len(self.vertices)
+
+    def endpoints(self, key: Any) -> Tuple[Any, Any]:
+        """``(source, target)`` of edge ``key``."""
+        try:
+            return self._edges[key]
+        except KeyError:
+            raise GraphError(f"unknown edge key {key!r}") from None
+
+    def edges(self) -> Iterator[Tuple[Any, Any, Any]]:
+        """Edges as ``(key, source, target)`` in edge-key order."""
+        for k in self.edge_keys:
+            s, t = self._edges[k]
+            yield k, s, t
+
+    def edge_pairs(self) -> Iterator[Tuple[Any, Any]]:
+        """``(source, target)`` pairs in edge-key order (with multiplicity)."""
+        for _k, s, t in self.edges():
+            yield s, t
+
+    def edges_between(self, src: Any, dst: Any) -> List[Any]:
+        """All edge keys from ``src`` to ``dst`` (parallel edges), ordered."""
+        return [k for k, s, t in self.edges() if s == src and t == dst]
+
+    def has_edge_between(self, src: Any, dst: Any) -> bool:
+        """Whether at least one edge runs ``src → dst``."""
+        return any(s == src and t == dst for s, t in self._edges.values())
+
+    def adjacency_pairs(self) -> frozenset:
+        """The set of ``(source, target)`` pairs with at least one edge.
+
+        This is exactly the nonzero pattern Definition I.5 demands of any
+        adjacency array of the graph.
+        """
+        return frozenset(self._edges.values())
+
+    def out_degree(self, vertex: Any) -> int:
+        """Number of edges with source ``vertex``."""
+        return sum(1 for s, _t in self._edges.values() if s == vertex)
+
+    def in_degree(self, vertex: Any) -> int:
+        """Number of edges with target ``vertex``."""
+        return sum(1 for _s, t in self._edges.values() if t == vertex)
+
+    def self_loops(self) -> List[Any]:
+        """Edge keys whose source equals their target, ordered."""
+        return [k for k, s, t in self.edges() if s == t]
+
+    def has_parallel_edges(self) -> bool:
+        """Whether some ordered vertex pair carries more than one edge."""
+        return len(self.adjacency_pairs()) < len(self._edges)
+
+    # -- transforms ---------------------------------------------------------------
+    def reverse(self) -> "EdgeKeyedDigraph":
+        """The reverse graph Ḡ: same keys and vertices, arrows flipped.
+
+        Corollary III.1: ``EinᵀEout`` is an adjacency array of this graph.
+        """
+        return EdgeKeyedDigraph((k, t, s) for k, s, t in self.edges())
+
+    def subgraph_by_edges(self, keys: Iterable[Any]) -> "EdgeKeyedDigraph":
+        """The multigraph on a subset of edge keys."""
+        keys = set(keys)
+        return EdgeKeyedDigraph((k, s, t) for k, s, t in self.edges()
+                                if k in keys)
+
+    # -- comparison ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EdgeKeyedDigraph):
+            return NotImplemented
+        return self._edges == other._edges
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("EdgeKeyedDigraph is unhashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"EdgeKeyedDigraph(|K|={self.num_edges}, "
+                f"|Kout ∪ Kin|={self.num_vertices})")

@@ -1,0 +1,162 @@
+"""Seeded graph and incidence-value generators.
+
+Used by the property-based tests (random multigraphs ⇒ Theorem II.1's
+sufficiency direction must hold on *every* graph) and by the scaling
+benchmarks (R-MAT/Kronecker-style skewed degree distributions are the
+standard GraphBLAS workload).
+
+All generators take an integer ``seed`` and are deterministic given it.
+Vertex keys are strings ``v000, v001, ...`` and edge keys ``e0000, ...`` so
+that every key set is totally ordered and stable across runs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.graphs.digraph import EdgeKeyedDigraph, GraphError
+from repro.values.domains import Domain
+from repro.values.semiring import OpPair
+
+__all__ = [
+    "erdos_renyi_multigraph",
+    "rmat_multigraph",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_bipartite_graph",
+    "random_incidence_values",
+]
+
+
+def _vkey(i: int, width: int = 3) -> str:
+    return f"v{i:0{width}d}"
+
+
+def _edges_to_graph(pairs: List[Tuple[str, str]]) -> EdgeKeyedDigraph:
+    width = max(4, len(str(max(len(pairs) - 1, 0))))
+    return EdgeKeyedDigraph(
+        (f"e{i:0{width}d}", s, t) for i, (s, t) in enumerate(pairs))
+
+
+def erdos_renyi_multigraph(
+    n_vertices: int,
+    n_edges: int,
+    *,
+    seed: int,
+    allow_self_loops: bool = True,
+) -> EdgeKeyedDigraph:
+    """Uniform random directed multigraph: ``n_edges`` i.i.d. vertex pairs.
+
+    Parallel edges arise naturally (sampling is with replacement), which
+    is deliberate: multigraphs are the paper's general case.
+    """
+    if n_vertices < 1:
+        raise GraphError("need at least one vertex")
+    rng = random.Random(seed)
+    pairs: List[Tuple[str, str]] = []
+    while len(pairs) < n_edges:
+        u = rng.randrange(n_vertices)
+        v = rng.randrange(n_vertices)
+        if not allow_self_loops and u == v:
+            continue
+        pairs.append((_vkey(u), _vkey(v)))
+    return _edges_to_graph(pairs)
+
+
+def rmat_multigraph(
+    scale: int,
+    n_edges: int,
+    *,
+    seed: int,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+) -> EdgeKeyedDigraph:
+    """R-MAT (stochastic Kronecker) multigraph on ``2**scale`` vertices.
+
+    Each edge picks a quadrant per bit level with probabilities
+    ``(a, b, c, d = 1−a−b−c)``, yielding the skewed degree distributions
+    typical of the graphs D4M/GraphBLAS target.  Defaults follow the
+    Graph500 parameters.
+    """
+    d = 1.0 - a - b - c
+    if d < 0:
+        raise GraphError("a + b + c must be <= 1")
+    rng = random.Random(seed)
+    n = 1 << scale
+    width = len(str(n - 1))
+    pairs: List[Tuple[str, str]] = []
+    for _ in range(n_edges):
+        u = v = 0
+        for _level in range(scale):
+            r = rng.random()
+            if r < a:
+                q = (0, 0)
+            elif r < a + b:
+                q = (0, 1)
+            elif r < a + b + c:
+                q = (1, 0)
+            else:
+                q = (1, 1)
+            u = (u << 1) | q[0]
+            v = (v << 1) | q[1]
+        pairs.append((_vkey(u, width), _vkey(v, width)))
+    return _edges_to_graph(pairs)
+
+
+def path_graph(n_vertices: int) -> EdgeKeyedDigraph:
+    """Directed path ``v0 → v1 → ... → v(n−1)``."""
+    if n_vertices < 2:
+        raise GraphError("a path needs at least two vertices")
+    return _edges_to_graph([(_vkey(i), _vkey(i + 1))
+                            for i in range(n_vertices - 1)])
+
+
+def cycle_graph(n_vertices: int) -> EdgeKeyedDigraph:
+    """Directed cycle on ``n_vertices``."""
+    if n_vertices < 1:
+        raise GraphError("a cycle needs at least one vertex")
+    return _edges_to_graph([(_vkey(i), _vkey((i + 1) % n_vertices))
+                            for i in range(n_vertices)])
+
+
+def star_graph(n_leaves: int) -> EdgeKeyedDigraph:
+    """Star: hub ``v000`` points at ``n_leaves`` leaves."""
+    if n_leaves < 1:
+        raise GraphError("a star needs at least one leaf")
+    return _edges_to_graph([(_vkey(0), _vkey(i + 1))
+                            for i in range(n_leaves)])
+
+
+def complete_bipartite_graph(n_left: int, n_right: int) -> EdgeKeyedDigraph:
+    """All edges from ``l*`` vertices to ``r*`` vertices."""
+    if n_left < 1 or n_right < 1:
+        raise GraphError("both sides need at least one vertex")
+    pairs = [(f"l{i:03d}", f"r{j:03d}")
+             for i in range(n_left) for j in range(n_right)]
+    return _edges_to_graph(pairs)
+
+
+def random_incidence_values(
+    graph: EdgeKeyedDigraph,
+    op_pair: OpPair,
+    *,
+    seed: int,
+    domain: Optional[Domain] = None,
+) -> Tuple[Dict[Any, Any], Dict[Any, Any]]:
+    """Random nonzero incidence values for every edge, from the op-pair's
+    domain (or an explicit one).
+
+    Returns ``(out_values, in_values)`` mappings suitable for
+    :func:`repro.graphs.incidence.incidence_arrays`.  Values are sampled
+    with the op-pair's zero excluded — Definition I.4 requires incidence
+    entries to be nonzero.
+    """
+    dom = domain if domain is not None else op_pair.domain
+    rng = random.Random(seed)
+    keys = list(graph.edge_keys)
+    out_vals = dom.sample(rng, len(keys), exclude=op_pair.zero)
+    in_vals = dom.sample(rng, len(keys), exclude=op_pair.zero)
+    return dict(zip(keys, out_vals)), dict(zip(keys, in_vals))

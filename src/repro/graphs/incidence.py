@@ -1,0 +1,155 @@
+"""Incidence arrays of a graph (Definition I.4) and their validation.
+
+``Eout : K × Kout → V`` is a *source* incidence array when
+``Eout(k, a) ≠ 0`` iff edge ``k`` is directed outward from vertex ``a``;
+``Ein : K × Kin → V`` is a *target* incidence array when
+``Ein(k, b) ≠ 0`` iff edge ``k`` is directed into ``b``.
+
+For an ordinary directed multigraph each edge has exactly one source and
+one target, so each row of ``Eout``/``Ein`` carries exactly one stored
+entry.  The *values* of those entries are unconstrained beyond being
+nonzero — that freedom (edge weights, labels, sets) is what the different
+``⊕.⊗`` products of Section IV exploit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
+
+from repro.arrays.associative import AssociativeArray
+from repro.graphs.digraph import EdgeKeyedDigraph, GraphError
+
+__all__ = [
+    "incidence_arrays",
+    "graph_from_incidence",
+    "is_source_incidence_of",
+    "is_target_incidence_of",
+]
+
+ValueSpec = Union[None, Any, Mapping[Any, Any], Callable[[Any, Any], Any]]
+
+
+def _resolve_value(spec: ValueSpec, edge: Any, vertex: Any, one: Any) -> Any:
+    """Evaluate a value specification for incidence entry ``(edge, vertex)``.
+
+    ``None`` → the op-pair one; a mapping → per-edge values; a callable →
+    ``spec(edge, vertex)``; anything else → that constant.
+    """
+    if spec is None:
+        return one
+    if callable(spec):
+        return spec(edge, vertex)
+    if isinstance(spec, Mapping):
+        return spec.get(edge, one)
+    return spec
+
+
+def incidence_arrays(
+    graph: EdgeKeyedDigraph,
+    *,
+    zero: Any = 0,
+    one: Any = 1,
+    out_values: ValueSpec = None,
+    in_values: ValueSpec = None,
+) -> Tuple[AssociativeArray, AssociativeArray]:
+    """Build ``(Eout, Ein)`` for ``graph``.
+
+    Parameters
+    ----------
+    zero:
+        The arrays' zero element (match the op-pair you will multiply
+        under, or reinterpret later with
+        :meth:`~repro.arrays.associative.AssociativeArray.with_zero`).
+    one:
+        Default stored value (the paper's "usually 1").
+    out_values, in_values:
+        Optional weights: a constant, a ``{edge_key: value}`` mapping, or
+        a callable ``(edge_key, vertex) → value``.  Values equal to
+        ``zero`` are rejected — a zero incidence entry would erase the
+        edge (Definition I.4's "if and only if").
+
+    Both arrays share the full edge set ``K`` as row keys.
+    """
+    k = graph.edge_keys
+    kout = graph.out_vertices
+    kin = graph.in_vertices
+    out_data: Dict[Tuple[Any, Any], Any] = {}
+    in_data: Dict[Tuple[Any, Any], Any] = {}
+    for key, src, dst in graph.edges():
+        ov = _resolve_value(out_values, key, src, one)
+        iv = _resolve_value(in_values, key, dst, one)
+        if ov == zero:
+            raise GraphError(
+                f"out-value for edge {key!r} equals the zero {zero!r}")
+        if iv == zero:
+            raise GraphError(
+                f"in-value for edge {key!r} equals the zero {zero!r}")
+        out_data[(key, src)] = ov
+        in_data[(key, dst)] = iv
+    eout = AssociativeArray(out_data, row_keys=k, col_keys=kout, zero=zero)
+    ein = AssociativeArray(in_data, row_keys=k, col_keys=kin, zero=zero)
+    return eout, ein
+
+
+def graph_from_incidence(
+    eout: AssociativeArray,
+    ein: AssociativeArray,
+) -> EdgeKeyedDigraph:
+    """Recover the directed multigraph from a pair of incidence arrays.
+
+    Requires each edge row to hold exactly one stored entry in each array
+    (ordinary directed edges).  Rows with zero entries in both arrays are
+    ignored; a row stored in only one array, or with several entries
+    (a hyperedge), raises :class:`GraphError` — such pairs do not describe
+    a directed multigraph, though the adjacency *construction* still
+    accepts them (see :func:`repro.core.construction.adjacency_array`).
+    """
+    if eout.row_keys != ein.row_keys:
+        raise GraphError("Eout and Ein must share the edge key set K")
+    out_rows: Dict[Any, list] = {}
+    in_rows: Dict[Any, list] = {}
+    for (k, a), _v in eout.to_dict().items():
+        out_rows.setdefault(k, []).append(a)
+    for (k, b), _v in ein.to_dict().items():
+        in_rows.setdefault(k, []).append(b)
+    g = EdgeKeyedDigraph()
+    for k in eout.row_keys:
+        sources = out_rows.get(k, [])
+        targets = in_rows.get(k, [])
+        if not sources and not targets:
+            continue
+        if len(sources) != 1 or len(targets) != 1:
+            raise GraphError(
+                f"edge {k!r} has {len(sources)} source(s) and "
+                f"{len(targets)} target(s); not an ordinary directed edge")
+        g.add_edge(k, sources[0], targets[0])
+    return g
+
+
+def is_source_incidence_of(
+    eout: AssociativeArray,
+    graph: EdgeKeyedDigraph,
+) -> bool:
+    """Definition I.4 check: ``Eout(k, a) ≠ 0  ⇔  k leaves a``.
+
+    Key sets must match the graph's (rows = ``K``, columns = ``Kout``).
+    """
+    if eout.row_keys != graph.edge_keys:
+        return False
+    if eout.col_keys != graph.out_vertices:
+        return False
+    expected = {(k, s) for k, s, _t in graph.edges()}
+    return eout.nonzero_pattern() == frozenset(expected)
+
+
+def is_target_incidence_of(
+    ein: AssociativeArray,
+    graph: EdgeKeyedDigraph,
+) -> bool:
+    """Definition I.4 check: ``Ein(k, b) ≠ 0  ⇔  k enters b``."""
+    if ein.row_keys != graph.edge_keys:
+        return False
+    if ein.col_keys != graph.in_vertices:
+        return False
+    expected = {(k, t) for k, _s, t in graph.edges()}
+    return ein.nonzero_pattern() == frozenset(expected)

@@ -1,0 +1,81 @@
+"""Interoperability with networkx and plain edge lists.
+
+The library's multigraphs and adjacency arrays convert losslessly to and
+from ``networkx.MultiDiGraph`` (edge keys preserved) so downstream users
+can mix ecosystems; adjacency arrays also export to weighted
+``networkx.DiGraph`` for algorithm cross-validation, which the test suite
+uses extensively.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Tuple
+
+from repro.arrays.associative import AssociativeArray
+from repro.graphs.digraph import EdgeKeyedDigraph, GraphError
+
+__all__ = [
+    "to_networkx",
+    "from_networkx",
+    "adjacency_to_networkx",
+    "edge_list",
+    "from_edge_list",
+]
+
+
+def to_networkx(graph: EdgeKeyedDigraph):
+    """As a ``networkx.MultiDiGraph`` with the same edge keys."""
+    import networkx as nx
+    g = nx.MultiDiGraph()
+    g.add_nodes_from(graph.vertices)
+    for k, s, t in graph.edges():
+        g.add_edge(s, t, key=k)
+    return g
+
+
+def from_networkx(nx_graph) -> EdgeKeyedDigraph:
+    """From any networkx directed graph (multigraph keys preserved when
+    present and unique; otherwise keys are generated)."""
+    import networkx as nx
+    if not nx_graph.is_directed():
+        raise GraphError("expected a directed networkx graph")
+    out = EdgeKeyedDigraph()
+    if nx_graph.is_multigraph():
+        keys = [k for (_u, _v, k) in nx_graph.edges(keys=True)]
+        unique = len(set(keys)) == len(keys)
+        for i, (u, v, k) in enumerate(sorted(nx_graph.edges(keys=True),
+                                             key=repr)):
+            out.add_edge(k if unique else f"e{i:05d}", u, v)
+    else:
+        for i, (u, v) in enumerate(sorted(nx_graph.edges(), key=repr)):
+            out.add_edge(f"e{i:05d}", u, v)
+    return out
+
+
+def adjacency_to_networkx(adj: AssociativeArray, *,
+                          weight_attr: str = "weight"):
+    """A weighted ``networkx.DiGraph`` from an adjacency array's stored
+    entries (numeric values become edge weights; others ride along as
+    attributes)."""
+    import networkx as nx
+    g = nx.DiGraph()
+    g.add_nodes_from(adj.row_keys)
+    g.add_nodes_from(adj.col_keys)
+    for r, c, v in adj.entries():
+        if isinstance(v, (int, float)) and not isinstance(v, bool):
+            g.add_edge(r, c, **{weight_attr: v})
+        else:
+            g.add_edge(r, c, **{weight_attr: 1, "value": v})
+    return g
+
+
+def edge_list(graph: EdgeKeyedDigraph) -> list:
+    """Plain ``(key, source, target)`` triples in edge-key order."""
+    return list(graph.edges())
+
+
+def from_edge_list(
+    triples: Iterable[Tuple[Any, Any, Any]],
+) -> EdgeKeyedDigraph:
+    """Inverse of :func:`edge_list`."""
+    return EdgeKeyedDigraph(triples)

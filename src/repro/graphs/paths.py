@@ -1,0 +1,147 @@
+"""Matrix powers and closures of adjacency arrays over op-pairs.
+
+The classical payoff of the adjacency representation: powers of ``A``
+count/weigh k-hop paths, and iterated squaring gives reachability and
+all-pairs path problems — with the *same* code specialised by the op-pair:
+
+* ``+.×`` power: number (or total weight) of length-k walks;
+* ``min.+`` closure: all-pairs shortest paths;
+* ``max.min`` closure: all-pairs widest (bottleneck) paths;
+* ``∨.∧`` closure: transitive closure / reachability.
+
+All functions require a square array (shared vertex key set) and fold in
+key order like everything else in the library.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.arrays.associative import AssociativeArray
+from repro.arrays.elementwise import elementwise_apply
+from repro.arrays.matmul import multiply
+from repro.graphs.digraph import GraphError
+from repro.values.semiring import OpPair
+
+__all__ = [
+    "matrix_power",
+    "walk_counts",
+    "closure",
+    "all_pairs_shortest_paths",
+    "all_pairs_widest_paths",
+    "transitive_closure_pattern",
+]
+
+
+def _require_square(adj: AssociativeArray) -> None:
+    if adj.row_keys != adj.col_keys:
+        raise GraphError(
+            "square adjacency array required; re-embed with with_keys() "
+            "over the vertex union first")
+
+
+def matrix_power(adj: AssociativeArray, exponent: int, op_pair: OpPair,
+                 *, kernel: str = "auto") -> AssociativeArray:
+    """``A^k`` over ``⊕.⊗`` (left-associated; ``k ≥ 1``)."""
+    _require_square(adj)
+    if exponent < 1:
+        raise ValueError("exponent must be >= 1")
+    out = adj
+    for _ in range(exponent - 1):
+        out = multiply(out, adj, op_pair, kernel=kernel)
+    return out
+
+
+def walk_counts(adj: AssociativeArray, length: int,
+                op_pair: Optional[OpPair] = None) -> AssociativeArray:
+    """Entry ``(u, v)`` = number (weight) of length-``length`` walks
+    ``u → v``; ``+.×`` by default."""
+    if op_pair is None:
+        from repro.values.semiring import get_op_pair
+        op_pair = get_op_pair("plus_times")
+    return matrix_power(adj, length, op_pair)
+
+
+def _with_diagonal(adj: AssociativeArray, value: Any) -> AssociativeArray:
+    """``A`` with ``value`` ⊕-merged onto the diagonal (for closures the
+    diagonal seeds "the empty path")."""
+    data = adj.to_dict()
+    for v in adj.row_keys:
+        data[(v, v)] = value
+    return AssociativeArray(data, row_keys=adj.row_keys,
+                            col_keys=adj.col_keys, zero=adj.zero)
+
+
+def closure(adj: AssociativeArray, op_pair: OpPair,
+            *, max_iterations: Optional[int] = None,
+            kernel: str = "auto") -> AssociativeArray:
+    """The reflexive closure ``A* = I ⊕ A ⊕ A² ⊕ ...`` by repeated
+    squaring of ``(I ⊕ A)``, iterated to fixpoint.
+
+    Termination requires the op-pair to be idempotent-ish in practice
+    (``min``/``max``/``∨`` style ``⊕``); for ``+.×`` on graphs with
+    cycles the series diverges and ``max_iterations`` (default
+    ``⌈log₂ |V|⌉ + 1``) bounds the loop — results then cover walks up to
+    that length, documented rather than hidden.
+
+    The diagonal is seeded with the ⊗-identity (the weight of the empty
+    path).
+    """
+    _require_square(adj)
+    n = len(adj.row_keys)
+    if n == 0:
+        return adj
+    limit = max_iterations
+    if limit is None:
+        limit = max(1, (n - 1).bit_length() + 1)
+    current = _with_diagonal(adj, op_pair.one)
+    for _ in range(limit):
+        nxt = multiply(current, current, op_pair, kernel=kernel)
+        # ⊕-merge with the previous iterate so entries only improve.
+        merged = elementwise_apply(nxt.with_keys(
+            row_keys=current.row_keys, col_keys=current.col_keys),
+            current, op_pair.add, zero=op_pair.zero)
+        if merged == current:
+            return merged
+        current = merged
+    return current
+
+
+def all_pairs_shortest_paths(adj: AssociativeArray) -> AssociativeArray:
+    """All-pairs shortest path lengths via the ``min.+`` closure.
+
+    ``adj`` holds non-negative edge weights with zero ``+∞``; the result's
+    diagonal is 0 (the empty path).
+    """
+    from repro.values.semiring import get_op_pair
+    return closure(adj, get_op_pair("min_plus"))
+
+
+def all_pairs_widest_paths(adj: AssociativeArray) -> AssociativeArray:
+    """All-pairs maximum-bottleneck widths via the ``max.min`` closure.
+
+    The diagonal seeds with ``+∞`` (the ⊗-identity: an empty path has
+    unbounded width).
+    """
+    from repro.values.semiring import get_op_pair
+    return closure(adj, get_op_pair("max_min"))
+
+
+def transitive_closure_pattern(adj: AssociativeArray) -> frozenset:
+    """Reachability pairs ``(u, v)`` with a path of length ≥ 0 — the
+    pattern of the ``∨.∧`` closure, computed directly on sets."""
+    _require_square(adj)
+    succ: Dict[Any, set] = {v: {v} for v in adj.row_keys}
+    for (r, c) in adj.nonzero_pattern():
+        succ[r].add(c)
+    changed = True
+    while changed:
+        changed = False
+        for u in succ:
+            new = set()
+            for w in succ[u]:
+                new |= succ[w]
+            if not new <= succ[u]:
+                succ[u] |= new
+                changed = True
+    return frozenset((u, v) for u, reach in succ.items() for v in reach)

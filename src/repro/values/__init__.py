@@ -1,0 +1,110 @@
+"""Value-set algebra substrate.
+
+The paper's associative arrays map key pairs into a *value set* ``V``
+equipped with two closed binary operations ``⊕`` (array addition, identity
+``0``) and ``⊗`` (array multiplication, identity ``1``).  This package
+provides:
+
+* :mod:`repro.values.operations` — the :class:`~repro.values.operations.BinaryOp`
+  abstraction and a registry of standard operations (arithmetic, lattice,
+  set-theoretic, tropical, string and deliberately exotic non-associative
+  operations);
+* :mod:`repro.values.domains` — carrier sets ``V`` with membership tests,
+  exhaustive enumeration (when finite) and seeded sampling (when not);
+* :mod:`repro.values.properties` — checkers for each algebraic axiom the
+  paper discusses, returning witnesses on failure;
+* :mod:`repro.values.semiring` — the :class:`~repro.values.semiring.OpPair`
+  ``(V, ⊕, ⊗, 0, 1)`` and the catalog of op-pairs used throughout the paper;
+* :mod:`repro.values.exotic` — non-associative / non-commutative operations
+  demonstrating that Theorem II.1 does not require those properties.
+"""
+
+from repro.values.operations import (
+    BinaryOp,
+    OperationError,
+    get_operation,
+    list_operations,
+    register_operation,
+)
+from repro.values.domains import (
+    Domain,
+    DomainError,
+    BooleanDomain,
+    BoundedIntegerRange,
+    CompletedReals,
+    ExtendedNonNegativeReals,
+    ExtendedReals,
+    FiniteField2,
+    IntegersModN,
+    Integers,
+    MinPlusReals,
+    Naturals,
+    NonNegativeReals,
+    PositiveExtendedReals,
+    PowerSetDomain,
+    Reals,
+    StringDomain,
+    TropicalReals,
+    get_domain,
+    list_domains,
+)
+from repro.values.properties import (
+    PropertyReport,
+    check_annihilator,
+    check_associativity,
+    check_commutativity,
+    check_distributivity,
+    check_identity,
+    check_no_zero_divisors,
+    check_zero_sum_free,
+)
+from repro.values.semiring import (
+    OpPair,
+    SemiringError,
+    get_op_pair,
+    list_op_pairs,
+    register_op_pair,
+    PAPER_FIGURE_PAIRS,
+)
+
+__all__ = [
+    "BinaryOp",
+    "OperationError",
+    "get_operation",
+    "list_operations",
+    "register_operation",
+    "Domain",
+    "DomainError",
+    "BooleanDomain",
+    "BoundedIntegerRange",
+    "CompletedReals",
+    "ExtendedNonNegativeReals",
+    "ExtendedReals",
+    "FiniteField2",
+    "IntegersModN",
+    "Integers",
+    "MinPlusReals",
+    "Naturals",
+    "NonNegativeReals",
+    "PositiveExtendedReals",
+    "PowerSetDomain",
+    "Reals",
+    "StringDomain",
+    "TropicalReals",
+    "get_domain",
+    "list_domains",
+    "PropertyReport",
+    "check_annihilator",
+    "check_associativity",
+    "check_commutativity",
+    "check_distributivity",
+    "check_identity",
+    "check_no_zero_divisors",
+    "check_zero_sum_free",
+    "OpPair",
+    "SemiringError",
+    "get_op_pair",
+    "list_op_pairs",
+    "register_op_pair",
+    "PAPER_FIGURE_PAIRS",
+]

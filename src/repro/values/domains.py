@@ -1,0 +1,547 @@
+"""Value domains (carrier sets) for associative arrays.
+
+A :class:`Domain` is the set ``V`` of Definition I.1 — the values an
+associative array can take.  The paper stresses that ``V`` may hold
+"nontraditional data": non-negative reals, tropical reals with ∓∞, power
+sets, alphanumeric strings, and so on.  Domains provide
+
+* membership testing (closure checks for operations),
+* exhaustive enumeration when the domain is finite (axiom checks on finite
+  domains are exact), and
+* seeded random sampling when it is not (axiom checks become randomised
+  searches for counterexamples, with reproducible seeds).
+
+Domains are *purely carriers*; which element acts as the array "zero" is a
+property of the op-pair (the identity of ``⊕``), not of the domain.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+import string as _string
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
+
+__all__ = [
+    "DomainError",
+    "Domain",
+    "Naturals",
+    "Integers",
+    "NonNegativeReals",
+    "Reals",
+    "TropicalReals",
+    "MinPlusReals",
+    "CompletedReals",
+    "ExtendedReals",
+    "ExtendedNonNegativeReals",
+    "PositiveExtendedReals",
+    "BooleanDomain",
+    "FiniteField2",
+    "IntegersModN",
+    "BoundedIntegerRange",
+    "PowerSetDomain",
+    "StringDomain",
+    "get_domain",
+    "list_domains",
+]
+
+
+class DomainError(ValueError):
+    """Raised for domain violations or unknown domain names."""
+
+
+class Domain:
+    """Base class for value domains.
+
+    Subclasses implement :meth:`contains` and either :meth:`elements`
+    (finite domains) or :meth:`_sample_one` (infinite domains); the base
+    class supplies seeded batch sampling on top of either.
+    """
+
+    #: Human-readable name; also the registry key for singleton domains.
+    name: str = "domain"
+    #: Whether :meth:`elements` enumerates the whole carrier.
+    is_finite: bool = False
+
+    # -- membership ---------------------------------------------------------
+    def contains(self, value: Any) -> bool:
+        """Whether ``value`` belongs to this carrier set."""
+        raise NotImplementedError
+
+    def validate(self, value: Any) -> Any:
+        """Return ``value`` if it belongs to the domain, else raise."""
+        if not self.contains(value):
+            raise DomainError(f"{value!r} is not an element of {self.name}")
+        return value
+
+    # -- enumeration / sampling ---------------------------------------------
+    def elements(self) -> Iterator[Any]:
+        """Iterate over all elements (finite domains only)."""
+        raise DomainError(f"domain {self.name} is not finite")
+
+    def _sample_one(self, rng: random.Random) -> Any:
+        """Draw one element at random (infinite domains override this)."""
+        pool = list(self.elements())
+        return rng.choice(pool)
+
+    def sample(
+        self,
+        rng: random.Random,
+        size: int,
+        *,
+        exclude: Any = None,
+        exclude_values: Optional[Sequence[Any]] = None,
+    ) -> List[Any]:
+        """Draw ``size`` elements, optionally avoiding given values.
+
+        ``exclude``/``exclude_values`` let callers draw *nonzero* values
+        (the incidence-array constructions need entries distinct from the
+        op-pair's zero).  Rejection-samples with a bounded number of
+        retries; raises :class:`DomainError` if the domain cannot supply
+        enough distinct-from-excluded values (e.g. asking for nonzero
+        elements of a 1-element domain).
+        """
+        banned = set()
+        if exclude is not None:
+            banned.add(_freeze(exclude))
+        for v in exclude_values or ():
+            banned.add(_freeze(v))
+        out: List[Any] = []
+        attempts = 0
+        limit = 100 * max(size, 1) + 100
+        while len(out) < size:
+            v = self._sample_one(rng)
+            attempts += 1
+            if _freeze(v) in banned:
+                if attempts > limit:
+                    raise DomainError(
+                        f"cannot sample {size} values from {self.name} "
+                        f"avoiding {sorted(map(repr, banned))}")
+                continue
+            out.append(v)
+        return out
+
+    #: Largest tuple-space size exhaustively enumerated by :meth:`pairs` /
+    #: :meth:`triples`; beyond this, random sampling is used even for finite
+    #: domains.
+    EXHAUSTIVE_LIMIT = 20_000
+
+    def pairs(self, rng: random.Random, count: int) -> Iterator[tuple]:
+        """Yield element pairs: the full Cartesian square for small finite
+        domains (exact checks), otherwise ``count`` random pairs."""
+        if self.is_finite:
+            pool = list(self.elements())
+            if len(pool) ** 2 <= self.EXHAUSTIVE_LIMIT:
+                yield from itertools.product(pool, repeat=2)
+                return
+        for _ in range(count):
+            yield self._sample_one(rng), self._sample_one(rng)
+
+    def triples(self, rng: random.Random, count: int) -> Iterator[tuple]:
+        """Yield element triples; exhaustive for small finite domains."""
+        if self.is_finite:
+            pool = list(self.elements())
+            if len(pool) ** 3 <= self.EXHAUSTIVE_LIMIT:
+                yield from itertools.product(pool, repeat=3)
+                return
+        for _ in range(count):
+            yield (self._sample_one(rng), self._sample_one(rng),
+                   self._sample_one(rng))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Domain {self.name}>"
+
+
+def _freeze(v: Any) -> Any:
+    """Hashable view of a value (sets become frozensets)."""
+    if isinstance(v, (set, frozenset)):
+        return frozenset(v)
+    if isinstance(v, float) and math.isnan(v):
+        return "nan"
+    return v
+
+
+def _is_real(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+# ---------------------------------------------------------------------------
+# Numeric domains
+# ---------------------------------------------------------------------------
+
+class Naturals(Domain):
+    """ℕ = {0, 1, 2, ...} — the paper's canonical zero-sum-free example."""
+
+    name = "naturals"
+    is_finite = False
+
+    def __init__(self, sample_bound: int = 20) -> None:
+        self.sample_bound = int(sample_bound)
+
+    def contains(self, value: Any) -> bool:
+        return _is_real(value) and float(value).is_integer() and value >= 0
+
+    def _sample_one(self, rng: random.Random) -> int:
+        return rng.randint(0, self.sample_bound)
+
+
+class Integers(Domain):
+    """ℤ — a ring, hence *not* zero-sum-free (non-example in Section III)."""
+
+    name = "integers"
+    is_finite = False
+
+    def __init__(self, sample_bound: int = 20) -> None:
+        self.sample_bound = int(sample_bound)
+
+    def contains(self, value: Any) -> bool:
+        return _is_real(value) and float(value).is_integer()
+
+    def _sample_one(self, rng: random.Random) -> int:
+        return rng.randint(-self.sample_bound, self.sample_bound)
+
+
+class NonNegativeReals(Domain):
+    """ℝ≥0 with standard + and × — the most common value set."""
+
+    name = "nonnegative_reals"
+    is_finite = False
+
+    def contains(self, value: Any) -> bool:
+        return _is_real(value) and not math.isnan(value) \
+            and 0 <= value < math.inf
+
+    def _sample_one(self, rng: random.Random) -> float:
+        # Mix zeros, small integers, and continuous draws so edge cases
+        # (the additive identity in particular) appear with fair frequency.
+        r = rng.random()
+        if r < 0.15:
+            return 0.0
+        if r < 0.55:
+            return float(rng.randint(1, 9))
+        return round(rng.uniform(0.0, 10.0), 3)
+
+
+class Reals(Domain):
+    """ℝ — has additive inverses, hence not zero-sum-free."""
+
+    name = "reals"
+    is_finite = False
+
+    def contains(self, value: Any) -> bool:
+        return _is_real(value) and not math.isnan(value) and math.isfinite(value)
+
+    def _sample_one(self, rng: random.Random) -> float:
+        r = rng.random()
+        if r < 0.1:
+            return 0.0
+        if r < 0.5:
+            return float(rng.randint(-9, 9))
+        return round(rng.uniform(-10.0, 10.0), 3)
+
+
+class TropicalReals(Domain):
+    """ℝ ∪ {−∞}: the standard max-plus carrier.
+
+    With ``⊕ = max`` (identity −∞) and ``⊗ = +`` this *does* satisfy the
+    paper's criteria — the non-example is :class:`CompletedReals`
+    (see DESIGN.md §5).
+    """
+
+    name = "tropical_reals"
+    is_finite = False
+
+    def contains(self, value: Any) -> bool:
+        if not _is_real(value) or math.isnan(value):
+            return False
+        return value == -math.inf or math.isfinite(value)
+
+    def _sample_one(self, rng: random.Random) -> float:
+        r = rng.random()
+        if r < 0.15:
+            return -math.inf
+        if r < 0.55:
+            return float(rng.randint(-9, 9))
+        return round(rng.uniform(-10.0, 10.0), 3)
+
+
+class MinPlusReals(Domain):
+    """ℝ ∪ {+∞}: the min-plus (shortest-path) carrier."""
+
+    name = "min_plus_reals"
+    is_finite = False
+
+    def contains(self, value: Any) -> bool:
+        if not _is_real(value) or math.isnan(value):
+            return False
+        return value == math.inf or math.isfinite(value)
+
+    def _sample_one(self, rng: random.Random) -> float:
+        r = rng.random()
+        if r < 0.15:
+            return math.inf
+        if r < 0.55:
+            return float(rng.randint(-9, 9))
+        return round(rng.uniform(-10.0, 10.0), 3)
+
+
+class CompletedReals(Domain):
+    """ℝ ∪ {−∞, +∞}: the *completed* max-plus carrier.
+
+    This is the paper's max-plus **non-example**: with the convention
+    ``(+∞) + (−∞) = −∞``, the pair (+∞, −∞) multiplies to the zero −∞, so
+    ``⊗`` has zero divisors and Theorem II.1(criterion b) fails.
+    """
+
+    name = "completed_reals"
+    is_finite = False
+
+    def contains(self, value: Any) -> bool:
+        return _is_real(value) and not math.isnan(value)
+
+    def _sample_one(self, rng: random.Random) -> float:
+        r = rng.random()
+        if r < 0.12:
+            return -math.inf
+        if r < 0.24:
+            return math.inf
+        if r < 0.6:
+            return float(rng.randint(-9, 9))
+        return round(rng.uniform(-10.0, 10.0), 3)
+
+
+#: Alias — some texts call ℝ∪{±∞} the extended reals.
+ExtendedReals = CompletedReals
+
+
+class ExtendedNonNegativeReals(Domain):
+    """[0, +∞]: carrier for ``min.max`` (zero is +∞) and ``max.min``."""
+
+    name = "extended_nonnegative_reals"
+    is_finite = False
+
+    def contains(self, value: Any) -> bool:
+        return _is_real(value) and not math.isnan(value) and value >= 0
+
+    def _sample_one(self, rng: random.Random) -> float:
+        r = rng.random()
+        if r < 0.1:
+            return 0.0
+        if r < 0.2:
+            return math.inf
+        if r < 0.6:
+            return float(rng.randint(1, 9))
+        return round(rng.uniform(0.0, 10.0), 3)
+
+
+class PositiveExtendedReals(Domain):
+    """(0, +∞]: carrier for ``min.×`` (zero is +∞; excluding 0 avoids 0·∞)."""
+
+    name = "positive_extended_reals"
+    is_finite = False
+
+    def contains(self, value: Any) -> bool:
+        return _is_real(value) and not math.isnan(value) and value > 0
+
+    def _sample_one(self, rng: random.Random) -> float:
+        r = rng.random()
+        if r < 0.15:
+            return math.inf
+        if r < 0.6:
+            return float(rng.randint(1, 9))
+        return round(rng.uniform(0.001, 10.0), 3)
+
+
+# ---------------------------------------------------------------------------
+# Finite domains
+# ---------------------------------------------------------------------------
+
+class BooleanDomain(Domain):
+    """{False, True} — the trivial Boolean algebra; ``or.and`` is safe."""
+
+    name = "booleans"
+    is_finite = True
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, bool)
+
+    def elements(self) -> Iterator[bool]:
+        yield False
+        yield True
+
+
+class FiniteField2(Domain):
+    """GF(2) = {0, 1} with ⊕ = xor, ⊗ = and — a ring, so 1 ⊕ 1 = 0
+    violates zero-sum-freeness (a ring non-example)."""
+
+    name = "gf2"
+    is_finite = True
+
+    def contains(self, value: Any) -> bool:
+        return value in (0, 1) and not isinstance(value, float)
+
+    def elements(self) -> Iterator[int]:
+        yield 0
+        yield 1
+
+
+class IntegersModN(Domain):
+    """Z_n — rings mod n; non-examples for n ≥ 2 (additive inverses)."""
+
+    is_finite = True
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise DomainError("modulus must be >= 1")
+        self.n = int(n)
+        self.name = f"integers_mod_{n}"
+
+    def contains(self, value: Any) -> bool:
+        return _is_real(value) and float(value).is_integer() \
+            and 0 <= value < self.n
+
+    def elements(self) -> Iterator[int]:
+        return iter(range(self.n))
+
+
+class BoundedIntegerRange(Domain):
+    """{lo, ..., hi} — small exhaustive carrier for exact axiom checks."""
+
+    is_finite = True
+
+    def __init__(self, lo: int, hi: int) -> None:
+        if hi < lo:
+            raise DomainError("empty integer range")
+        self.lo, self.hi = int(lo), int(hi)
+        self.name = f"integers[{lo},{hi}]"
+
+    def contains(self, value: Any) -> bool:
+        return _is_real(value) and float(value).is_integer() \
+            and self.lo <= value <= self.hi
+
+    def elements(self) -> Iterator[int]:
+        return iter(range(self.lo, self.hi + 1))
+
+
+class PowerSetDomain(Domain):
+    """The power set of a finite universe, as frozensets.
+
+    With ``⊕ = ∪`` (identity ∅) and ``⊗ = ∩`` (identity = universe), a
+    power set over ≥ 2 elements is the paper's "non-trivial Boolean
+    algebra" non-example: disjoint non-empty sets are zero divisors.
+    """
+
+    is_finite = True
+
+    def __init__(self, universe: Iterable[Any]) -> None:
+        self.universe = frozenset(universe)
+        self.name = f"powerset[{len(self.universe)}]"
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, (set, frozenset)) \
+            and frozenset(value) <= self.universe
+
+    def elements(self) -> Iterator[frozenset]:
+        items = sorted(self.universe, key=repr)
+        for r in range(len(items) + 1):
+            for combo in itertools.combinations(items, r):
+                yield frozenset(combo)
+
+    def _sample_one(self, rng: random.Random) -> frozenset:
+        return frozenset(x for x in self.universe if rng.random() < 0.5)
+
+
+class StringDomain(Domain):
+    """Alphanumeric strings up to a maximum length, ordered lexicographically.
+
+    The introduction's example: ``⊕ = max``, ``⊗ = min`` on strings; the
+    empty string is the bottom of the order and thus the array zero.  The
+    domain's :attr:`top` element ("z" * max_len) is the identity for
+    ``min`` (see :func:`repro.values.operations.make_str_min`).
+    """
+
+    is_finite = False
+
+    #: Alphabet used for sampling and for the top element.
+    ALPHABET = _string.digits + _string.ascii_lowercase
+
+    def __init__(self, max_len: Optional[int] = 6, *,
+                 include_nul: bool = False) -> None:
+        if max_len is not None and max_len < 1:
+            raise DomainError("max_len must be >= 1 (or None for unbounded)")
+        self.max_len = None if max_len is None else int(max_len)
+        self.include_nul = bool(include_nul)
+        self.name = "strings[*]" if max_len is None else f"strings[<= {max_len}]"
+
+    @property
+    def top(self) -> str:
+        """The lexicographic maximum of the domain (bounded domains only).
+
+        Unbounded string domains have no maximum, hence no two-sided
+        identity for ``min``; ``min``-based op-pairs require a bounded
+        domain.
+        """
+        if self.max_len is None:
+            raise DomainError("unbounded string domain has no top element")
+        return "z" * self.max_len
+
+    def contains(self, value: Any) -> bool:
+        if not isinstance(value, str):
+            return False
+        if self.max_len is not None and len(value) > self.max_len:
+            return False
+        if value == "\0":
+            return self.include_nul
+        return all(c in self.ALPHABET for c in value)
+
+    def _sample_one(self, rng: random.Random) -> str:
+        r = rng.random()
+        if r < 0.12:
+            return ""
+        if self.include_nul and r < 0.2:
+            return "\0"
+        length = rng.randint(1, min(self.max_len or 4, 6))
+        return "".join(rng.choice(self.ALPHABET) for _ in range(length))
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_DOMAINS: Dict[str, Domain] = {}
+
+
+def _register(domain: Domain) -> Domain:
+    _DOMAINS[domain.name] = domain
+    return domain
+
+
+_register(Naturals())
+_register(Integers())
+_register(NonNegativeReals())
+_register(Reals())
+_register(TropicalReals())
+_register(MinPlusReals())
+_register(CompletedReals())
+_register(ExtendedNonNegativeReals())
+_register(PositiveExtendedReals())
+_register(BooleanDomain())
+_register(FiniteField2())
+_register(IntegersModN(6))
+_register(PowerSetDomain(frozenset({"a", "b", "c"})))
+_register(StringDomain())
+
+
+def get_domain(name: str) -> Domain:
+    """Look up a registered singleton domain by name."""
+    try:
+        return _DOMAINS[name]
+    except KeyError:
+        known = ", ".join(sorted(_DOMAINS))
+        raise DomainError(f"unknown domain {name!r}; known: {known}") from None
+
+
+def list_domains() -> list[str]:
+    """Sorted names of registered domains."""
+    return sorted(_DOMAINS)

@@ -1,0 +1,104 @@
+"""Exotic operations: criteria-compliant but non-associative/commutative.
+
+Theorem II.1 pointedly does **not** assume ``⊕``/``⊗`` are associative or
+commutative, nor that ``⊗`` distributes over ``⊕`` — only the three
+zero-related criteria.  The paper (Section III) notes that "several
+semiring-like structures satisfy the criteria" while lacking those classical
+axioms.  This module constructs concrete such structures over ℝ≥0 so the
+property-based tests can exercise the theorem in its full generality:
+
+* :data:`SKEW_PLUS` — ``a ⊕ b = a + b + a²b``.  Two-sided identity 0,
+  zero-sum-free over ℝ≥0 (all terms non-negative), but neither associative
+  nor commutative.
+* :data:`TWISTED_TIMES` — ``a ⊗ b = a·b·exp(min((a−1)(b−1)a, 50))``.
+  Two-sided identity 1 (either factor = 1 zeroes the exponent), strictly
+  positive unless ``a·b = 0``, hence no zero divisors and 0 annihilates;
+  neither associative nor commutative (the exponent is skewed by ``a``).
+
+The exponent clamp keeps products finite for the sampled ranges; it only
+flattens the operation far outside the test envelope and does not affect
+the zero-related criteria (the clamp never maps a nonzero product to zero).
+
+Three op-pairs combining these with standard ops are registered:
+``skew_plus_times``, ``plus_twisted_times`` and ``skew_twisted`` — all
+``expected_safe=True``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.values.domains import NonNegativeReals
+from repro.values.operations import BinaryOp, PLUS, TIMES, register_operation
+from repro.values.semiring import OpPair, register_op_pair
+
+__all__ = [
+    "SKEW_PLUS",
+    "TWISTED_TIMES",
+    "SKEW_PLUS_TIMES",
+    "PLUS_TWISTED_TIMES",
+    "SKEW_TWISTED",
+]
+
+
+def _skew_plus(a: float, b: float) -> float:
+    """``a + b + a²b``: zero-sum-free, identity 0, non-associative."""
+    return a + b + a * a * b
+
+
+def _twisted_times(a: float, b: float) -> float:
+    """``a·b·exp((a−1)(b−1)a)`` with a clamped exponent.
+
+    Zero iff ``a = 0`` or ``b = 0`` (the exponential never vanishes), so no
+    zero divisors; identity 1 on both sides; order of arguments matters.
+    """
+    if a == 0 or b == 0:
+        return 0.0
+    exponent = (a - 1.0) * (b - 1.0) * a
+    return a * b * math.exp(min(exponent, 50.0))
+
+
+SKEW_PLUS = register_operation(BinaryOp(
+    "skew_plus", _skew_plus, 0.0, symbol="⊕̃",
+    associative=False, commutative=False,
+    doc="a + b + a²b on ℝ≥0: zero-sum-free but neither associative nor "
+        "commutative."))
+
+TWISTED_TIMES = register_operation(BinaryOp(
+    "twisted_times", _twisted_times, 1.0, symbol="⊗̃",
+    associative=False, commutative=False,
+    doc="a·b·exp((a−1)(b−1)a) on ℝ≥0: no zero divisors, 0 annihilates, "
+        "identity 1; neither associative nor commutative."))
+
+
+SKEW_PLUS_TIMES = register_op_pair(OpPair(
+    name="skew_plus_times",
+    display="⊕̃.×",
+    add=SKEW_PLUS, mul=TIMES,
+    domain=NonNegativeReals(),
+    expected_safe=True,
+    description="Non-associative, non-commutative ⊕ with ordinary ×: "
+                "complies with the Theorem II.1 criteria, demonstrating "
+                "they do not require ⊕ to be associative or commutative.",
+))
+
+PLUS_TWISTED_TIMES = register_op_pair(OpPair(
+    name="plus_twisted_times",
+    display="+.⊗̃",
+    add=PLUS, mul=TWISTED_TIMES,
+    domain=NonNegativeReals(),
+    expected_safe=True,
+    description="Ordinary + with a non-associative, non-commutative ⊗: "
+                "complies with the criteria; also breaks (AB)ᵀ = BᵀAᵀ.",
+))
+
+SKEW_TWISTED = register_op_pair(OpPair(
+    name="skew_twisted",
+    display="⊕̃.⊗̃",
+    add=SKEW_PLUS, mul=TWISTED_TIMES,
+    domain=NonNegativeReals(),
+    expected_safe=True,
+    description="Both operations exotic: the most hostile compliant pair "
+                "in the catalog (no associativity, commutativity or "
+                "distributivity anywhere).",
+))

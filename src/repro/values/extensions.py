@@ -1,0 +1,178 @@
+"""Extension algebras beyond the paper's catalog.
+
+The paper closes by noting that "a wide range of graph adjacency arrays
+can be constructed via array multiplication of incidence arrays over
+different semirings".  This module adds three families that downstream
+users of such a library reach for immediately — each certified through
+the same Theorem II.1 machinery as the paper's own catalog:
+
+* **Log semiring** ``logaddexp.+`` over ℝ∪{−∞}: numerically stable
+  probability accumulation in log space (``⊕ = log(eˣ + eʸ)``,
+  ``⊗ = +``, zero −∞, one 0).  Zero-sum-free, no zero divisors, −∞
+  annihilates ⇒ SAFE; both operations have ufunc forms, so the
+  vectorised kernels apply.
+* **Viterbi semiring** ``max.×`` on the unit interval [0, 1]: most
+  probable derivation/path weights.  SAFE, vectorisable.
+* **Lexicographic min-plus** over pairs ``(cost, hops)``: multi-objective
+  shortest paths ("cheapest, then fewest hops").  ``⊕`` = lexicographic
+  minimum (identity ``(∞, ∞)``), ``⊗`` = componentwise addition
+  (identity ``(0, 0)``; the zero annihilates componentwise).  SAFE, with
+  genuinely *tuple-valued* arrays exercising the non-numeric code paths.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Tuple
+
+import numpy as np
+
+from repro.values.domains import Domain, TropicalReals
+from repro.values.operations import BinaryOp, PLUS, TIMES, register_operation
+from repro.values.semiring import OpPair, register_op_pair
+
+__all__ = [
+    "UnitInterval",
+    "LexicographicPairs",
+    "LOGADDEXP",
+    "LEX_MIN",
+    "PAIR_PLUS",
+    "LOG_SEMIRING",
+    "VITERBI_MAX_TIMES",
+    "LEX_MIN_PLUS",
+]
+
+
+# ---------------------------------------------------------------------------
+# Domains
+# ---------------------------------------------------------------------------
+
+class UnitInterval(Domain):
+    """[0, 1] — probability weights for the Viterbi semiring."""
+
+    name = "unit_interval"
+    is_finite = False
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, (int, float)) \
+            and not isinstance(value, bool) \
+            and not math.isnan(value) and 0 <= value <= 1
+
+    def _sample_one(self, rng: random.Random) -> float:
+        r = rng.random()
+        if r < 0.1:
+            return 0.0
+        if r < 0.2:
+            return 1.0
+        return round(rng.uniform(0.0, 1.0), 3)
+
+
+class LexicographicPairs(Domain):
+    """Pairs ``(cost, hops)`` with finite components, plus ``(∞, ∞)``.
+
+    Ordered lexicographically; ``(∞, ∞)`` is the top (the ``⊕`` identity
+    for lexicographic min) and serves as the array zero.
+    """
+
+    name = "lex_pairs"
+    is_finite = False
+
+    #: The zero/top element.
+    TOP: Tuple[float, float] = (math.inf, math.inf)
+
+    def contains(self, value: Any) -> bool:
+        if not (isinstance(value, tuple) and len(value) == 2):
+            return False
+        a, b = value
+        def _num(x):
+            return isinstance(x, (int, float)) and not isinstance(x, bool) \
+                and not (isinstance(x, float) and math.isnan(x))
+        if not (_num(a) and _num(b)):
+            return False
+        if value == self.TOP:
+            return True
+        return math.isfinite(a) and math.isfinite(b)
+
+    def _sample_one(self, rng: random.Random) -> Tuple[float, float]:
+        if rng.random() < 0.1:
+            return self.TOP
+        return (float(rng.randint(0, 9)), float(rng.randint(0, 5)))
+
+
+# ---------------------------------------------------------------------------
+# Operations
+# ---------------------------------------------------------------------------
+
+def _logaddexp(a: float, b: float) -> float:
+    if a == -math.inf:
+        return b
+    if b == -math.inf:
+        return a
+    m = max(a, b)
+    return m + math.log(math.exp(a - m) + math.exp(b - m))
+
+
+LOGADDEXP = register_operation(BinaryOp(
+    "logaddexp", _logaddexp, -math.inf, symbol="⊕ₗ", ufunc=np.logaddexp,
+    doc="log(eˣ + eʸ): probability addition in log space; identity −∞."))
+
+
+def _lex_min(a: Tuple[float, float], b: Tuple[float, float]
+             ) -> Tuple[float, float]:
+    return a if a <= b else b
+
+
+def _pair_plus(a: Tuple[float, float], b: Tuple[float, float]
+               ) -> Tuple[float, float]:
+    return (a[0] + b[0], a[1] + b[1])
+
+
+LEX_MIN = register_operation(BinaryOp(
+    "lex_min", _lex_min, LexicographicPairs.TOP, symbol="min₍lex₎",
+    doc="Lexicographic minimum of (cost, hops) pairs; identity (∞, ∞)."))
+
+PAIR_PLUS = register_operation(BinaryOp(
+    "pair_plus", _pair_plus, (0.0, 0.0), symbol="+₂",
+    doc="Componentwise addition of (cost, hops) pairs; identity (0, 0); "
+        "(∞, ∞) annihilates componentwise."))
+
+
+# ---------------------------------------------------------------------------
+# Op-pairs
+# ---------------------------------------------------------------------------
+
+LOG_SEMIRING = register_op_pair(OpPair(
+    name="log_semiring",
+    display="logaddexp.+",
+    add=LOGADDEXP, mul=PLUS,
+    domain=TropicalReals(),
+    expected_safe=True,
+    description="The log semiring: numerically stable accumulation of "
+                "probabilities in log space; the ⊕ of forward algorithms. "
+                "Certified by the same criteria as the paper's pairs.",
+))
+
+VITERBI_MAX_TIMES = register_op_pair(OpPair(
+    name="viterbi_max_times",
+    display="max.× ([0,1])",
+    add=BinaryOp("max_unit", lambda a, b: a if a >= b else b, 0.0,
+                 symbol="max", ufunc=np.maximum,
+                 doc="Maximum on [0,1]; identity 0."),
+    mul=TIMES,
+    domain=UnitInterval(),
+    expected_safe=True,
+    description="The Viterbi semiring on probabilities: selects the most "
+                "probable connection between two vertices.",
+))
+
+LEX_MIN_PLUS = register_op_pair(OpPair(
+    name="lex_min_plus",
+    display="min₍lex₎.+₂",
+    add=LEX_MIN, mul=PAIR_PLUS,
+    domain=LexicographicPairs(),
+    expected_safe=True,
+    description="Multi-objective min-plus over (cost, hops) pairs: "
+                "selects the cheapest connection, breaking ties by hop "
+                "count — tuple-valued adjacency arrays.",
+))

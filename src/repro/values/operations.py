@@ -1,0 +1,362 @@
+"""Binary operations on value sets.
+
+The paper treats ``⊕`` and ``⊗`` as *closed binary operations on V with
+two-sided identities* and deliberately does **not** assume associativity,
+commutativity, distributivity, or that the additive identity annihilates
+under ``⊗`` — those are exactly the properties Theorem II.1 characterises.
+
+:class:`BinaryOp` therefore wraps a plain callable with only the metadata
+the theory needs (a name and an identity element), plus optional metadata
+used by the vectorised kernels (a NumPy ufunc equivalent, if one exists).
+
+A process-wide registry maps operation names to constructors so op-pairs
+can be described by strings (``"max"``, ``"plus"``, ``"union"``, ...),
+mirroring how D4M lets users pick ``⊕.⊗`` pairs by name.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+__all__ = [
+    "OperationError",
+    "BinaryOp",
+    "register_operation",
+    "get_operation",
+    "list_operations",
+]
+
+
+class OperationError(ValueError):
+    """Raised for malformed operations or unknown operation names."""
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """A closed binary operation on a value set, with a two-sided identity.
+
+    Parameters
+    ----------
+    name:
+        Human-readable name, e.g. ``"plus"`` or ``"max"``.  Used in
+        pretty-printed op-pair names such as ``"max.min"``.
+    func:
+        The operation itself, a callable of two values.
+    identity:
+        The two-sided identity element ``e`` with ``op(v, e) == op(e, v) == v``.
+        For ``⊕`` this is the paper's ``0``; for ``⊗`` the paper's ``1``.
+    symbol:
+        Short display symbol (``"+"``, ``"max"``, ``"∪"`` ...).
+    ufunc:
+        Optional NumPy ufunc implementing the same operation element-wise on
+        arrays; enables the vectorised kernels in
+        :mod:`repro.arrays.sparse_backend`.
+    associative, commutative:
+        Optional *claims* used only for documentation and kernel selection;
+        they are verified empirically by :mod:`repro.values.properties`
+        rather than trusted.
+    doc:
+        One-line description.
+    """
+
+    name: str
+    func: Callable[[Any, Any], Any]
+    identity: Any
+    symbol: str = ""
+    ufunc: Optional[np.ufunc] = None
+    associative: bool = True
+    commutative: bool = True
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        if not callable(self.func):
+            raise OperationError(f"operation {self.name!r} is not callable")
+        if not self.name:
+            raise OperationError("operation must have a non-empty name")
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        return self.func(a, b)
+
+    def fold(self, values, *, initial: Any = None) -> Any:
+        """Left-fold ``values`` in iteration order.
+
+        Folding starts from ``initial`` if given, else from the identity.
+        Because the identity is two-sided, starting the fold from it does not
+        perturb results even for non-associative operations:
+        ``e ⊕ v == v``.
+
+        Returns the identity for an empty sequence.
+        """
+        acc = self.identity if initial is None else initial
+        for v in values:
+            acc = self.func(acc, v)
+        return acc
+
+    def is_identity(self, value: Any) -> bool:
+        """Whether ``value`` equals this operation's identity element."""
+        return _values_equal(value, self.identity)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BinaryOp({self.name!r}, identity={self.identity!r})"
+
+
+def _values_equal(a: Any, b: Any) -> bool:
+    """Equality that treats NaN as equal to NaN and is set-friendly."""
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return True
+    try:
+        return bool(a == b)
+    except Exception:  # pragma: no cover - defensive
+        return a is b
+
+
+# ---------------------------------------------------------------------------
+# Standard operations
+# ---------------------------------------------------------------------------
+
+def _plus(a, b):
+    return a + b
+
+
+def _times(a, b):
+    return a * b
+
+
+def _max(a, b):
+    return a if a >= b else b
+
+
+def _min(a, b):
+    return a if a <= b else b
+
+
+def _union(a, b):
+    return frozenset(a) | frozenset(b)
+
+
+def _intersection(a, b):
+    return frozenset(a) & frozenset(b)
+
+
+def _symmetric_difference(a, b):
+    return frozenset(a) ^ frozenset(b)
+
+
+def _or(a, b):
+    return bool(a) or bool(b)
+
+
+def _and(a, b):
+    return bool(a) and bool(b)
+
+
+def _xor(a, b):
+    return bool(a) != bool(b)
+
+
+def _gcd(a, b):
+    return math.gcd(int(a), int(b))
+
+
+def _lcm(a, b):
+    return math.lcm(int(a), int(b))
+
+
+def _completed_plus(a, b):
+    """Addition on ℝ∪{±∞} resolving the indeterminate form to +∞.
+
+    The *standard* tropical convention resolves (−∞) + (+∞) to −∞, which
+    keeps −∞ absorbing and — as our certification engine confirms — makes
+    the completed max-plus algebra satisfy the paper's criteria.  The
+    paper's max-plus **non-example** is the naive completion used here,
+    where +∞ dominates: then ``(+∞) ⊗ 0̄ = (+∞) + (−∞) = +∞ ≠ 0̄``, so the
+    additive identity fails to annihilate (criterion c) and the
+    "zero-product property" the paper cites is violated.  See DESIGN.md §5.
+    """
+    if (a == math.inf and b == -math.inf) or (a == -math.inf and b == math.inf):
+        return math.inf
+    return a + b
+
+
+# --- string-lattice operations ---------------------------------------------
+#
+# The paper's introduction uses the set of alphanumeric strings with
+# ``⊕ = max`` and ``⊗ = min`` under lexicographic order.  The empty string is
+# the minimum, hence serves as the array zero.
+
+def _str_max(a: str, b: str) -> str:
+    return a if a >= b else b
+
+
+def _str_min(a: str, b: str) -> str:
+    return a if a <= b else b
+
+
+# --- non-commutative multiplication with explicit zero ----------------------
+#
+# String concatenation with a distinguished zero symbol.  ``⊗ = concat`` has
+# two-sided identity "" and, by construction, the distinguished zero
+# annihilates and there are no zero divisors — so ``max.concat`` satisfies
+# Theorem II.1 while ⊗ is non-commutative.  It is used to demonstrate the
+# Section III remark that (AB)ᵀ = BᵀAᵀ may fail.
+
+#: Distinguished zero for the concat algebra.  Ordered below every
+#: alphanumeric string by virtue of being compared via a wrapper in
+#: :class:`repro.values.domains.StringDomain`; here we use the empty-string
+#: sentinel "\0" which sorts below all printable strings.
+CONCAT_ZERO = "\0"
+
+
+def _concat(a: str, b: str) -> str:
+    if a == CONCAT_ZERO or b == CONCAT_ZERO:
+        return CONCAT_ZERO
+    return a + b
+
+
+def _str_max_with_zero(a: str, b: str) -> str:
+    # The distinguished zero is adjoined as the bottom of the string order
+    # (Python would otherwise sort "\0" *above* "", breaking bottomness).
+    if a == CONCAT_ZERO:
+        return b
+    if b == CONCAT_ZERO:
+        return a
+    return a if a >= b else b
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: Dict[str, BinaryOp] = {}
+
+
+def register_operation(op: BinaryOp, *, overwrite: bool = False) -> BinaryOp:
+    """Register ``op`` under ``op.name``; returns it for chaining."""
+    if not overwrite and op.name in _REGISTRY:
+        raise OperationError(f"operation {op.name!r} already registered")
+    _REGISTRY[op.name] = op
+    return op
+
+
+def get_operation(name: str) -> BinaryOp:
+    """Look up a registered operation by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise OperationError(f"unknown operation {name!r}; known: {known}") from None
+
+
+def list_operations() -> list[str]:
+    """Sorted names of all registered operations."""
+    return sorted(_REGISTRY)
+
+
+# Arithmetic over numbers ----------------------------------------------------
+PLUS = register_operation(BinaryOp(
+    "plus", _plus, 0, symbol="+", ufunc=np.add,
+    doc="Arithmetic addition; identity 0."))
+TIMES = register_operation(BinaryOp(
+    "times", _times, 1, symbol="×", ufunc=np.multiply,
+    doc="Arithmetic multiplication; identity 1."))
+MAX = register_operation(BinaryOp(
+    "max", _max, -math.inf, symbol="max", ufunc=np.maximum,
+    doc="Maximum under the usual order; identity −∞."))
+MIN = register_operation(BinaryOp(
+    "min", _min, math.inf, symbol="min", ufunc=np.minimum,
+    doc="Minimum under the usual order; identity +∞."))
+MAX_ZERO = register_operation(BinaryOp(
+    "max0", _max, 0, symbol="max", ufunc=np.maximum,
+    doc="Maximum restricted to non-negative values; identity 0."))
+MIN_INF = register_operation(BinaryOp(
+    "min_inf", _min, math.inf, symbol="min", ufunc=np.minimum,
+    doc="Alias of min with explicit +∞ identity (min-plus zero)."))
+COMPLETED_PLUS = register_operation(BinaryOp(
+    "completed_plus", _completed_plus, 0, symbol="+",
+    doc="Addition on ℝ∪{±∞} with −∞ + (+∞) = −∞ (max-plus convention)."))
+
+# Boolean ---------------------------------------------------------------------
+OR = register_operation(BinaryOp(
+    "or", _or, False, symbol="∨", ufunc=np.logical_or,
+    doc="Logical disjunction; identity False."))
+AND = register_operation(BinaryOp(
+    "and", _and, True, symbol="∧", ufunc=np.logical_and,
+    doc="Logical conjunction; identity True."))
+XOR = register_operation(BinaryOp(
+    "xor", _xor, False, symbol="⊻", ufunc=np.logical_xor,
+    doc="Exclusive or (= addition in GF(2)); identity False."))
+
+# Number theory ---------------------------------------------------------------
+GCD = register_operation(BinaryOp(
+    "gcd", _gcd, 0, symbol="gcd",
+    doc="Greatest common divisor on ℕ; identity 0 (gcd(a, 0) = a)."))
+LCM = register_operation(BinaryOp(
+    "lcm", _lcm, 1, symbol="lcm",
+    doc="Least common multiple on ℕ; identity 1."))
+
+# Sets ------------------------------------------------------------------------
+UNION = register_operation(BinaryOp(
+    "union", _union, frozenset(), symbol="∪",
+    doc="Set union; identity ∅."))
+INTERSECTION = register_operation(BinaryOp(
+    "intersection", _intersection, None, symbol="∩",
+    doc="Set intersection; identity is the universe (domain-dependent), "
+        "so instances are created per power-set domain."))
+SYMMETRIC_DIFFERENCE = register_operation(BinaryOp(
+    "symmetric_difference", _symmetric_difference, frozenset(), symbol="Δ",
+    doc="Symmetric difference (= addition in the Boolean ring); identity ∅."))
+
+# Strings ---------------------------------------------------------------------
+STR_MAX = register_operation(BinaryOp(
+    "str_max", _str_max, "", symbol="max",
+    doc="Lexicographic maximum of strings; identity is the empty string "
+        "(the minimum of the string order)."))
+STR_MIN = register_operation(BinaryOp(
+    "str_min", _str_min, None, symbol="min",
+    doc="Lexicographic minimum of strings; identity is the top string of a "
+        "bounded string domain, so instances are created per domain."))
+CONCAT = register_operation(BinaryOp(
+    "concat", _concat, "", symbol="·", associative=True, commutative=False,
+    doc="String concatenation with distinguished annihilating zero '\\0'; "
+        "identity ''.  Non-commutative."))
+STR_MAX_WITH_ZERO = register_operation(BinaryOp(
+    "str_max_zero", _str_max_with_zero, CONCAT_ZERO, symbol="max",
+    doc="Lexicographic maximum with the concat algebra's distinguished "
+        "zero '\\0' as identity/bottom."))
+
+
+def make_intersection(universe: frozenset) -> BinaryOp:
+    """Intersection on the power set of ``universe``; identity = universe.
+
+    The paper's Section III document×word example uses ``⊕ = ∪, ⊗ = ∩``;
+    the two-sided identity of ``∩`` is the universe of the power set, which
+    depends on the domain, so this is a factory rather than a singleton.
+    """
+    return BinaryOp(
+        name=f"intersection[{len(universe)}]",
+        func=_intersection,
+        identity=frozenset(universe),
+        symbol="∩",
+        doc=f"Set intersection on the power set of a {len(universe)}-element "
+            "universe; identity is the universe.",
+    )
+
+
+def make_str_min(top: str) -> BinaryOp:
+    """Lexicographic minimum on strings bounded above by ``top``.
+
+    ``min``'s two-sided identity is the maximum of the order, which for a
+    string domain is its top element; hence a factory.
+    """
+    return BinaryOp(
+        name=f"str_min[top={top!r}]",
+        func=_str_min,
+        identity=top,
+        symbol="min",
+        doc="Lexicographic minimum of strings; identity is the domain top.",
+    )

@@ -1,0 +1,337 @@
+"""Algebraic axiom checkers with witnesses.
+
+Theorem II.1 characterises when ``EoutᵀEin`` is always an adjacency array in
+terms of three properties of ``(V, ⊕, ⊗, 0)``:
+
+* **zero-sum-freeness** of ``⊕`` — ``a ⊕ b = 0  ⇔  a = b = 0``;
+* **no zero divisors** for ``⊗`` — ``a ⊗ b = 0  ⇔  a = 0 or b = 0``;
+* **0 annihilates** under ``⊗`` — ``a ⊗ 0 = 0 ⊗ a = 0``.
+
+This module implements those checks (plus the classical axioms the paper
+explicitly does *not* require: associativity, commutativity, distributivity,
+identity) over a :class:`~repro.values.domains.Domain`.  Finite domains are
+checked exhaustively, so results there are proofs; infinite domains are
+searched with seeded random sampling, so a "holds" verdict is evidence while
+a "fails" verdict carries an explicit witness and is definitive.
+
+Every checker returns a :class:`PropertyReport` carrying the verdict, the
+number of cases examined, and — on failure — the offending elements, which
+the certification engine then turns into the Lemma II.2–II.4 witness graphs.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+from repro.values.domains import Domain
+from repro.values.operations import BinaryOp
+
+__all__ = [
+    "PropertyReport",
+    "check_identity",
+    "check_closure",
+    "check_associativity",
+    "check_commutativity",
+    "check_distributivity",
+    "check_zero_sum_free",
+    "check_no_zero_divisors",
+    "check_annihilator",
+    "DEFAULT_SAMPLES",
+]
+
+#: Number of random cases drawn per check on infinite domains.
+DEFAULT_SAMPLES = 400
+
+
+@dataclass(frozen=True)
+class PropertyReport:
+    """Outcome of checking one axiom over one domain.
+
+    Attributes
+    ----------
+    property_name:
+        Which axiom was checked (e.g. ``"zero-sum-free"``).
+    holds:
+        Verdict.  Exact for finite domains; randomized evidence otherwise.
+    exhaustive:
+        True when every element combination of the domain was examined, in
+        which case ``holds`` is a proof rather than evidence.
+    cases:
+        Number of element tuples examined.
+    witness:
+        On failure, the tuple of elements violating the axiom.
+    detail:
+        Human-readable elaboration (e.g. the two unequal sides).
+    """
+
+    property_name: str
+    holds: bool
+    exhaustive: bool
+    cases: int
+    witness: Optional[Tuple[Any, ...]] = None
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        status = "holds" if self.holds else "FAILS"
+        mode = "exhaustively" if self.exhaustive else f"on {self.cases} samples"
+        msg = f"{self.property_name}: {status} ({mode})"
+        if not self.holds and self.witness is not None:
+            msg += f"; witness {self.witness}"
+        if self.detail:
+            msg += f" — {self.detail}"
+        return msg
+
+
+def _eq(a: Any, b: Any) -> bool:
+    """Value equality robust to NaN and float/int mixing."""
+    if isinstance(a, float) and isinstance(b, float) \
+            and math.isnan(a) and math.isnan(b):
+        return True
+    try:
+        return bool(a == b)
+    except Exception:  # pragma: no cover - defensive
+        return a is b
+
+
+def _rng(seed: Optional[int]) -> random.Random:
+    return random.Random(0xA55 if seed is None else seed)
+
+
+# ---------------------------------------------------------------------------
+# Structural axioms (not required by Theorem II.1; provided for the catalog)
+# ---------------------------------------------------------------------------
+
+def check_closure(
+    op: BinaryOp,
+    domain: Domain,
+    *,
+    samples: int = DEFAULT_SAMPLES,
+    seed: Optional[int] = None,
+) -> PropertyReport:
+    """``V`` is closed under ``op``: results stay in the domain."""
+    rng = _rng(seed)
+    cases = 0
+    exhaustive = domain.is_finite
+    for a, b in domain.pairs(rng, samples):
+        cases += 1
+        try:
+            r = op(a, b)
+        except Exception as exc:
+            return PropertyReport(
+                f"closure of {op.name}", False, exhaustive, cases,
+                witness=(a, b), detail=f"raised {exc!r}")
+        if not domain.contains(r):
+            return PropertyReport(
+                f"closure of {op.name}", False, exhaustive, cases,
+                witness=(a, b), detail=f"{a!r} {op.symbol} {b!r} = {r!r} ∉ V")
+    return PropertyReport(f"closure of {op.name}", True, exhaustive, cases)
+
+
+def check_identity(
+    op: BinaryOp,
+    domain: Domain,
+    *,
+    samples: int = DEFAULT_SAMPLES,
+    seed: Optional[int] = None,
+) -> PropertyReport:
+    """``op.identity`` is a two-sided identity on the domain."""
+    rng = _rng(seed)
+    e = op.identity
+    cases = 0
+    exhaustive = domain.is_finite
+    pool = domain.elements() if domain.is_finite else \
+        iter(domain.sample(rng, samples))
+    for v in pool:
+        cases += 1
+        left = op(e, v)
+        right = op(v, e)
+        if not _eq(left, v):
+            return PropertyReport(
+                f"identity of {op.name}", False, exhaustive, cases,
+                witness=(v,), detail=f"{e!r} {op.symbol} {v!r} = {left!r} ≠ {v!r}")
+        if not _eq(right, v):
+            return PropertyReport(
+                f"identity of {op.name}", False, exhaustive, cases,
+                witness=(v,), detail=f"{v!r} {op.symbol} {e!r} = {right!r} ≠ {v!r}")
+    return PropertyReport(f"identity of {op.name}", True, exhaustive, cases)
+
+
+def check_associativity(
+    op: BinaryOp,
+    domain: Domain,
+    *,
+    samples: int = DEFAULT_SAMPLES,
+    seed: Optional[int] = None,
+) -> PropertyReport:
+    """``(a op b) op c == a op (b op c)``."""
+    rng = _rng(seed)
+    cases = 0
+    exhaustive = domain.is_finite
+    for a, b, c in domain.triples(rng, samples):
+        cases += 1
+        left = op(op(a, b), c)
+        right = op(a, op(b, c))
+        if not _eq(left, right):
+            return PropertyReport(
+                f"associativity of {op.name}", False, exhaustive, cases,
+                witness=(a, b, c),
+                detail=f"({a!r} {op.symbol} {b!r}) {op.symbol} {c!r} = {left!r} "
+                       f"≠ {right!r}")
+    return PropertyReport(f"associativity of {op.name}", True, exhaustive, cases)
+
+
+def check_commutativity(
+    op: BinaryOp,
+    domain: Domain,
+    *,
+    samples: int = DEFAULT_SAMPLES,
+    seed: Optional[int] = None,
+) -> PropertyReport:
+    """``a op b == b op a``."""
+    rng = _rng(seed)
+    cases = 0
+    exhaustive = domain.is_finite
+    for a, b in domain.pairs(rng, samples):
+        cases += 1
+        left, right = op(a, b), op(b, a)
+        if not _eq(left, right):
+            return PropertyReport(
+                f"commutativity of {op.name}", False, exhaustive, cases,
+                witness=(a, b),
+                detail=f"{a!r} {op.symbol} {b!r} = {left!r} ≠ {right!r}")
+    return PropertyReport(f"commutativity of {op.name}", True, exhaustive, cases)
+
+
+def check_distributivity(
+    add: BinaryOp,
+    mul: BinaryOp,
+    domain: Domain,
+    *,
+    samples: int = DEFAULT_SAMPLES,
+    seed: Optional[int] = None,
+) -> PropertyReport:
+    """``a ⊗ (b ⊕ c) == (a ⊗ b) ⊕ (a ⊗ c)`` and the right-handed dual."""
+    rng = _rng(seed)
+    cases = 0
+    exhaustive = domain.is_finite
+    for a, b, c in domain.triples(rng, samples):
+        cases += 1
+        left = mul(a, add(b, c))
+        right = add(mul(a, b), mul(a, c))
+        if not _eq(left, right):
+            return PropertyReport(
+                "left distributivity", False, exhaustive, cases,
+                witness=(a, b, c),
+                detail=f"{a!r} ⊗ ({b!r} ⊕ {c!r}) = {left!r} ≠ {right!r}")
+        left = mul(add(b, c), a)
+        right = add(mul(b, a), mul(c, a))
+        if not _eq(left, right):
+            return PropertyReport(
+                "right distributivity", False, exhaustive, cases,
+                witness=(a, b, c),
+                detail=f"({b!r} ⊕ {c!r}) ⊗ {a!r} = {left!r} ≠ {right!r}")
+    return PropertyReport("distributivity", True, exhaustive, cases)
+
+
+# ---------------------------------------------------------------------------
+# The three Theorem II.1 criteria
+# ---------------------------------------------------------------------------
+
+def check_zero_sum_free(
+    add: BinaryOp,
+    domain: Domain,
+    *,
+    zero: Any = None,
+    samples: int = DEFAULT_SAMPLES,
+    seed: Optional[int] = None,
+) -> PropertyReport:
+    """Criterion (a): ``a ⊕ b = 0`` if and only if ``a = b = 0``.
+
+    The "if" direction is the identity axiom (0 ⊕ 0 = 0); the content is the
+    "only if": no two values, not both zero, may sum to zero.  A failure
+    witness ``(a, b)`` feeds Lemma II.2's two-parallel-edge graph.
+    """
+    rng = _rng(seed)
+    z = add.identity if zero is None else zero
+    cases = 0
+    exhaustive = domain.is_finite
+    if not _eq(add(z, z), z):
+        return PropertyReport(
+            "zero-sum-free", False, exhaustive, 1, witness=(z, z),
+            detail=f"0 ⊕ 0 = {add(z, z)!r} ≠ 0")
+    for a, b in domain.pairs(rng, samples):
+        cases += 1
+        if _eq(a, z) and _eq(b, z):
+            continue
+        if _eq(add(a, b), z):
+            return PropertyReport(
+                "zero-sum-free", False, exhaustive, cases, witness=(a, b),
+                detail=f"{a!r} ⊕ {b!r} = 0 with (a, b) ≠ (0, 0)")
+    return PropertyReport("zero-sum-free", True, exhaustive, cases)
+
+
+def check_no_zero_divisors(
+    mul: BinaryOp,
+    domain: Domain,
+    *,
+    zero: Any,
+    samples: int = DEFAULT_SAMPLES,
+    seed: Optional[int] = None,
+) -> PropertyReport:
+    """Criterion (b): ``a ⊗ b = 0`` only when ``a = 0`` or ``b = 0``.
+
+    (The converse — that zero times anything *is* zero — is criterion (c),
+    checked separately, exactly as the paper separates them.)  A failure
+    witness ``(a, b)`` feeds Lemma II.3's single-self-loop graph.
+    """
+    rng = _rng(seed)
+    cases = 0
+    exhaustive = domain.is_finite
+    for a, b in domain.pairs(rng, samples):
+        cases += 1
+        if _eq(a, zero) or _eq(b, zero):
+            continue
+        if _eq(mul(a, b), zero):
+            return PropertyReport(
+                "no zero divisors", False, exhaustive, cases, witness=(a, b),
+                detail=f"{a!r} ⊗ {b!r} = 0 with a ≠ 0 and b ≠ 0")
+    return PropertyReport("no zero divisors", True, exhaustive, cases)
+
+
+def check_annihilator(
+    mul: BinaryOp,
+    domain: Domain,
+    *,
+    zero: Any,
+    samples: int = DEFAULT_SAMPLES,
+    seed: Optional[int] = None,
+) -> PropertyReport:
+    """Criterion (c): ``a ⊗ 0 = 0 ⊗ a = 0`` for every ``a``.
+
+    A failure witness ``(a,)`` feeds Lemma II.4's two-self-loop graph.
+    """
+    rng = _rng(seed)
+    cases = 0
+    exhaustive = domain.is_finite
+    pool = domain.elements() if domain.is_finite else \
+        iter(domain.sample(rng, samples))
+    for a in pool:
+        cases += 1
+        left = mul(a, zero)
+        right = mul(zero, a)
+        if not _eq(left, zero):
+            return PropertyReport(
+                "0 annihilates ⊗", False, exhaustive, cases, witness=(a,),
+                detail=f"{a!r} ⊗ 0 = {left!r} ≠ 0")
+        if not _eq(right, zero):
+            return PropertyReport(
+                "0 annihilates ⊗", False, exhaustive, cases, witness=(a,),
+                detail=f"0 ⊗ {a!r} = {right!r} ≠ 0")
+    return PropertyReport("0 annihilates ⊗", True, exhaustive, cases)

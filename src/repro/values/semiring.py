@@ -1,0 +1,489 @@
+"""Op-pairs ``(V, ⊕, ⊗, 0, 1)`` and the catalog used in the paper.
+
+The paper calls these "semirings" informally, but is explicit that the
+structures need not be semirings: associativity, commutativity and
+distributivity are *not* assumed.  We therefore model the raw object — an
+:class:`OpPair` of two closed binary operations with identities over a
+domain — and leave classification (which axioms actually hold, and whether
+Theorem II.1's criteria are satisfied) to :mod:`repro.core.certify`.
+
+The registry contains:
+
+* the seven pairs of Figures 3 and 5 —
+  ``+.×``, ``max.×``, ``min.×``, ``max.+``, ``min.+``, ``max.min``,
+  ``min.max`` (see :data:`PAPER_FIGURE_PAIRS`);
+* the Section III examples and non-examples — ``or.and`` (trivial Boolean
+  algebra, safe), ``∪.∩`` on a power set (non-trivial Boolean algebra,
+  unsafe), the completed max-plus algebra (unsafe), integer and modular
+  rings (unsafe), string ``max.min`` (safe);
+* extensions exercising the "semiring-like structures" remark —
+  ``gcd.lcm``, the non-commutative ``max.concat``, and the deliberately
+  non-associative pairs from :mod:`repro.values.exotic`.
+
+``expected_safe`` records the *paper's* claim for each pair; the test suite
+verifies that the certification engine reproduces every claim.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.values.domains import (
+    BooleanDomain,
+    CompletedReals,
+    Domain,
+    ExtendedNonNegativeReals,
+    FiniteField2,
+    Integers,
+    IntegersModN,
+    MinPlusReals,
+    Naturals,
+    NonNegativeReals,
+    PositiveExtendedReals,
+    PowerSetDomain,
+    StringDomain,
+    TropicalReals,
+)
+from repro.values.operations import (
+    AND,
+    BinaryOp,
+    COMPLETED_PLUS,
+    CONCAT,
+    GCD,
+    LCM,
+    MAX,
+    MAX_ZERO,
+    MIN,
+    OR,
+    PLUS,
+    STR_MAX,
+    STR_MAX_WITH_ZERO,
+    TIMES,
+    UNION,
+    make_intersection,
+    make_str_min,
+)
+
+__all__ = [
+    "SemiringError",
+    "OpPair",
+    "register_op_pair",
+    "get_op_pair",
+    "list_op_pairs",
+    "PAPER_FIGURE_PAIRS",
+    "SECTION_III_EXAMPLES",
+    "SECTION_III_NON_EXAMPLES",
+]
+
+
+class SemiringError(ValueError):
+    """Raised for malformed op-pairs or unknown op-pair names."""
+
+
+@dataclass(frozen=True)
+class OpPair:
+    """A value set with two closed binary operations and identities.
+
+    Attributes
+    ----------
+    name:
+        Registry key, e.g. ``"plus_times"``.
+    display:
+        Paper-style display name, e.g. ``"+.×"`` or ``"max.min"``.
+    add:
+        The ``⊕`` operation; its identity is the array zero ``0``.
+    mul:
+        The ``⊗`` operation; its identity is the array one ``1``.
+    domain:
+        The carrier set ``V``.
+    expected_safe:
+        The paper's claim about whether this pair satisfies the Theorem II.1
+        criteria (None when the paper is silent); verified in tests against
+        :func:`repro.core.certify.certify`.
+    description:
+        The Section IV synopsis line for this pair, where the paper gives
+        one; otherwise a short gloss.
+    """
+
+    name: str
+    display: str
+    add: BinaryOp
+    mul: BinaryOp
+    domain: Domain
+    expected_safe: Optional[bool] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.mul.identity is None:
+            raise SemiringError(
+                f"op-pair {self.name!r}: ⊗ ({self.mul.name}) has no concrete "
+                "identity; use the per-domain factory")
+        if not self.domain.contains(self.zero):
+            raise SemiringError(
+                f"op-pair {self.name!r}: zero {self.zero!r} not in domain "
+                f"{self.domain.name}")
+        if not self.domain.contains(self.one):
+            raise SemiringError(
+                f"op-pair {self.name!r}: one {self.one!r} not in domain "
+                f"{self.domain.name}")
+
+    # -- identities ----------------------------------------------------------
+    @property
+    def zero(self) -> Any:
+        """The array zero: the identity of ``⊕``."""
+        return self.add.identity
+
+    @property
+    def one(self) -> Any:
+        """The array one: the identity of ``⊗``."""
+        return self.mul.identity
+
+    def is_zero(self, value: Any) -> bool:
+        """Whether ``value`` is this pair's zero (NaN-safe)."""
+        z = self.zero
+        if isinstance(value, float) and isinstance(z, float) \
+                and math.isnan(value) and math.isnan(z):
+            return True
+        return value == z
+
+    # -- evaluation helpers ---------------------------------------------------
+    def fold_add(self, terms: Iterable[Any]) -> Any:
+        """Left-fold ``⊕`` over ``terms`` in iteration order.
+
+        Returns the zero for an empty term sequence — the paper's empty
+        ``⊕``-sum.  Fold order matters because ``⊕`` need not be
+        associative or commutative; callers must present terms in inner-key
+        order.
+        """
+        return self.add.fold(terms)
+
+    def multiply(self, a: Any, b: Any) -> Any:
+        """Apply ``⊗``."""
+        return self.mul(a, b)
+
+    @property
+    def has_ufuncs(self) -> bool:
+        """Whether both operations have NumPy ufunc forms (vectorisable)."""
+        return self.add.ufunc is not None and self.mul.ufunc is not None
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether zero/one are plain numbers (dense/CSR kernels apply)."""
+        def _num(x: Any) -> bool:
+            return isinstance(x, (int, float)) and not isinstance(x, bool)
+        return _num(self.zero) and _num(self.one)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OpPair({self.display!r} over {self.domain.name})"
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: Dict[str, OpPair] = {}
+
+
+def register_op_pair(pair: OpPair, *, overwrite: bool = False) -> OpPair:
+    """Register ``pair`` under ``pair.name``."""
+    if not overwrite and pair.name in _REGISTRY:
+        raise SemiringError(f"op-pair {pair.name!r} already registered")
+    _REGISTRY[pair.name] = pair
+    return pair
+
+
+def get_op_pair(name: str) -> OpPair:
+    """Look up an op-pair by registry name (e.g. ``"max_min"``)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise SemiringError(f"unknown op-pair {name!r}; known: {known}") from None
+
+
+def list_op_pairs() -> List[str]:
+    """Sorted names of all registered op-pairs."""
+    return sorted(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# GF(2) operations (integer-valued xor/and so that 0/1 stay ints)
+# ---------------------------------------------------------------------------
+
+def _xor_int(a: int, b: int) -> int:
+    return (a + b) % 2
+
+
+def _and_int(a: int, b: int) -> int:
+    return a * b
+
+
+XOR_INT = BinaryOp("xor_int", _xor_int, 0, symbol="⊕₂",
+                   doc="Addition in GF(2); identity 0.")
+AND_INT = BinaryOp("and_int", _and_int, 1, symbol="∧",
+                   doc="Multiplication in GF(2); identity 1.")
+
+
+def _mod_plus(n: int) -> BinaryOp:
+    return BinaryOp(f"plus_mod_{n}", lambda a, b: (a + b) % n, 0, symbol="+",
+                    doc=f"Addition mod {n}; identity 0.")
+
+
+def _mod_times(n: int) -> BinaryOp:
+    return BinaryOp(f"times_mod_{n}", lambda a, b: (a * b) % n, 1, symbol="×",
+                    doc=f"Multiplication mod {n}; identity 1.")
+
+
+# ---------------------------------------------------------------------------
+# The paper's Figure 3/5 pairs
+# ---------------------------------------------------------------------------
+
+PLUS_TIMES = register_op_pair(OpPair(
+    name="plus_times",
+    display="+.×",
+    add=PLUS, mul=TIMES,
+    domain=NonNegativeReals(),
+    expected_safe=True,
+    description="sum of products of edge weights connecting two vertices; "
+                "computes the strength of all connections between two "
+                "connected vertices.",
+))
+
+MAX_TIMES = register_op_pair(OpPair(
+    name="max_times",
+    display="max.×",
+    add=MAX_ZERO, mul=TIMES,
+    domain=NonNegativeReals(),
+    expected_safe=True,
+    description="maximum of products of edge weights connecting two "
+                "vertices; selects the edge with largest weighted product "
+                "of all the edges connecting two vertices.",
+))
+
+MIN_TIMES = register_op_pair(OpPair(
+    name="min_times",
+    display="min.×",
+    add=MIN, mul=TIMES,
+    domain=PositiveExtendedReals(),
+    expected_safe=True,
+    description="minimum of products of edge weights connecting two "
+                "vertices; selects the edge with smallest weighted product "
+                "of all the edges connecting two vertices.",
+))
+
+MAX_PLUS = register_op_pair(OpPair(
+    name="max_plus",
+    display="max.+",
+    add=MAX, mul=PLUS,
+    domain=TropicalReals(),
+    expected_safe=True,
+    description="maximum of sums of edge weights connecting two vertices; "
+                "selects the edge with largest weighted sum of all the "
+                "edges connecting two vertices.",
+))
+
+MIN_PLUS = register_op_pair(OpPair(
+    name="min_plus",
+    display="min.+",
+    add=MIN, mul=PLUS,
+    domain=MinPlusReals(),
+    expected_safe=True,
+    description="minimum of sums of edge weights connecting two vertices; "
+                "selects the edge with smallest weighted sum of all the "
+                "edges connecting two vertices.",
+))
+
+MAX_MIN = register_op_pair(OpPair(
+    name="max_min",
+    display="max.min",
+    add=MAX_ZERO, mul=MIN,
+    domain=ExtendedNonNegativeReals(),
+    expected_safe=True,
+    description="maximum of the minimum of weights connecting two vertices; "
+                "selects the largest of all the shortest connections "
+                "between two vertices.",
+))
+
+MIN_MAX = register_op_pair(OpPair(
+    name="min_max",
+    display="min.max",
+    add=MIN, mul=MAX_ZERO,
+    domain=ExtendedNonNegativeReals(),
+    expected_safe=True,
+    description="minimum of the maximum of weights connecting two vertices; "
+                "selects the smallest of all the largest connections "
+                "between two vertices.",
+))
+
+#: The op-pairs of Figures 3 and 5, in the paper's presentation order.
+PAPER_FIGURE_PAIRS: Tuple[str, ...] = (
+    "plus_times",
+    "max_times",
+    "min_times",
+    "max_plus",
+    "min_plus",
+    "max_min",
+    "min_max",
+)
+
+#: Figure 3/5 stacking: op-pairs whose adjacency arrays coincide are shown
+#: stacked in the paper.  Order matches the figures top-to-bottom.
+PAPER_FIGURE_STACKS: Tuple[Tuple[str, ...], ...] = (
+    ("plus_times",),
+    ("max_times", "min_times"),
+    ("max_plus", "min_plus"),
+    ("max_min",),
+    ("min_max",),
+)
+
+
+# ---------------------------------------------------------------------------
+# Section III examples and non-examples
+# ---------------------------------------------------------------------------
+
+NAT_PLUS_TIMES = register_op_pair(OpPair(
+    name="nat_plus_times",
+    display="+.× (ℕ)",
+    add=PLUS, mul=TIMES,
+    domain=Naturals(),
+    expected_safe=True,
+    description="ℕ with standard addition and multiplication — the paper's "
+                "first compliant example.",
+))
+
+OR_AND = register_op_pair(OpPair(
+    name="or_and",
+    display="∨.∧",
+    add=OR, mul=AND,
+    domain=BooleanDomain(),
+    expected_safe=True,
+    description="The trivial Boolean algebra {False, True}: the unweighted "
+                "graph semiring; safe because the 2-element algebra has no "
+                "zero divisors.",
+))
+
+_POWERSET = PowerSetDomain(frozenset({"a", "b", "c"}))
+UNION_INTERSECTION = register_op_pair(OpPair(
+    name="union_intersection",
+    display="∪.∩",
+    add=UNION, mul=make_intersection(_POWERSET.universe),
+    domain=_POWERSET,
+    expected_safe=False,
+    description="A non-trivial Boolean algebra (power set of 3 elements): "
+                "disjoint non-empty sets intersect to ∅, so ⊗ has zero "
+                "divisors and the pair fails criterion (b).  Section III's "
+                "document×word structure restores correctness.",
+))
+
+COMPLETED_MAX_PLUS = register_op_pair(OpPair(
+    name="completed_max_plus",
+    display="max.+ (ℝ±∞)",
+    add=MAX, mul=COMPLETED_PLUS,
+    domain=CompletedReals(),
+    expected_safe=False,
+    description="The naively completed max-plus algebra ℝ∪{±∞} with "
+                "(−∞) + (+∞) = +∞: the zero −∞ fails to annihilate "
+                "(criterion c) — the paper's max-plus non-example.  (With "
+                "the standard tropical convention the completion is safe; "
+                "see DESIGN.md §5.)",
+))
+
+NONNEG_MAX_PLUS = register_op_pair(OpPair(
+    name="nonneg_max_plus",
+    display="max.+ (ℝ≥0, zero 0)",
+    add=MAX_ZERO, mul=PLUS,
+    domain=NonNegativeReals(),
+    expected_safe=False,
+    description="max.+ read over ℝ≥0 with 0 as the empty value — the "
+                "practitioner's trap: v ⊗ 0 = v + 0 = v ≠ 0, so criterion "
+                "(c) fails (and the ⊗ identity coincides with the zero).  "
+                "Unstored cells silently contribute to sums under dense "
+                "evaluation.",
+))
+
+INT_PLUS_TIMES = register_op_pair(OpPair(
+    name="int_plus_times",
+    display="+.× (ℤ)",
+    add=PLUS, mul=TIMES,
+    domain=Integers(),
+    expected_safe=False,
+    description="The ring ℤ: v ⊕ (−v) = 0 violates zero-sum-freeness — "
+                "the paper's ring non-example.",
+))
+
+GF2_XOR_AND = register_op_pair(OpPair(
+    name="gf2_xor_and",
+    display="⊕.∧ (GF(2))",
+    add=XOR_INT, mul=AND_INT,
+    domain=FiniteField2(),
+    expected_safe=False,
+    description="GF(2): 1 ⊕ 1 = 0 violates zero-sum-freeness (a field is a "
+                "ring).",
+))
+
+_Z6 = IntegersModN(6)
+Z6_PLUS_TIMES = register_op_pair(OpPair(
+    name="z6_plus_times",
+    display="+.× (Z₆)",
+    add=_mod_plus(6), mul=_mod_times(6),
+    domain=_Z6,
+    expected_safe=False,
+    description="Z₆: both 1 ⊕ 5 = 0 (zero sums) and 2 ⊗ 3 = 0 (zero "
+                "divisors).",
+))
+
+_STRINGS = StringDomain()
+STRING_MAX_MIN = register_op_pair(OpPair(
+    name="string_max_min",
+    display="max.min (strings)",
+    add=STR_MAX, mul=make_str_min(_STRINGS.top),
+    domain=_STRINGS,
+    expected_safe=True,
+    description="Alphanumeric strings under lexicographic max/min — the "
+                "introduction's motivating non-numeric example; any "
+                "linearly ordered set with max.min complies.",
+))
+
+_STRINGS_NUL = StringDomain(max_len=None, include_nul=True)
+MAX_CONCAT = register_op_pair(OpPair(
+    name="max_concat",
+    display="max.concat",
+    add=STR_MAX_WITH_ZERO, mul=CONCAT,
+    domain=_STRINGS_NUL,
+    expected_safe=True,
+    description="Strings with ⊕ = lexicographic max (zero '\\0') and "
+                "⊗ = concatenation: satisfies the criteria while ⊗ is "
+                "non-commutative, demonstrating that (AB)ᵀ = BᵀAᵀ may "
+                "fail (Section III).",
+))
+
+GCD_LCM = register_op_pair(OpPair(
+    name="gcd_lcm",
+    display="gcd.lcm",
+    add=GCD, mul=LCM,
+    domain=Naturals(),
+    expected_safe=True,
+    description="ℕ under gcd/lcm: a semiring-like lattice structure "
+                "satisfying the criteria (gcd(a,b) = 0 ⇔ a = b = 0; "
+                "lcm(a,b) = 0 ⇔ a = 0 or b = 0).",
+))
+
+#: Paper example pairs (comply with the criteria).
+SECTION_III_EXAMPLES: Tuple[str, ...] = (
+    "nat_plus_times",
+    "plus_times",
+    "max_min",
+    "string_max_min",
+    "or_and",
+)
+
+#: Paper non-example pairs (violate at least one criterion).
+SECTION_III_NON_EXAMPLES: Tuple[str, ...] = (
+    "completed_max_plus",
+    "union_intersection",
+    "int_plus_times",
+    "gf2_xor_and",
+    "z6_plus_times",
+)

@@ -1,0 +1,44 @@
+"""Shared constants and small utilities for the test suite."""
+
+from __future__ import annotations
+
+# Exotic and extension pairs register on import.
+import repro.values.exotic  # noqa: F401
+import repro.values.extensions  # noqa: F401
+
+#: Safe catalog pairs usable with small positive-integer values (1..9) —
+#: handy for cross-kernel and theorem tests on shared operands.
+SAFE_NUMERIC_PAIRS = (
+    "plus_times",
+    "max_times",
+    "min_times",
+    "max_plus",
+    "min_plus",
+    "max_min",
+    "min_max",
+)
+
+#: All pairs the paper (plus our extensions) expects to satisfy the criteria.
+SAFE_PAIRS = SAFE_NUMERIC_PAIRS + (
+    "nat_plus_times",
+    "or_and",
+    "string_max_min",
+    "gcd_lcm",
+    "max_concat",
+    "skew_plus_times",
+    "plus_twisted_times",
+    "skew_twisted",
+    "log_semiring",
+    "viterbi_max_times",
+    "lex_min_plus",
+)
+
+#: All pairs expected to violate at least one criterion.
+UNSAFE_PAIRS = (
+    "union_intersection",
+    "completed_max_plus",
+    "nonneg_max_plus",
+    "int_plus_times",
+    "gf2_xor_and",
+    "z6_plus_times",
+)

@@ -1,0 +1,80 @@
+"""Hypothesis strategies shared by the property-based tests."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Tuple
+
+from hypothesis import strategies as st
+
+from repro.arrays.associative import AssociativeArray
+from repro.graphs.digraph import EdgeKeyedDigraph
+from repro.values.semiring import OpPair
+
+__all__ = [
+    "edge_lists",
+    "graphs",
+    "graph_with_values",
+    "conformable_numeric_arrays",
+]
+
+#: Vertex pool for generated graphs (small on purpose: collisions create
+#: parallel edges and self-loops, the hard cases of the theorem).
+_VERTICES = tuple(f"v{i}" for i in range(6))
+
+
+def edge_lists(min_edges: int = 1, max_edges: int = 12):
+    """Lists of (source, target) pairs over a small vertex pool."""
+    vertex = st.sampled_from(_VERTICES)
+    return st.lists(st.tuples(vertex, vertex),
+                    min_size=min_edges, max_size=max_edges)
+
+
+@st.composite
+def graphs(draw, min_edges: int = 1, max_edges: int = 12):
+    """Random edge-keyed multigraphs (self-loops and parallels likely)."""
+    pairs = draw(edge_lists(min_edges, max_edges))
+    return EdgeKeyedDigraph.from_pairs(pairs)
+
+
+@st.composite
+def graph_with_values(draw, pair: OpPair, min_edges: int = 1,
+                      max_edges: int = 10):
+    """A random graph plus nonzero incidence values from the pair's domain.
+
+    Values are drawn through the domain's own seeded sampler (so every
+    value set in the catalog — sets, strings, booleans — is exercised),
+    with the seed controlled by hypothesis for shrinkability.
+    """
+    graph = draw(graphs(min_edges, max_edges))
+    seed = draw(st.integers(0, 2**20))
+    rng = random.Random(seed)
+    keys = list(graph.edge_keys)
+    out_vals = dict(zip(keys, pair.domain.sample(
+        rng, len(keys), exclude=pair.zero)))
+    in_vals = dict(zip(keys, pair.domain.sample(
+        rng, len(keys), exclude=pair.zero)))
+    return graph, out_vals, in_vals
+
+
+@st.composite
+def conformable_numeric_arrays(draw, zero: float = 0.0,
+                               max_dim: int = 8):
+    """Two conformable arrays with integer values in 1..9."""
+    m = draw(st.integers(1, max_dim))
+    k = draw(st.integers(1, max_dim))
+    n = draw(st.integers(1, max_dim))
+    rows = [f"r{i}" for i in range(m)]
+    inner = [f"k{i}" for i in range(k)]
+    cols = [f"c{i}" for i in range(n)]
+    a_entries = draw(st.dictionaries(
+        st.tuples(st.sampled_from(rows), st.sampled_from(inner)),
+        st.integers(1, 9), max_size=m * k))
+    b_entries = draw(st.dictionaries(
+        st.tuples(st.sampled_from(inner), st.sampled_from(cols)),
+        st.integers(1, 9), max_size=k * n))
+    a = AssociativeArray({rc: float(v) for rc, v in a_entries.items()},
+                         row_keys=rows, col_keys=inner, zero=zero)
+    b = AssociativeArray({rc: float(v) for rc, v in b_entries.items()},
+                         row_keys=inner, col_keys=cols, zero=zero)
+    return a, b

@@ -1,0 +1,133 @@
+"""Structural laws of associative arrays, property-based.
+
+Includes the Section III remark: ``(AB)ᵀ = BᵀAᵀ`` holds when ``⊗`` is
+commutative and can fail when it is not — both directions are tested, the
+former as a universal property, the latter by explicit counterexample over
+the compliant-but-non-commutative ``max.concat`` algebra.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arrays.associative import AssociativeArray
+from repro.arrays.elementwise import elementwise_add
+from repro.arrays.matmul import multiply_generic
+from repro.values.semiring import get_op_pair
+
+from tests.property.strategies import conformable_numeric_arrays
+
+COMMON = dict(deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def small_arrays(draw, max_dim: int = 6):
+    m = draw(st.integers(1, max_dim))
+    n = draw(st.integers(1, max_dim))
+    rows = [f"r{i}" for i in range(m)]
+    cols = [f"c{i}" for i in range(n)]
+    entries = draw(st.dictionaries(
+        st.tuples(st.sampled_from(rows), st.sampled_from(cols)),
+        st.integers(1, 9), max_size=m * n))
+    return AssociativeArray({rc: float(v) for rc, v in entries.items()},
+                            row_keys=rows, col_keys=cols)
+
+
+class TestTranspose:
+    @settings(max_examples=50, **COMMON)
+    @given(a=small_arrays())
+    def test_involution(self, a):
+        assert a.T.T == a
+
+    @settings(max_examples=50, **COMMON)
+    @given(a=small_arrays())
+    def test_definition_pointwise(self, a):
+        t = a.T
+        for r, c, v in a.entries():
+            assert t.get(c, r) == v
+
+    @settings(max_examples=30, **COMMON)
+    @given(ab=conformable_numeric_arrays())
+    def test_product_transpose_for_commutative_mul(self, ab):
+        """(AB)ᵀ = BᵀAᵀ whenever ⊗ is commutative (here +.×)."""
+        a, b = ab
+        pair = get_op_pair("plus_times")
+        left = multiply_generic(a, b, pair).T
+        right = multiply_generic(b.T, a.T, pair)
+        assert left == right
+
+    @settings(max_examples=30, **COMMON)
+    @given(ab=conformable_numeric_arrays())
+    def test_product_transpose_max_min(self, ab):
+        a, b = ab
+        pair = get_op_pair("max_min")
+        assert multiply_generic(a, b, pair).T \
+            == multiply_generic(b.T, a.T, pair)
+
+    def test_transpose_property_fails_for_non_commutative_mul(self):
+        """Section III: over max.concat, (EoutᵀEin)ᵀ ≠ EinᵀEout."""
+        pair = get_op_pair("max_concat")
+        zero = pair.zero
+        eout = AssociativeArray({("k", "a"): "x"},
+                                row_keys=["k"], col_keys=["a"], zero=zero)
+        ein = AssociativeArray({("k", "b"): "y"},
+                               row_keys=["k"], col_keys=["b"], zero=zero)
+        forward = multiply_generic(eout.T, ein, pair)       # "xy"
+        swapped = multiply_generic(ein.T, eout, pair)       # "yx"
+        assert forward.get("a", "b") == "xy"
+        assert swapped.get("b", "a") == "yx"
+        assert forward.T.get("b", "a") != swapped.get("b", "a")
+
+
+class TestSelection:
+    @settings(max_examples=50, **COMMON)
+    @given(a=small_arrays())
+    def test_select_all_is_identity(self, a):
+        assert a.select(":", ":") == a
+
+    @settings(max_examples=50, **COMMON)
+    @given(a=small_arrays())
+    def test_select_idempotent(self, a):
+        once = a.select(":", list(a.col_keys)[:1] or ":")
+        twice = once.select(":", ":")
+        assert once == twice
+
+    @settings(max_examples=50, **COMMON)
+    @given(a=small_arrays())
+    def test_prune_preserves_entries(self, a):
+        p = a.prune_to_pattern()
+        assert p.to_dict() == a.to_dict()
+
+
+class TestAlgebraicLaws:
+    @settings(max_examples=30, **COMMON)
+    @given(ab=conformable_numeric_arrays())
+    def test_right_distributivity_of_matmul_over_add(self, ab):
+        """(A ⊕ A') B = AB ⊕ A'B over the +.× semiring."""
+        a, b = ab
+        pair = get_op_pair("plus_times")
+        a2 = a.map_values(lambda v: v + 1)
+        left = multiply_generic(elementwise_add(a, a2, pair.add), b, pair)
+        right = elementwise_add(multiply_generic(a, b, pair),
+                                multiply_generic(a2, b, pair), pair.add)
+        assert left.allclose(right)
+
+    @settings(max_examples=30, **COMMON)
+    @given(ab=conformable_numeric_arrays())
+    def test_matmul_with_identity_pattern(self, ab):
+        """Multiplying by the identity-patterned array is the identity."""
+        a, _ = ab
+        pair = get_op_pair("plus_times")
+        eye = AssociativeArray({(k, k): 1.0 for k in a.col_keys},
+                               row_keys=a.col_keys, col_keys=a.col_keys)
+        assert multiply_generic(a, eye, pair).allclose(a)
+
+    @settings(max_examples=40, **COMMON)
+    @given(a=small_arrays())
+    def test_with_zero_roundtrip(self, a):
+        import math
+        back = a.with_zero(math.inf).with_zero(0)
+        assert back == a

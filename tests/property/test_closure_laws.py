@@ -1,0 +1,79 @@
+"""Property tests for semiring closures.
+
+Closure laws over idempotent ``⊕``: the closure is a fixpoint
+(idempotent), dominates the seeded matrix entrywise in the ``⊕`` order,
+and is transitively consistent (any two-leg path bound holds).
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.construction import adjacency_array
+from repro.graphs.incidence import incidence_arrays
+from repro.graphs.paths import closure
+from repro.values.semiring import get_op_pair
+
+from tests.property.strategies import graph_with_values
+
+COMMON = dict(deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+
+
+def _square_adj(graph, out_vals, in_vals, pair):
+    eout, ein = incidence_arrays(graph, zero=pair.zero,
+                                 out_values=out_vals, in_values=in_vals)
+    adj = adjacency_array(eout, ein, pair, kernel="generic")
+    verts = graph.vertices
+    return adj.with_keys(row_keys=verts, col_keys=verts)
+
+
+@settings(max_examples=20, **COMMON)
+@given(data=graph_with_values(get_op_pair("min_plus"), max_edges=8))
+def test_min_plus_closure_idempotent(data):
+    pair = get_op_pair("min_plus")
+    graph, out_vals, in_vals = data
+    # min.+ needs non-negative weights for closure convergence; fold the
+    # sampled values through abs().
+    out_vals = {k: abs(v) if v != math.inf else 1.0
+                for k, v in out_vals.items()}
+    in_vals = {k: abs(v) if v != math.inf else 1.0
+               for k, v in in_vals.items()}
+    adj = _square_adj(graph, out_vals, in_vals, pair)
+    closed = closure(adj, pair)
+    assert closure(closed, pair) == closed
+
+
+@settings(max_examples=20, **COMMON)
+@given(data=graph_with_values(get_op_pair("min_plus"), max_edges=8))
+def test_min_plus_closure_triangle_inequality(data):
+    pair = get_op_pair("min_plus")
+    graph, out_vals, in_vals = data
+    out_vals = {k: abs(v) if v != math.inf else 1.0
+                for k, v in out_vals.items()}
+    in_vals = {k: abs(v) if v != math.inf else 1.0
+               for k, v in in_vals.items()}
+    adj = _square_adj(graph, out_vals, in_vals, pair)
+    d = closure(adj, pair)
+    verts = list(adj.row_keys)
+    eps = 1e-9
+    for u in verts:
+        for v in verts:
+            for w in verts:
+                assert d.get(u, w) <= d.get(u, v) + d.get(v, w) + eps
+
+
+@settings(max_examples=20, **COMMON)
+@given(data=graph_with_values(get_op_pair("max_min"), max_edges=8))
+def test_max_min_closure_dominates_edges(data):
+    pair = get_op_pair("max_min")
+    graph, out_vals, in_vals = data
+    adj = _square_adj(graph, out_vals, in_vals, pair)
+    width = closure(adj, pair)
+    for (u, v) in adj.nonzero_pattern():
+        assert width.get(u, v) >= adj.get(u, v)
+    # Diagonal is the ⊗-identity (+∞): the empty path.
+    for v in adj.row_keys:
+        assert width.get(v, v) == math.inf

@@ -1,0 +1,90 @@
+"""Corollary III.1, property-based.
+
+``EinᵀEout`` is an adjacency array of the reverse graph for every
+compliant op-pair, random multigraph, and nonzero incidence values.  The
+corollary's proof device — reading ``(Ein, Eout)`` as incidence arrays of
+``Ḡ`` — is also checked directly.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.construction import (
+    adjacency_array,
+    is_adjacency_array_of_graph,
+    reverse_adjacency_array,
+)
+from repro.graphs.incidence import (
+    incidence_arrays,
+    is_source_incidence_of,
+    is_target_incidence_of,
+)
+from repro.values.semiring import get_op_pair
+
+from tests.property.strategies import graph_with_values
+
+COMMON = dict(deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+
+#: A representative spread: arithmetic, tropical, lattice, boolean,
+#: string, and exotic non-associative algebras.
+REVERSE_PAIRS = ("plus_times", "min_plus", "max_min", "or_and",
+                 "string_max_min", "skew_twisted")
+
+
+def _make_reverse_test(name: str):
+    pair = get_op_pair(name)
+
+    @settings(max_examples=25, **COMMON)
+    @given(data=graph_with_values(pair))
+    def _test(data):
+        graph, out_vals, in_vals = data
+        eout, ein = incidence_arrays(graph, zero=pair.zero,
+                                     out_values=out_vals,
+                                     in_values=in_vals)
+        rev = reverse_adjacency_array(eout, ein, pair, kernel="generic")
+        assert is_adjacency_array_of_graph(rev, graph.reverse())
+
+    _test.__name__ = f"test_reverse_{name}"
+    return _test
+
+
+for _name in REVERSE_PAIRS:
+    globals()[f"test_reverse_{_name}"] = _make_reverse_test(_name)
+del _name
+
+
+def _pair():
+    return get_op_pair("plus_times")
+
+
+@settings(max_examples=25, **COMMON)
+@given(data=graph_with_values(get_op_pair("plus_times")))
+def test_swapped_arrays_are_incidence_arrays_of_reverse(data):
+    """The proof's observation: choosing E̅out = Ein and E̅in = Eout gives
+    valid incidence arrays of Ḡ."""
+    pair = _pair()
+    graph, out_vals, in_vals = data
+    eout, ein = incidence_arrays(graph, zero=pair.zero,
+                                 out_values=out_vals, in_values=in_vals)
+    rev = graph.reverse()
+    assert is_source_incidence_of(ein, rev)
+    assert is_target_incidence_of(eout, rev)
+
+
+@settings(max_examples=25, **COMMON)
+@given(data=graph_with_values(get_op_pair("plus_times")))
+def test_reverse_product_equals_adjacency_of_reverse_construction(data):
+    """``EinᵀEout`` computed directly equals ``E̅outᵀE̅in`` built from the
+    reversed graph's own incidence arrays (same values per edge)."""
+    pair = _pair()
+    graph, out_vals, in_vals = data
+    eout, ein = incidence_arrays(graph, zero=pair.zero,
+                                 out_values=out_vals, in_values=in_vals)
+    via_swap = reverse_adjacency_array(eout, ein, pair, kernel="generic")
+    rev_graph = graph.reverse()
+    rev_eout, rev_ein = incidence_arrays(
+        rev_graph, zero=pair.zero, out_values=in_vals, in_values=out_vals)
+    direct = adjacency_array(rev_eout, rev_ein, pair, kernel="generic")
+    assert via_swap == direct

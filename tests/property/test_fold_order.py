@@ -1,0 +1,115 @@
+"""Fold-order semantics, property-based.
+
+The paper refuses to assume ``⊕`` associative or commutative, so
+Definition I.3's sum has a definite order: the inner key set's total
+order.  These tests pin the implementation to an *independently coded*
+left fold for the non-associative ``⊕̃`` and the non-commutative ``⊗``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arrays.associative import AssociativeArray
+from repro.arrays.matmul import multiply_generic
+from repro.values.semiring import get_op_pair
+
+import repro.values.exotic  # noqa: F401
+
+COMMON = dict(deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def one_row_one_col_operands(draw, zero=0.0):
+    """A 1×k row array and k×1 column array with dense-ish values."""
+    k = draw(st.integers(1, 7))
+    inner = [f"k{i}" for i in range(k)]
+    a_vals = draw(st.lists(st.integers(1, 5), min_size=k, max_size=k))
+    b_vals = draw(st.lists(st.integers(1, 5), min_size=k, max_size=k))
+    mask = draw(st.lists(st.booleans(), min_size=k, max_size=k))
+    a = AssociativeArray(
+        {("r", kk): float(v) for kk, v, keep in zip(inner, a_vals, mask)
+         if keep},
+        row_keys=["r"], col_keys=inner, zero=zero)
+    b = AssociativeArray(
+        {(kk, "c"): float(v) for kk, v, keep in zip(inner, b_vals, mask)
+         if keep},
+        row_keys=inner, col_keys=["c"], zero=zero)
+    return a, b
+
+
+def _manual_sparse_fold(a, b, pair):
+    """Independent reference: gather terms in inner-key order, left-fold."""
+    terms = []
+    for k in a.col_keys:
+        av = a.to_dict().get(("r", k))
+        bv = b.to_dict().get((k, "c"))
+        if av is not None and bv is not None:
+            terms.append(pair.mul(av, bv))
+    if not terms:
+        return None
+    acc = terms[0]
+    for t in terms[1:]:
+        acc = pair.add(acc, t)
+    return acc
+
+
+@settings(max_examples=60, **COMMON)
+@given(ab=one_row_one_col_operands())
+def test_skew_pair_folds_in_key_order(ab):
+    a, b = ab
+    pair = get_op_pair("skew_twisted")
+    got = multiply_generic(a, b, pair)
+    want = _manual_sparse_fold(a, b, pair)
+    if want is None or pair.is_zero(want):
+        assert got.nnz == 0
+    else:
+        assert got.get("r", "c") == want
+
+
+@settings(max_examples=60, **COMMON)
+@given(ab=one_row_one_col_operands())
+def test_reversed_key_order_changes_result_when_it_should(ab):
+    """If the manual fold over *reversed* key order differs, the library
+    must agree with the forward order, not the reversed one."""
+    a, b = ab
+    pair = get_op_pair("skew_plus_times")
+    terms = []
+    for k in a.col_keys:
+        av = a.to_dict().get(("r", k))
+        bv = b.to_dict().get((k, "c"))
+        if av is not None and bv is not None:
+            terms.append(pair.mul(av, bv))
+    if len(terms) < 2:
+        return
+    fwd = terms[0]
+    for t in terms[1:]:
+        fwd = pair.add(fwd, t)
+    rev = terms[-1]
+    for t in reversed(terms[:-1]):
+        rev = pair.add(rev, t)
+    got = multiply_generic(a, b, pair).get("r", "c")
+    assert got == fwd
+    if fwd != rev:
+        assert got != rev
+
+
+@settings(max_examples=40, **COMMON)
+@given(strings=st.lists(
+    st.text(alphabet="abc", min_size=1, max_size=3), min_size=1,
+    max_size=5))
+def test_concat_products_preserve_operand_and_key_order(strings):
+    """Over max.concat with a single in-value, ⊕ = lexicographic max picks
+    the largest concatenation; each term is A-value ⊗ B-value in that
+    operand order."""
+    pair = get_op_pair("max_concat")
+    zero = pair.zero
+    inner = [f"k{i}" for i in range(len(strings))]
+    a = AssociativeArray({("r", k): s for k, s in zip(inner, strings)},
+                         row_keys=["r"], col_keys=inner, zero=zero)
+    b = AssociativeArray({(k, "c"): "z" for k in inner},
+                         row_keys=inner, col_keys=["c"], zero=zero)
+    got = multiply_generic(a, b, pair).get("r", "c")
+    assert got == max(s + "z" for s in strings)

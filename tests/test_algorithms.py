@@ -1,0 +1,190 @@
+"""Tests for semiring graph algorithms, cross-checked against networkx."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.core.construction import adjacency_array
+from repro.graphs.algorithms import (
+    bfs_levels,
+    in_degrees,
+    out_degrees,
+    semiring_vecmat,
+    shortest_path_lengths,
+    triangle_count,
+    weakly_connected_components,
+    widest_path_widths,
+)
+from repro.graphs.digraph import EdgeKeyedDigraph, GraphError
+from repro.graphs.generators import erdos_renyi_multigraph
+from repro.graphs.incidence import incidence_arrays
+from repro.values.semiring import get_op_pair
+
+
+def _square_adjacency(graph, pair_name="or_and", weights=None):
+    """Adjacency array over the full vertex set (square).
+
+    Edge weights (if given) ride on ``Eout``; ``Ein`` carries the op-pair's
+    ⊗-identity so the adjacency entry combines *only* the edge weights.
+    """
+    pair = get_op_pair(pair_name)
+    if pair_name == "or_and":
+        kwargs = {"one": True, "zero": False}
+    else:
+        kwargs = {"zero": pair.zero}
+        if weights is not None:
+            kwargs.update(out_values=weights, in_values=pair.one)
+    eout, ein = incidence_arrays(graph, **kwargs)
+    adj = adjacency_array(eout, ein, pair, kernel="generic")
+    verts = graph.vertices
+    return adj.with_keys(row_keys=verts, col_keys=verts)
+
+
+def _nx_digraph(graph):
+    g = nx.DiGraph()
+    g.add_nodes_from(graph.vertices)
+    g.add_edges_from(graph.edge_pairs())
+    return g
+
+
+class TestBfs:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_levels_match_networkx(self, seed):
+        graph = erdos_renyi_multigraph(12, 30, seed=seed)
+        adj = _square_adjacency(graph)
+        source = tuple(graph.vertices)[0]
+        got = bfs_levels(adj, source)
+        want = nx.single_source_shortest_path_length(
+            _nx_digraph(graph), source)
+        assert got == dict(want)
+
+    def test_max_levels_truncates(self):
+        graph = EdgeKeyedDigraph.from_pairs(
+            [("a", "b"), ("b", "c"), ("c", "d")])
+        adj = _square_adjacency(graph)
+        got = bfs_levels(adj, "a", max_levels=1)
+        assert got == {"a": 0, "b": 1}
+
+    def test_unknown_source(self):
+        graph = EdgeKeyedDigraph.from_pairs([("a", "b")])
+        adj = _square_adjacency(graph)
+        with pytest.raises(GraphError):
+            bfs_levels(adj, "zz")
+
+    def test_requires_square(self):
+        graph = EdgeKeyedDigraph.from_pairs([("a", "b")])
+        pair = get_op_pair("or_and")
+        eout, ein = incidence_arrays(graph, one=True, zero=False)
+        adj = adjacency_array(eout, ein, pair, kernel="generic")
+        with pytest.raises(GraphError, match="square"):
+            bfs_levels(adj, "a")
+
+
+class TestShortestPaths:
+    @pytest.mark.parametrize("seed", [4, 5, 6])
+    def test_match_networkx_dijkstra(self, seed):
+        import random
+        graph = erdos_renyi_multigraph(10, 35, seed=seed)
+        rng = random.Random(seed)
+        weights = {k: float(rng.randint(1, 9)) for k in graph.edge_keys}
+        adj = _square_adjacency(graph, "min_plus", weights)
+        source = tuple(graph.vertices)[0]
+        got = shortest_path_lengths(adj, source)
+
+        g = nx.MultiDiGraph()
+        g.add_nodes_from(graph.vertices)
+        for k, s, t in graph.edges():
+            g.add_edge(s, t, weight=weights[k])
+        want = nx.single_source_dijkstra_path_length(g, source)
+        assert set(got) == set(want)
+        for v in want:
+            assert math.isclose(got[v], want[v]), v
+
+    def test_line_graph_distances(self):
+        graph = EdgeKeyedDigraph.from_pairs([("a", "b"), ("b", "c")])
+        weights = {"e000": 2.0, "e001": 5.0}
+        adj = _square_adjacency(graph, "min_plus", weights)
+        got = shortest_path_lengths(adj, "a")
+        assert got == {"a": 0.0, "b": 2.0, "c": 7.0}
+
+
+class TestWidestPaths:
+    def test_bottleneck_hand_case(self):
+        # a → b (width 5) → c (width 2); direct a → c width 1.
+        graph = EdgeKeyedDigraph([
+            ("e1", "a", "b"), ("e2", "b", "c"), ("e3", "a", "c")])
+        weights = {"e1": 5.0, "e2": 2.0, "e3": 1.0}
+        adj = _square_adjacency(graph, "max_min", weights)
+        got = widest_path_widths(adj, "a")
+        assert got["b"] == 5.0
+        assert got["c"] == 2.0  # via b beats the direct width-1 edge
+
+    def test_source_width_infinite(self):
+        graph = EdgeKeyedDigraph.from_pairs([("a", "b")])
+        adj = _square_adjacency(graph, "max_min", {"e000": 3.0})
+        assert widest_path_widths(adj, "a")["a"] == math.inf
+
+
+class TestComponents:
+    @pytest.mark.parametrize("seed", [7, 8])
+    def test_match_networkx(self, seed):
+        graph = erdos_renyi_multigraph(14, 10, seed=seed)
+        adj = _square_adjacency(graph)
+        got = weakly_connected_components(adj)
+        want_sets = list(nx.weakly_connected_components(_nx_digraph(graph)))
+        got_sets = {}
+        for v, label in got.items():
+            got_sets.setdefault(label, set()).add(v)
+        assert sorted(map(sorted, got_sets.values())) \
+            == sorted(map(sorted, want_sets))
+
+    def test_labels_ordered_by_smallest_vertex(self):
+        graph = EdgeKeyedDigraph.from_pairs([("a", "b"), ("x", "y")])
+        adj = _square_adjacency(graph)
+        comp = weakly_connected_components(adj)
+        assert comp["a"] == 0 and comp["x"] == 1
+
+
+class TestTriangles:
+    @pytest.mark.parametrize("seed", [9, 10, 11])
+    def test_match_networkx(self, seed):
+        graph = erdos_renyi_multigraph(10, 40, seed=seed)
+        adj = _square_adjacency(graph)
+        got = triangle_count(adj)
+        und = nx.Graph()
+        und.add_nodes_from(graph.vertices)
+        und.add_edges_from((s, t) for s, t in graph.edge_pairs() if s != t)
+        want = sum(nx.triangles(und).values()) // 3
+        assert got == want
+
+    def test_hand_triangle(self):
+        graph = EdgeKeyedDigraph.from_pairs(
+            [("a", "b"), ("b", "c"), ("c", "a")])
+        adj = _square_adjacency(graph)
+        assert triangle_count(adj) == 1
+
+
+class TestDegreesAndVecmat:
+    def test_degrees(self, small_graph):
+        adj = _square_adjacency(small_graph)
+        outs = out_degrees(adj)
+        ins = in_degrees(adj)
+        # Pattern degrees (parallels collapsed): a→b, b→c, c→c.
+        assert outs == {"a": 1, "b": 1, "c": 1}
+        assert ins == {"a": 0, "b": 1, "c": 2}
+
+    def test_vecmat_plus_times(self):
+        graph = EdgeKeyedDigraph.from_pairs([("a", "b"), ("a", "c")])
+        adj = _square_adjacency(graph, "plus_times",
+                                {"e000": 2.0, "e001": 3.0})
+        y = semiring_vecmat({"a": 10.0}, adj, get_op_pair("plus_times"))
+        assert y == {"b": 20.0, "c": 30.0}
+
+    def test_vecmat_elides_zeros(self):
+        graph = EdgeKeyedDigraph.from_pairs([("a", "b")])
+        adj = _square_adjacency(graph, "plus_times", {"e000": 2.0})
+        y = semiring_vecmat({"c": 1.0}, adj, get_op_pair("plus_times"))
+        assert y == {}

@@ -1,0 +1,229 @@
+"""Unit tests for repro.arrays.associative (AssociativeArray)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.arrays.associative import AssociativeArray
+from repro.arrays.keys import KeyError_, KeySet
+
+
+class TestConstruction:
+    def test_keys_derived_from_data(self, tiny_array):
+        assert tuple(tiny_array.row_keys) == ("r1", "r2")
+        assert tuple(tiny_array.col_keys) == ("c1", "c2", "c3")
+
+    def test_explicit_keys_allow_empty_rows(self):
+        a = AssociativeArray({("r1", "c1"): 1},
+                             row_keys=["r1", "r2"], col_keys=["c1"])
+        assert a.shape == (2, 1) and a.nnz == 1
+
+    def test_zero_values_dropped(self):
+        a = AssociativeArray({("r", "c"): 0, ("r", "d"): 5})
+        assert a.nnz == 1 and ("r", "c") not in a.nonzero_pattern()
+
+    def test_custom_zero_dropped(self):
+        a = AssociativeArray({("r", "c"): math.inf, ("r", "d"): 5},
+                             zero=math.inf)
+        assert a.nnz == 1
+
+    def test_key_outside_keyset_rejected(self):
+        with pytest.raises(KeyError_, match="row key"):
+            AssociativeArray({("r", "c"): 1}, row_keys=["x"], col_keys=["c"])
+        with pytest.raises(KeyError_, match="column key"):
+            AssociativeArray({("r", "c"): 1}, row_keys=["r"], col_keys=["x"])
+
+    def test_empty_constructor(self):
+        a = AssociativeArray.empty(["r1"], ["c1", "c2"], zero=-1)
+        assert a.shape == (1, 2) and a.nnz == 0 and a.zero == -1
+
+    def test_from_triples(self):
+        a = AssociativeArray.from_triples([("r", "c", 1), ("r", "d", 2)])
+        assert a.get("r", "d") == 2
+
+    def test_from_triples_duplicate_rejected(self):
+        with pytest.raises(KeyError_, match="duplicate"):
+            AssociativeArray.from_triples([("r", "c", 1), ("r", "c", 2)])
+
+    def test_from_triples_combine(self):
+        a = AssociativeArray.from_triples(
+            [("r", "c", 1), ("r", "c", 2), ("r", "c", 4)],
+            combine=lambda x, y: x + y)
+        assert a.get("r", "c") == 7
+
+    def test_from_dense(self):
+        a = AssociativeArray.from_dense(
+            [[1, 0], [0, 2]], ["r1", "r2"], ["c1", "c2"])
+        assert a.get("r1", "c1") == 1 and a.get("r2", "c2") == 2
+        assert a.nnz == 2
+
+    def test_from_dense_shape_mismatch(self):
+        with pytest.raises(KeyError_, match="rows"):
+            AssociativeArray.from_dense([[1]], ["r1", "r2"], ["c1"])
+        with pytest.raises(KeyError_, match="entries"):
+            AssociativeArray.from_dense([[1, 2]], ["r1"], ["c1"])
+
+
+class TestAccess:
+    def test_get_returns_zero_for_missing(self, tiny_array):
+        assert tiny_array.get("r2", "c1") == 0
+
+    def test_get_unknown_key_raises(self, tiny_array):
+        with pytest.raises(KeyError_):
+            tiny_array.get("zz", "c1")
+        with pytest.raises(KeyError_):
+            tiny_array.get("r1", "zz")
+
+    def test_getitem_scalar(self, tiny_array):
+        assert tiny_array["r1", "c2"] == 2
+        assert tiny_array["r2", "c1"] == 0
+
+    def test_getitem_requires_pair(self, tiny_array):
+        with pytest.raises(KeyError_):
+            tiny_array["r1"]
+
+    def test_getitem_subarray_by_selectors(self, tiny_array):
+        sub = tiny_array[":", ["c1", "c2"]]
+        assert isinstance(sub, AssociativeArray)
+        assert sub.shape == (2, 2) and sub.nnz == 2
+
+    def test_getitem_mixed_scalar_selector(self, tiny_array):
+        sub = tiny_array["r1", ["c1", "c3"]]
+        assert sub.shape == (1, 2)
+        assert sub.get("r1", "c1") == 1
+
+    def test_select_preserves_zero(self):
+        a = AssociativeArray({("r", "c"): 1.0}, zero=math.inf)
+        assert a.select(":", ":").zero == math.inf
+
+    def test_row_and_col_views(self, tiny_array):
+        assert tiny_array.row("r1") == {"c1": 1, "c2": 2}
+        assert tiny_array.col("c3") == {"r2": 3}
+        with pytest.raises(KeyError_):
+            tiny_array.row("nope")
+        with pytest.raises(KeyError_):
+            tiny_array.col("nope")
+
+    def test_entries_sorted_by_key_order(self):
+        a = AssociativeArray({("r2", "c1"): 1, ("r1", "c2"): 2,
+                              ("r1", "c1"): 3})
+        assert [rc[:2] for rc in a.entries()] == [
+            ("r1", "c1"), ("r1", "c2"), ("r2", "c1")]
+
+    def test_values_list(self, tiny_array):
+        assert tiny_array.values_list() == [1, 2, 3]
+
+    def test_rows_cols_nonempty(self):
+        a = AssociativeArray({("r1", "c1"): 1},
+                             row_keys=["r1", "r2"], col_keys=["c1", "c2"])
+        assert tuple(a.rows_nonempty()) == ("r1",)
+        assert tuple(a.cols_nonempty()) == ("c1",)
+
+
+class TestStructuralOps:
+    def test_transpose_definition(self, tiny_array):
+        t = tiny_array.T
+        assert t.get("c2", "r1") == 2
+        assert t.row_keys == tiny_array.col_keys
+        assert t.col_keys == tiny_array.row_keys
+
+    def test_transpose_involution(self, tiny_array):
+        assert tiny_array.T.T == tiny_array
+
+    def test_with_zero_reinterprets(self, tiny_array):
+        b = tiny_array.with_zero(math.inf)
+        assert b.zero == math.inf
+        assert b.nonzero_pattern() == tiny_array.nonzero_pattern()
+
+    def test_with_zero_collision_rejected(self, tiny_array):
+        with pytest.raises(KeyError_, match="equals the new zero"):
+            tiny_array.with_zero(2)  # value 2 is stored
+
+    def test_map_values(self, tiny_array):
+        doubled = tiny_array.map_values(lambda v: v * 2)
+        assert doubled.get("r1", "c2") == 4
+
+    def test_map_values_drops_new_zeros(self, tiny_array):
+        # Map 1 → 0: that entry must disappear.
+        mapped = tiny_array.map_values(lambda v: 0 if v == 1 else v)
+        assert mapped.nnz == 2
+
+    def test_restrict_values(self, tiny_array):
+        big = tiny_array.restrict_values(lambda v: v >= 2)
+        assert big.nnz == 2
+
+    def test_prune_to_pattern(self):
+        a = AssociativeArray({("r1", "c1"): 1},
+                             row_keys=["r1", "r2"], col_keys=["c1", "c2"])
+        p = a.prune_to_pattern()
+        assert p.shape == (1, 1)
+
+    def test_with_keys_embeds(self, tiny_array):
+        bigger = tiny_array.with_keys(row_keys=["r1", "r2", "r3"])
+        assert bigger.shape == (3, 3)
+        assert bigger.get("r3", "c1") == 0
+
+    def test_with_keys_rejects_missing(self, tiny_array):
+        with pytest.raises(KeyError_):
+            tiny_array.with_keys(row_keys=["r1"])  # r2 has entries
+
+
+class TestComparison:
+    def test_strict_equality(self, tiny_array):
+        same = AssociativeArray(tiny_array.to_dict(),
+                                row_keys=tiny_array.row_keys,
+                                col_keys=tiny_array.col_keys)
+        assert tiny_array == same
+
+    def test_equality_respects_keysets(self, tiny_array):
+        other = tiny_array.with_keys(row_keys=["r1", "r2", "r3"])
+        assert tiny_array != other
+
+    def test_equality_respects_zero(self, tiny_array):
+        other = tiny_array.with_zero(-1)
+        assert tiny_array != other
+
+    def test_same_pattern(self, tiny_array):
+        doubled = tiny_array.map_values(lambda v: v * 2)
+        assert tiny_array.same_pattern(doubled)
+        assert not tiny_array.same_pattern(
+            tiny_array.restrict_values(lambda v: v > 1))
+
+    def test_allclose(self, tiny_array):
+        nudged = tiny_array.map_values(lambda v: v + 1e-12)
+        assert tiny_array.allclose(nudged)
+        moved = tiny_array.map_values(lambda v: v + 0.5)
+        assert not tiny_array.allclose(moved)
+
+    def test_allclose_infinities(self):
+        a = AssociativeArray({("r", "c"): math.inf}, zero=0)
+        b = AssociativeArray({("r", "c"): math.inf}, zero=0)
+        c = AssociativeArray({("r", "c"): -math.inf}, zero=0)
+        assert a.allclose(b)
+        assert not a.allclose(c)
+
+    def test_unhashable(self, tiny_array):
+        with pytest.raises(TypeError):
+            hash(tiny_array)
+
+    def test_eq_notimplemented_for_other_types(self, tiny_array):
+        assert tiny_array != "not an array"
+
+
+class TestConversion:
+    def test_to_dense(self, tiny_array):
+        assert tiny_array.to_dense() == [[1, 2, 0], [0, 0, 3]]
+
+    def test_to_dict_is_copy(self, tiny_array):
+        d = tiny_array.to_dict()
+        d[("r1", "c1")] = 99
+        assert tiny_array.get("r1", "c1") == 1
+
+    def test_str_renders_table(self, tiny_array):
+        text = str(tiny_array)
+        assert "c1" in text and "r2" in text
+
+    def test_repr(self, tiny_array):
+        assert "shape=(2, 3)" in repr(tiny_array)

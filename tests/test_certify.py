@@ -1,0 +1,176 @@
+"""Tests for the certification engine (core/criteria.py + core/certify.py)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.certify import Witness, certify, witness_for_violation
+from repro.core.criteria import check_criteria
+from repro.core.construction import is_adjacency_array_of_graph
+from repro.graphs.incidence import (
+    is_source_incidence_of,
+    is_target_incidence_of,
+)
+from repro.values.semiring import get_op_pair
+
+from tests.helpers import SAFE_PAIRS, UNSAFE_PAIRS
+
+
+class TestCriteria:
+    @pytest.mark.parametrize("name", SAFE_PAIRS)
+    def test_safe_pairs_satisfy_criteria(self, name):
+        result = check_criteria(get_op_pair(name), seed=101)
+        assert result.satisfied, result.describe()
+        assert result.well_formed
+
+    @pytest.mark.parametrize("name", UNSAFE_PAIRS)
+    def test_unsafe_pairs_violate_criteria(self, name):
+        result = check_criteria(get_op_pair(name), seed=101)
+        assert not result.satisfied, result.describe()
+
+    @pytest.mark.parametrize("name,criterion", [
+        ("int_plus_times", "zero-sum-free"),
+        ("gf2_xor_and", "zero-sum-free"),
+        ("z6_plus_times", "zero-sum-free"),
+        ("union_intersection", "no zero divisors"),
+        ("completed_max_plus", "0 annihilates ⊗"),
+        ("nonneg_max_plus", "0 annihilates ⊗"),
+    ])
+    def test_first_violation_matches_algebraic_diagnosis(self, name, criterion):
+        result = check_criteria(get_op_pair(name), seed=101)
+        violation = result.first_violation()
+        assert violation is not None
+        assert violation.property_name == criterion
+
+    def test_finite_domain_checks_are_exhaustive(self):
+        result = check_criteria(get_op_pair("or_and"))
+        assert result.exhaustive
+
+    def test_describe_contains_verdict(self):
+        text = check_criteria(get_op_pair("plus_times"), seed=1).describe()
+        assert "SATISFIED" in text
+        text = check_criteria(get_op_pair("gf2_xor_and")).describe()
+        assert "VIOLATED" in text
+
+    def test_reports_tuple_has_five_entries(self):
+        assert len(check_criteria(get_op_pair("or_and")).reports()) == 5
+
+
+class TestCertify:
+    @pytest.mark.parametrize("name", SAFE_PAIRS)
+    def test_safe_certification(self, name):
+        cert = certify(get_op_pair(name), seed=31)
+        assert cert.safe
+        assert cert.witness is None
+        assert "SAFE" in cert.summary()
+
+    @pytest.mark.parametrize("name", UNSAFE_PAIRS)
+    def test_unsafe_certification_carries_verified_witness(self, name):
+        cert = certify(get_op_pair(name), seed=31)
+        assert not cert.safe
+        assert cert.witness is not None, name
+        assert cert.witness.refutes
+        assert "UNSAFE" in cert.summary()
+        assert "witness" in cert.summary()
+
+    def test_witness_can_be_skipped(self):
+        cert = certify(get_op_pair("gf2_xor_and"), build_witness=False)
+        assert not cert.safe and cert.witness is None
+
+    @pytest.mark.parametrize("name,kind", [
+        ("int_plus_times", "zero_sum"),
+        ("gf2_xor_and", "zero_sum"),
+        ("union_intersection", "zero_divisor"),
+        ("completed_max_plus", "annihilator"),
+        ("nonneg_max_plus", "annihilator"),
+    ])
+    def test_witness_kind_matches_lemma(self, name, kind):
+        cert = certify(get_op_pair(name), seed=31)
+        assert cert.witness is not None
+        assert cert.witness.kind == kind
+
+    @pytest.mark.parametrize("name", UNSAFE_PAIRS)
+    def test_witness_incidence_arrays_are_valid(self, name):
+        """The lemma constructions must produce *bona fide* incidence
+        arrays of the witness graph (Definition I.4)."""
+        cert = certify(get_op_pair(name), seed=31)
+        w = cert.witness
+        assert w is not None
+        assert is_source_incidence_of(w.eout, w.graph)
+        assert is_target_incidence_of(w.ein, w.graph)
+
+    def test_zero_sum_witness_structure(self):
+        """Lemma II.2: two parallel edges a → b."""
+        cert = certify(get_op_pair("gf2_xor_and"))
+        w = cert.witness
+        assert w.kind == "zero_sum"
+        assert w.graph.num_edges == 2
+        assert w.graph.adjacency_pairs() == frozenset({("a", "b")})
+        # The cancelled entry: the product has NO entry although the
+        # graph has an edge a → b.
+        assert w.product.nnz == 0
+
+    def test_zero_divisor_witness_structure(self):
+        """Lemma II.3: one self-loop whose entry vanishes."""
+        cert = certify(get_op_pair("union_intersection"), seed=31)
+        w = cert.witness
+        assert w.kind == "zero_divisor"
+        assert w.graph.self_loops() == ["k"]
+        assert w.product.nnz == 0
+
+    def test_annihilator_witness_structure(self):
+        """Lemma II.4: two disjoint self-loops produce a spurious
+        off-diagonal entry under dense evaluation."""
+        cert = certify(get_op_pair("completed_max_plus"), seed=31)
+        w = cert.witness
+        assert w.kind == "annihilator"
+        assert len(w.graph.self_loops()) == 2
+        pattern = w.product.nonzero_pattern()
+        spurious = pattern - w.graph.adjacency_pairs()
+        assert spurious, "expected at least one spurious entry"
+
+    def test_witness_explain_text(self):
+        cert = certify(get_op_pair("int_plus_times"), seed=31)
+        text = cert.witness.explain()
+        assert "zero_sum" in text and "pattern" in text
+
+    def test_witness_for_violation_returns_none_when_satisfied(self):
+        pair = get_op_pair("plus_times")
+        criteria = check_criteria(pair, seed=1)
+        assert witness_for_violation(pair, criteria) is None
+
+
+class TestTheoremEquivalenceOnWitnesses:
+    """The necessity direction, concretely: for every unsafe pair the
+    witness product differs from the graph's adjacency pattern, while for
+    safe pairs the same constructions always yield adjacency arrays."""
+
+    @pytest.mark.parametrize("name", UNSAFE_PAIRS)
+    def test_unsafe_witness_product_is_not_adjacency(self, name):
+        cert = certify(get_op_pair(name), seed=31)
+        w = cert.witness
+        assert not is_adjacency_array_of_graph(w.product, w.graph)
+
+    @pytest.mark.parametrize("name", ["plus_times", "max_min", "or_and"])
+    def test_safe_pairs_survive_the_lemma_graphs(self, name):
+        """Run the same adversarial graph shapes (parallel edges,
+        self-loops) against safe pairs: the products must be adjacency
+        arrays."""
+        from repro.core.construction import adjacency_array
+        from repro.graphs.digraph import EdgeKeyedDigraph
+        from repro.graphs.incidence import incidence_arrays
+
+        pair = get_op_pair(name)
+        shapes = [
+            EdgeKeyedDigraph([("k1", "a", "b"), ("k2", "a", "b")]),
+            EdgeKeyedDigraph([("k", "a", "a")]),
+            EdgeKeyedDigraph([("k1", "a", "a"), ("k2", "b", "b")]),
+        ]
+        for g in shapes:
+            eout, ein = incidence_arrays(g, zero=pair.zero, one=pair.one)
+            for mode in ("sparse", "dense"):
+                adj = adjacency_array(eout, ein, pair, mode=mode,
+                                      kernel="generic")
+                assert is_adjacency_array_of_graph(adj, g), (name, mode)

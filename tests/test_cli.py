@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_commands_parse(self):
+        p = build_parser()
+        assert p.parse_args(["figures"]).command == "figures"
+        assert p.parse_args(["catalog"]).command == "catalog"
+        args = p.parse_args(["certify", "plus_times", "--seed", "3"])
+        assert args.pair == "plus_times" and args.seed == 3
+        args = p.parse_args(["music", "--pair", "max_min", "--weighted"])
+        assert args.weighted is True
+        assert p.parse_args(["render", "fig3"]).figure == "fig3"
+
+
+class TestCatalog:
+    def test_catalog_lists_pairs(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "plus_times" in out
+        assert "UNSAFE" in out and "SAFE" in out
+
+
+class TestCertify:
+    def test_safe_pair_exit_zero(self, capsys):
+        assert main(["certify", "plus_times"]) == 0
+        assert "SAFE" in capsys.readouterr().out
+
+    def test_unsafe_pair_exit_one_with_witness(self, capsys):
+        assert main(["certify", "gf2_xor_and"]) == 1
+        out = capsys.readouterr().out
+        assert "UNSAFE" in out
+        assert "witness graph edges" in out
+        assert "Eout" in out
+
+    def test_unknown_pair_exit_two(self, capsys):
+        assert main(["certify", "no_such_pair"]) == 2
+        assert "unknown op-pair" in capsys.readouterr().err
+
+
+class TestMusic:
+    def test_fig3_values(self, capsys):
+        assert main(["music", "--pair", "plus_times"]) == 0
+        out = capsys.readouterr().out
+        assert "Genre|Electronic" in out
+        assert "13" in out  # the Pop row value
+
+    def test_fig5_weighted(self, capsys):
+        assert main(["music", "--pair", "plus_times", "--weighted"]) == 0
+        out = capsys.readouterr().out
+        assert "26" in out  # Pop row ×2
+
+    def test_nonzero_zero_pair(self, capsys):
+        assert main(["music", "--pair", "min_plus"]) == 0
+        assert "2" in capsys.readouterr().out
+
+    def test_unknown_pair(self, capsys):
+        assert main(["music", "--pair", "bogus"]) == 2
+
+
+class TestRender:
+    @pytest.mark.parametrize("figure", ["fig2", "fig4", "structured"])
+    def test_render_figures(self, capsys, figure):
+        assert main(["render", figure]) == 0
+        assert len(capsys.readouterr().out) > 50
+
+
+class TestFigures:
+    def test_full_run_exit_zero(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "ALL MATCHED" in out

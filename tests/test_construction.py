@@ -1,0 +1,127 @@
+"""Tests for repro.core.construction (the paper's central operation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arrays.associative import AssociativeArray
+from repro.arrays.matmul import MatmulError
+from repro.core.construction import (
+    adjacency_array,
+    correlate,
+    expected_adjacency_pattern,
+    is_adjacency_array_of,
+    is_adjacency_array_of_graph,
+    reverse_adjacency_array,
+)
+from repro.graphs.digraph import EdgeKeyedDigraph
+from repro.graphs.incidence import incidence_arrays
+from repro.values.semiring import get_op_pair
+
+
+@pytest.fixture
+def pair():
+    return get_op_pair("plus_times")
+
+
+class TestAdjacencyArray:
+    def test_counts_parallel_edges(self, small_graph, pair):
+        eout, ein = incidence_arrays(small_graph)
+        adj = adjacency_array(eout, ein, pair)
+        assert adj.get("a", "b") == 2   # e1 and e2
+        assert adj.get("b", "c") == 1
+        assert adj.get("c", "c") == 1
+
+    def test_key_sets(self, small_graph, pair):
+        eout, ein = incidence_arrays(small_graph)
+        adj = adjacency_array(eout, ein, pair)
+        assert adj.row_keys == small_graph.out_vertices
+        assert adj.col_keys == small_graph.in_vertices
+
+    def test_requires_shared_edge_set(self, pair):
+        eout = AssociativeArray({("k1", "a"): 1},
+                                row_keys=["k1"], col_keys=["a"])
+        ein = AssociativeArray({("k2", "b"): 1},
+                               row_keys=["k2"], col_keys=["b"])
+        with pytest.raises(MatmulError, match="share the edge key set"):
+            adjacency_array(eout, ein, pair)
+
+    def test_is_adjacency_of_graph(self, small_graph, pair):
+        eout, ein = incidence_arrays(small_graph)
+        adj = adjacency_array(eout, ein, pair)
+        assert is_adjacency_array_of_graph(adj, small_graph)
+
+    def test_weighted_incidence_still_adjacency(self, small_graph, pair):
+        eout, ein = incidence_arrays(
+            small_graph,
+            out_values={k: i + 2 for i, k in
+                        enumerate(small_graph.edge_keys)},
+            in_values={k: i + 5 for i, k in
+                       enumerate(small_graph.edge_keys)})
+        adj = adjacency_array(eout, ein, pair)
+        assert is_adjacency_array_of_graph(adj, small_graph)
+
+
+class TestReverse:
+    def test_reverse_is_transpose_pattern(self, small_graph, pair):
+        eout, ein = incidence_arrays(small_graph)
+        fwd = adjacency_array(eout, ein, pair)
+        rev = reverse_adjacency_array(eout, ein, pair)
+        assert rev.nonzero_pattern() == frozenset(
+            (b, a) for (a, b) in fwd.nonzero_pattern())
+
+    def test_reverse_is_adjacency_of_reverse_graph(self, small_graph, pair):
+        eout, ein = incidence_arrays(small_graph)
+        rev = reverse_adjacency_array(eout, ein, pair)
+        assert is_adjacency_array_of_graph(rev, small_graph.reverse())
+
+
+class TestExpectedPattern:
+    def test_pattern_from_incidence(self, small_graph):
+        eout, ein = incidence_arrays(small_graph)
+        assert expected_adjacency_pattern(eout, ein) \
+            == small_graph.adjacency_pairs()
+
+    def test_hyperedge_pattern(self):
+        # A track-edge touching two genre-vertices and two writer-vertices
+        # contributes the full 2×2 rectangle (the music-array case).
+        eout = AssociativeArray({("k", "g1"): 1, ("k", "g2"): 1},
+                                row_keys=["k"], col_keys=["g1", "g2"])
+        ein = AssociativeArray({("k", "w1"): 1, ("k", "w2"): 1},
+                               row_keys=["k"], col_keys=["w1", "w2"])
+        assert expected_adjacency_pattern(eout, ein) == frozenset({
+            ("g1", "w1"), ("g1", "w2"), ("g2", "w1"), ("g2", "w2")})
+
+    def test_is_adjacency_array_of_incidence_pair(self, small_graph, pair):
+        eout, ein = incidence_arrays(small_graph)
+        adj = adjacency_array(eout, ein, pair)
+        assert is_adjacency_array_of(adj, eout, ein)
+
+    def test_check_keys_flag(self, small_graph, pair):
+        eout, ein = incidence_arrays(small_graph)
+        adj = adjacency_array(eout, ein, pair)
+        padded = adj.with_keys(
+            row_keys=list(adj.row_keys) + ["stranger"])
+        assert not is_adjacency_array_of(padded, eout, ein)
+        assert is_adjacency_array_of(padded, eout, ein, check_keys=False)
+
+    def test_wrong_pattern_detected(self, small_graph, pair):
+        eout, ein = incidence_arrays(small_graph)
+        adj = adjacency_array(eout, ein, pair)
+        broken = AssociativeArray(
+            {k: v for k, v in adj.to_dict().items()
+             if k != ("a", "b")},
+            row_keys=adj.row_keys, col_keys=adj.col_keys)
+        assert not is_adjacency_array_of_graph(broken, small_graph)
+
+
+class TestCorrelate:
+    def test_correlate_is_eT_e(self, pair):
+        e1 = AssociativeArray({("k1", "g"): 2, ("k2", "g"): 3},
+                              row_keys=["k1", "k2"], col_keys=["g"])
+        e2 = AssociativeArray({("k1", "w"): 5, ("k2", "w"): 7},
+                              row_keys=["k1", "k2"], col_keys=["w"])
+        c = correlate(e1, e2, pair)
+        assert c.get("g", "w") == 2 * 5 + 3 * 7
+        assert tuple(c.row_keys) == ("g",)
+        assert tuple(c.col_keys) == ("w",)

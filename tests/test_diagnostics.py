@@ -1,0 +1,136 @@
+"""Tests for provenance diagnostics and incidence linting."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.arrays.associative import AssociativeArray
+from repro.core.diagnostics import explain_entry, validate_incidence_pair
+from repro.graphs.digraph import EdgeKeyedDigraph
+from repro.graphs.incidence import incidence_arrays
+from repro.values.semiring import get_op_pair
+
+
+@pytest.fixture
+def weighted_pair():
+    g = EdgeKeyedDigraph([("e1", "a", "b"), ("e2", "a", "b"),
+                          ("e3", "b", "c")])
+    eout, ein = incidence_arrays(
+        g, out_values={"e1": 2.0, "e2": 3.0, "e3": 4.0},
+        in_values={"e1": 5.0, "e2": 7.0, "e3": 1.0})
+    return eout, ein
+
+
+class TestExplainEntry:
+    def test_terms_in_fold_order(self, weighted_pair):
+        eout, ein = weighted_pair
+        pair = get_op_pair("plus_times")
+        exp = explain_entry(eout, ein, pair, "a", "b")
+        assert exp.contributing_edges == ("e1", "e2")
+        assert [t.product for t in exp.terms] == [10.0, 21.0]
+        assert [t.running for t in exp.terms] == [10.0, 31.0]
+        assert exp.sparse_value == 31.0
+
+    def test_modes_agree_for_certified_pair(self, weighted_pair):
+        eout, ein = weighted_pair
+        exp = explain_entry(eout, ein, get_op_pair("plus_times"), "a", "b")
+        assert exp.modes_agree
+        assert exp.dense_value == 31.0
+
+    def test_empty_cell(self, weighted_pair):
+        eout, ein = weighted_pair
+        exp = explain_entry(eout, ein, get_op_pair("plus_times"), "b", "b")
+        assert exp.terms == ()
+        assert exp.sparse_value == 0
+
+    def test_modes_disagree_for_violator(self):
+        """The Lemma II.4 two-self-loop configuration, diagnosed."""
+        pair = get_op_pair("nonneg_max_plus")
+        k = ["k1", "k2"]
+        eout = AssociativeArray({("k1", "a"): 3.0, ("k2", "b"): 3.0},
+                                row_keys=k, col_keys=["a", "b"])
+        ein = AssociativeArray({("k1", "a"): 3.0, ("k2", "b"): 3.0},
+                               row_keys=k, col_keys=["a", "b"])
+        exp = explain_entry(eout, ein, pair, "a", "b")
+        assert exp.terms == ()            # sparse sees nothing
+        assert not exp.modes_agree        # dense sees max(3+0, 0+3) = 3
+        assert exp.dense_value == 3.0
+        assert "MODES DISAGREE" in exp.describe()
+
+    def test_describe_text(self, weighted_pair):
+        eout, ein = weighted_pair
+        text = explain_entry(eout, ein, get_op_pair("plus_times"),
+                             "a", "b").describe()
+        assert "edge 'e1'" in text and "running" in text
+
+    def test_key_validation(self, weighted_pair):
+        eout, ein = weighted_pair
+        pair = get_op_pair("plus_times")
+        with pytest.raises(ValueError, match="out-vertex"):
+            explain_entry(eout, ein, pair, "zz", "b")
+        with pytest.raises(ValueError, match="in-vertex"):
+            explain_entry(eout, ein, pair, "a", "zz")
+
+    def test_edge_set_validation(self, weighted_pair):
+        eout, ein = weighted_pair
+        padded = ein.with_keys(row_keys=list(ein.row_keys) + ["extra"])
+        with pytest.raises(ValueError, match="edge key set"):
+            explain_entry(eout, padded, get_op_pair("plus_times"),
+                          "a", "b")
+
+
+class TestValidateIncidencePair:
+    def test_clean_pair(self, weighted_pair):
+        eout, ein = weighted_pair
+        assert validate_incidence_pair(eout, ein) == []
+
+    def test_edge_key_mismatch(self, weighted_pair):
+        eout, ein = weighted_pair
+        padded = ein.with_keys(row_keys=list(ein.row_keys) + ["extra"])
+        issues = validate_incidence_pair(eout, padded)
+        assert any(i.kind == "edge-keys" for i in issues)
+
+    def test_phantom_edge(self):
+        k = ["k1", "k2"]
+        eout = AssociativeArray({("k1", "a"): 1}, row_keys=k,
+                                col_keys=["a"])
+        ein = AssociativeArray({("k1", "b"): 1}, row_keys=k,
+                               col_keys=["b"])
+        issues = validate_incidence_pair(eout, ein)
+        assert any(i.kind == "phantom" and "k2" in i.detail
+                   for i in issues)
+
+    def test_dangling_edge(self):
+        k = ["k1"]
+        eout = AssociativeArray({("k1", "a"): 1}, row_keys=k,
+                                col_keys=["a"])
+        ein = AssociativeArray({}, row_keys=k, col_keys=["b"])
+        issues = validate_incidence_pair(eout, ein)
+        assert any(i.kind == "dangling" for i in issues)
+
+    def test_hyperedge_flagged(self):
+        k = ["k1"]
+        eout = AssociativeArray({("k1", "a"): 1, ("k1", "b"): 1},
+                                row_keys=k, col_keys=["a", "b"])
+        ein = AssociativeArray({("k1", "c"): 1}, row_keys=k,
+                               col_keys=["c"])
+        issues = validate_incidence_pair(eout, ein)
+        assert any(i.kind == "hyperedge" for i in issues)
+
+    def test_music_arrays_flag_hyperedges_only(self):
+        """The Figure 2 arrays are hyperedge-like (multi-genre tracks)
+        plus one writerless track: lint reports exactly those."""
+        from repro.datasets.music import music_e1, music_e2
+        issues = validate_incidence_pair(music_e1(), music_e2())
+        kinds = {i.kind for i in issues}
+        assert kinds <= {"hyperedge", "dangling"}
+        assert any("093012ktnA8" in i.detail and i.kind == "dangling"
+                   for i in issues)
+
+    def test_zero_mismatch_with_op_pair(self, weighted_pair):
+        eout, ein = weighted_pair
+        pair = get_op_pair("min_plus")   # zero = +inf, arrays have 0
+        issues = validate_incidence_pair(eout, ein, op_pair=pair)
+        assert sum(1 for i in issues if i.kind == "zero") == 2

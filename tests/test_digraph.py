@@ -1,0 +1,112 @@
+"""Tests for the edge-keyed multigraph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.digraph import EdgeKeyedDigraph, GraphError
+
+
+class TestConstruction:
+    def test_edges_and_counts(self, small_graph):
+        assert small_graph.num_edges == 4
+        assert small_graph.num_vertices == 3
+        assert len(small_graph) == 4
+
+    def test_duplicate_edge_key_rejected(self):
+        g = EdgeKeyedDigraph([("e1", "a", "b")])
+        with pytest.raises(GraphError, match="duplicate"):
+            g.add_edge("e1", "b", "c")
+
+    def test_from_pairs_generates_ordered_keys(self):
+        g = EdgeKeyedDigraph.from_pairs([("a", "b"), ("b", "c")])
+        assert tuple(g.edge_keys) == ("e000", "e001")
+        assert g.endpoints("e000") == ("a", "b")
+
+    def test_from_pairs_prefix(self):
+        g = EdgeKeyedDigraph.from_pairs([("a", "b")], prefix="x")
+        assert tuple(g.edge_keys) == ("x000",)
+
+
+class TestKeySets:
+    def test_kout_kin_vertices(self, small_graph):
+        assert tuple(small_graph.out_vertices) == ("a", "b", "c")
+        assert tuple(small_graph.in_vertices) == ("b", "c")
+        assert tuple(small_graph.vertices) == ("a", "b", "c")
+
+    def test_source_only_vertex(self):
+        g = EdgeKeyedDigraph([("e", "src", "dst")])
+        assert tuple(g.out_vertices) == ("src",)
+        assert tuple(g.in_vertices) == ("dst",)
+
+    def test_edge_keys_sorted(self):
+        g = EdgeKeyedDigraph([("z", "a", "b"), ("a", "a", "b")])
+        assert tuple(g.edge_keys) == ("a", "z")
+
+
+class TestQueries:
+    def test_endpoints(self, small_graph):
+        assert small_graph.endpoints("e3") == ("b", "c")
+        with pytest.raises(GraphError, match="unknown edge"):
+            small_graph.endpoints("nope")
+
+    def test_edges_iteration_ordered(self, small_graph):
+        keys = [k for k, _s, _t in small_graph.edges()]
+        assert keys == ["e1", "e2", "e3", "e4"]
+
+    def test_edges_between_parallel(self, small_graph):
+        assert small_graph.edges_between("a", "b") == ["e1", "e2"]
+        assert small_graph.edges_between("b", "a") == []
+
+    def test_has_edge_between(self, small_graph):
+        assert small_graph.has_edge_between("a", "b")
+        assert not small_graph.has_edge_between("c", "a")
+
+    def test_adjacency_pairs_collapses_parallels(self, small_graph):
+        assert small_graph.adjacency_pairs() == frozenset(
+            {("a", "b"), ("b", "c"), ("c", "c")})
+
+    def test_degrees(self, small_graph):
+        assert small_graph.out_degree("a") == 2
+        assert small_graph.in_degree("b") == 2
+        assert small_graph.in_degree("a") == 0
+
+    def test_self_loops(self, small_graph):
+        assert small_graph.self_loops() == ["e4"]
+
+    def test_has_parallel_edges(self, small_graph):
+        assert small_graph.has_parallel_edges()
+        simple = EdgeKeyedDigraph([("e", "a", "b")])
+        assert not simple.has_parallel_edges()
+
+    def test_edge_pairs_multiplicity(self, small_graph):
+        assert list(small_graph.edge_pairs()).count(("a", "b")) == 2
+
+
+class TestTransforms:
+    def test_reverse_flips_arrows(self, small_graph):
+        rev = small_graph.reverse()
+        assert rev.endpoints("e1") == ("b", "a")
+        assert rev.adjacency_pairs() == frozenset(
+            {("b", "a"), ("c", "b"), ("c", "c")})
+
+    def test_reverse_involution(self, small_graph):
+        assert small_graph.reverse().reverse() == small_graph
+
+    def test_reverse_preserves_edge_keys(self, small_graph):
+        assert small_graph.reverse().edge_keys == small_graph.edge_keys
+
+    def test_subgraph_by_edges(self, small_graph):
+        sub = small_graph.subgraph_by_edges(["e1", "e4"])
+        assert sub.num_edges == 2
+        assert sub.endpoints("e4") == ("c", "c")
+
+    def test_equality(self, small_graph):
+        clone = EdgeKeyedDigraph(small_graph.edges())
+        assert clone == small_graph
+        clone.add_edge("extra", "a", "c")
+        assert clone != small_graph
+
+    def test_unhashable(self, small_graph):
+        with pytest.raises(TypeError):
+            hash(small_graph)

@@ -1,0 +1,23 @@
+"""Docstring examples are executable documentation — run them."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.pipeline
+import repro.core.streaming
+
+
+@pytest.mark.parametrize("module", [
+    repro,
+    repro.core.pipeline,
+    repro.core.streaming,
+], ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False,
+                             optionflags=doctest.NORMALIZE_WHITESPACE)
+    assert result.failed == 0, f"{result.failed} doctest failure(s)"
+    assert result.attempted > 0, "expected at least one doctest"

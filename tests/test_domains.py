@@ -1,0 +1,230 @@
+"""Unit tests for repro.values.domains."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.values.domains import (
+    BooleanDomain,
+    BoundedIntegerRange,
+    CompletedReals,
+    DomainError,
+    ExtendedNonNegativeReals,
+    ExtendedReals,
+    FiniteField2,
+    Integers,
+    IntegersModN,
+    MinPlusReals,
+    Naturals,
+    NonNegativeReals,
+    PositiveExtendedReals,
+    PowerSetDomain,
+    Reals,
+    StringDomain,
+    TropicalReals,
+    get_domain,
+    list_domains,
+)
+
+
+RNG = lambda: random.Random(42)
+
+
+class TestMembership:
+    @pytest.mark.parametrize("value,expected", [
+        (0, True), (5, True), (2.0, True), (-1, False), (1.5, False),
+        (math.inf, False), (True, False),
+    ])
+    def test_naturals(self, value, expected):
+        assert Naturals().contains(value) is expected
+
+    @pytest.mark.parametrize("value,expected", [
+        (-3, True), (3, True), (0.5, False), (math.nan, False),
+    ])
+    def test_integers(self, value, expected):
+        assert Integers().contains(value) is expected
+
+    @pytest.mark.parametrize("value,expected", [
+        (0.0, True), (3.7, True), (-0.1, False),
+        (math.inf, False), (math.nan, False),
+    ])
+    def test_nonnegative_reals(self, value, expected):
+        assert NonNegativeReals().contains(value) is expected
+
+    @pytest.mark.parametrize("value,expected", [
+        (-math.inf, True), (0.0, True), (math.inf, False), (math.nan, False),
+    ])
+    def test_tropical(self, value, expected):
+        assert TropicalReals().contains(value) is expected
+
+    @pytest.mark.parametrize("value,expected", [
+        (math.inf, True), (-math.inf, False), (1.5, True),
+    ])
+    def test_min_plus(self, value, expected):
+        assert MinPlusReals().contains(value) is expected
+
+    @pytest.mark.parametrize("value,expected", [
+        (math.inf, True), (-math.inf, True), (0.0, True), (math.nan, False),
+    ])
+    def test_completed(self, value, expected):
+        assert CompletedReals().contains(value) is expected
+
+    def test_extended_reals_alias(self):
+        assert ExtendedReals is CompletedReals
+
+    @pytest.mark.parametrize("value,expected", [
+        (0.0, True), (math.inf, True), (-1, False),
+    ])
+    def test_extended_nonneg(self, value, expected):
+        assert ExtendedNonNegativeReals().contains(value) is expected
+
+    @pytest.mark.parametrize("value,expected", [
+        (0.0, False), (0.001, True), (math.inf, True),
+    ])
+    def test_positive_extended(self, value, expected):
+        assert PositiveExtendedReals().contains(value) is expected
+
+    def test_booleans(self):
+        d = BooleanDomain()
+        assert d.contains(True) and d.contains(False)
+        assert not d.contains(1)  # ints are not booleans here
+
+    def test_gf2(self):
+        d = FiniteField2()
+        assert d.contains(0) and d.contains(1)
+        assert not d.contains(2) and not d.contains(0.0)
+
+    def test_mod_n(self):
+        d = IntegersModN(6)
+        assert d.contains(0) and d.contains(5)
+        assert not d.contains(6) and not d.contains(-1)
+
+    def test_mod_n_rejects_bad_modulus(self):
+        with pytest.raises(DomainError):
+            IntegersModN(0)
+
+    def test_powerset(self):
+        d = PowerSetDomain({"a", "b"})
+        assert d.contains(frozenset())
+        assert d.contains({"a"})
+        assert not d.contains({"z"})
+        assert not d.contains("a")
+
+    def test_bounded_range(self):
+        d = BoundedIntegerRange(-2, 2)
+        assert d.contains(-2) and d.contains(2)
+        assert not d.contains(3)
+        with pytest.raises(DomainError):
+            BoundedIntegerRange(3, 2)
+
+    def test_strings_bounded(self):
+        d = StringDomain(max_len=3)
+        assert d.contains("") and d.contains("abc")
+        assert not d.contains("abcd")
+        assert not d.contains("ABC")  # uppercase not in alphabet
+        assert not d.contains("\0")   # nul excluded by default
+
+    def test_strings_with_nul(self):
+        d = StringDomain(max_len=3, include_nul=True)
+        assert d.contains("\0")
+
+    def test_strings_unbounded(self):
+        d = StringDomain(max_len=None)
+        assert d.contains("a" * 1000)
+        with pytest.raises(DomainError):
+            _ = d.top
+
+    def test_strings_top(self):
+        assert StringDomain(max_len=4).top == "zzzz"
+
+    def test_strings_bad_length(self):
+        with pytest.raises(DomainError):
+            StringDomain(max_len=0)
+
+
+class TestEnumeration:
+    def test_booleans_enumerate(self):
+        assert list(BooleanDomain().elements()) == [False, True]
+
+    def test_gf2_enumerate(self):
+        assert list(FiniteField2().elements()) == [0, 1]
+
+    def test_mod_n_enumerate(self):
+        assert list(IntegersModN(4).elements()) == [0, 1, 2, 3]
+
+    def test_powerset_enumerates_all_subsets(self):
+        elems = list(PowerSetDomain({"x", "y"}).elements())
+        assert len(elems) == 4
+        assert frozenset() in elems and frozenset({"x", "y"}) in elems
+
+    def test_infinite_domain_enumeration_raises(self):
+        with pytest.raises(DomainError):
+            list(Naturals().elements())
+
+    def test_validate_passes_and_raises(self):
+        d = Naturals()
+        assert d.validate(3) == 3
+        with pytest.raises(DomainError):
+            d.validate(-1)
+
+
+class TestSampling:
+    @pytest.mark.parametrize("domain", [
+        Naturals(), Integers(), NonNegativeReals(), Reals(),
+        TropicalReals(), MinPlusReals(), CompletedReals(),
+        ExtendedNonNegativeReals(), PositiveExtendedReals(),
+        PowerSetDomain({"a", "b", "c"}), StringDomain(),
+        BooleanDomain(), FiniteField2(),
+    ])
+    def test_samples_are_members(self, domain):
+        for v in domain.sample(RNG(), 50):
+            assert domain.contains(v), f"{v!r} escaped {domain.name}"
+
+    def test_sample_is_deterministic_per_seed(self):
+        d = NonNegativeReals()
+        assert d.sample(random.Random(7), 10) == d.sample(random.Random(7), 10)
+
+    def test_sample_exclude(self):
+        d = Naturals()
+        values = d.sample(RNG(), 100, exclude=0)
+        assert 0 not in values
+
+    def test_sample_exclude_values(self):
+        d = FiniteField2()
+        values = d.sample(RNG(), 20, exclude_values=[0])
+        assert set(values) == {1}
+
+    def test_sample_impossible_exclusion_raises(self):
+        d = BooleanDomain()
+        with pytest.raises(DomainError):
+            d.sample(RNG(), 5, exclude_values=[False, True])
+
+    def test_pairs_exhaustive_for_finite(self):
+        pairs = list(FiniteField2().pairs(RNG(), 3))
+        assert len(pairs) == 4  # full Cartesian square regardless of count
+
+    def test_triples_exhaustive_for_finite(self):
+        triples = list(BooleanDomain().triples(RNG(), 1))
+        assert len(triples) == 8
+
+    def test_pairs_sampled_for_infinite(self):
+        pairs = list(Naturals().pairs(RNG(), 25))
+        assert len(pairs) == 25
+
+
+class TestRegistry:
+    def test_known_domains_resolve(self):
+        for name in list_domains():
+            assert get_domain(name).name == name
+
+    def test_unknown_domain(self):
+        with pytest.raises(DomainError, match="unknown domain"):
+            get_domain("no_such_domain")
+
+    def test_expected_catalog_present(self):
+        names = set(list_domains())
+        assert {"naturals", "nonnegative_reals", "tropical_reals",
+                "completed_reals", "gf2", "booleans"} <= names

@@ -1,0 +1,82 @@
+"""Tests for element-wise operations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arrays.associative import AssociativeArray
+from repro.arrays.elementwise import (
+    elementwise_add,
+    elementwise_apply,
+    elementwise_multiply,
+)
+from repro.arrays.keys import KeyError_
+from repro.values.operations import MAX_ZERO, MIN, PLUS, TIMES
+
+
+def _arr(data, zero=0):
+    return AssociativeArray(data, row_keys=["r1", "r2"],
+                            col_keys=["c1", "c2"], zero=zero)
+
+
+A = _arr({("r1", "c1"): 2, ("r1", "c2"): 3})
+B = _arr({("r1", "c1"): 5, ("r2", "c2"): 7})
+
+
+class TestAdd:
+    def test_union_pattern(self):
+        c = elementwise_add(A, B, PLUS)
+        assert c.get("r1", "c1") == 7     # both stored
+        assert c.get("r1", "c2") == 3     # only A
+        assert c.get("r2", "c2") == 7     # only B
+        assert c.get("r2", "c1") == 0     # neither
+
+    def test_max_add(self):
+        c = elementwise_add(A, B, MAX_ZERO)
+        assert c.get("r1", "c1") == 5
+
+    def test_misaligned_keysets_rejected(self):
+        other = AssociativeArray({("r1", "c1"): 1},
+                                 row_keys=["r1"], col_keys=["c1"])
+        with pytest.raises(KeyError_, match="identical key sets"):
+            elementwise_add(A, other, PLUS)
+
+
+class TestMultiply:
+    def test_intersection_for_annihilating_op(self):
+        c = elementwise_multiply(A, B, TIMES)
+        assert c.get("r1", "c1") == 10
+        assert c.nnz == 1  # all other coordinates have a zero factor
+
+    def test_non_annihilating_op_keeps_union(self):
+        # ⊗ = + treated element-wise: entries survive where either side
+        # is stored.
+        c = elementwise_multiply(A, B, PLUS)
+        assert c.nnz == 3
+
+    def test_min_background_violation_rejected(self):
+        # op(zero, zero) = min(0, 0) = 0 → fine with default zeros; but a
+        # result_zero of 1 is refused because the background is 0 ≠ 1.
+        with pytest.raises(KeyError_, match="dense"):
+            elementwise_apply(A, B, MIN, zero=1)
+
+
+class TestApply:
+    def test_custom_zero_result(self):
+        c = elementwise_apply(A, B, PLUS, zero=0)
+        assert c.zero == 0
+
+    def test_result_zero_entries_dropped(self):
+        x = _arr({("r1", "c1"): 2})
+        y = _arr({("r1", "c1"): -2})
+        # Allow negatives by direct construction: + gives exactly 0.
+        c = elementwise_apply(x, y, PLUS)
+        assert c.nnz == 0
+
+    def test_different_operand_zeros(self):
+        x = _arr({("r1", "c1"): 2}, zero=0)
+        y = AssociativeArray({("r1", "c1"): 3},
+                             row_keys=["r1", "r2"], col_keys=["c1", "c2"],
+                             zero=0)
+        c = elementwise_apply(x, y, TIMES)
+        assert c.get("r1", "c1") == 6

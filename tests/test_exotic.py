@@ -1,0 +1,86 @@
+"""Tests for the exotic (non-associative/non-commutative) operations.
+
+These pin down the paper's claim that Theorem II.1 does not require
+associativity, commutativity, or distributivity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.certify import certify
+from repro.values.domains import NonNegativeReals
+from repro.values.exotic import (
+    PLUS_TWISTED_TIMES,
+    SKEW_PLUS,
+    SKEW_PLUS_TIMES,
+    SKEW_TWISTED,
+    TWISTED_TIMES,
+)
+from repro.values.properties import (
+    check_annihilator,
+    check_associativity,
+    check_commutativity,
+    check_distributivity,
+    check_identity,
+    check_no_zero_divisors,
+    check_zero_sum_free,
+)
+
+
+DOM = NonNegativeReals()
+
+
+class TestSkewPlus:
+    def test_identity_two_sided(self):
+        assert check_identity(SKEW_PLUS, DOM)
+
+    def test_not_associative(self):
+        assert not check_associativity(SKEW_PLUS, DOM, seed=1)
+
+    def test_not_commutative(self):
+        assert not check_commutativity(SKEW_PLUS, DOM, seed=1)
+
+    def test_zero_sum_free(self):
+        assert check_zero_sum_free(SKEW_PLUS, DOM)
+
+    def test_hand_values(self):
+        # 1 ⊕̃ 2 = 1 + 2 + 1·2 = 5;  2 ⊕̃ 1 = 2 + 1 + 4·1 = 7.
+        assert SKEW_PLUS(1, 2) == 5
+        assert SKEW_PLUS(2, 1) == 7
+
+
+class TestTwistedTimes:
+    def test_identity_two_sided(self):
+        assert check_identity(TWISTED_TIMES, DOM)
+
+    def test_not_associative(self):
+        assert not check_associativity(TWISTED_TIMES, DOM, seed=2)
+
+    def test_not_commutative(self):
+        assert not check_commutativity(TWISTED_TIMES, DOM, seed=2)
+
+    def test_no_zero_divisors(self):
+        assert check_no_zero_divisors(TWISTED_TIMES, DOM, zero=0)
+
+    def test_annihilator(self):
+        assert check_annihilator(TWISTED_TIMES, DOM, zero=0)
+
+    def test_zero_shortcuts(self):
+        assert TWISTED_TIMES(0, 5) == 0.0
+        assert TWISTED_TIMES(5, 0) == 0.0
+
+
+class TestExoticPairs:
+    @pytest.mark.parametrize("pair", [
+        SKEW_PLUS_TIMES, PLUS_TWISTED_TIMES, SKEW_TWISTED,
+    ], ids=lambda p: p.name)
+    def test_certified_safe(self, pair):
+        cert = certify(pair, seed=9)
+        assert cert.safe, cert.summary()
+
+    def test_distributivity_fails_for_skew(self):
+        # The criteria hold, yet ⊗ does not distribute over ⊕̃ —
+        # exactly the paper's "semiring-like structures" point.
+        assert not check_distributivity(
+            SKEW_PLUS_TIMES.add, SKEW_PLUS_TIMES.mul, DOM, seed=3)

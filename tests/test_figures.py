@@ -1,0 +1,122 @@
+"""Exact-reproduction tests: every paper artifact must verify."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.expected import (
+    FIG1_NNZ,
+    FIG3_TABLES,
+    FIG35_STACKS,
+    FIG5_TABLES,
+    expected_array,
+)
+from repro.experiments.figures import (
+    CriteriaTableExperiment,
+    Figure1Experiment,
+    Figure2Experiment,
+    Figure3Experiment,
+    Figure4Experiment,
+    Figure5Experiment,
+    ReverseGraphExperiment,
+    StructuredUnionIntersectionExperiment,
+    all_experiments,
+)
+
+
+ALL = all_experiments()
+
+
+@pytest.mark.parametrize("experiment", ALL, ids=[e.name for e in ALL])
+def test_experiment_matches_paper(experiment):
+    verification = experiment.verify()
+    assert verification.matched, verification.describe()
+
+
+@pytest.mark.parametrize("experiment", ALL, ids=[e.name for e in ALL])
+def test_experiment_renders(experiment):
+    text = experiment.render()
+    assert isinstance(text, str) and len(text) > 20
+
+
+class TestExpectedDataConsistency:
+    """Sanity of the hard-coded expectations themselves."""
+
+    def test_fig1_nnz(self):
+        assert FIG1_NNZ == 186
+
+    def test_fig3_and_fig5_share_pattern(self):
+        for name in FIG3_TABLES:
+            assert set(FIG3_TABLES[name]) == set(FIG5_TABLES[name])
+
+    def test_all_tables_have_eleven_entries(self):
+        for tables in (FIG3_TABLES, FIG5_TABLES):
+            for name, table in tables.items():
+                assert len(table) == 11, name  # 5 + 3 + 3
+
+    def test_stacks_cover_seven_pairs(self):
+        flat = [n for stack in FIG35_STACKS for n in stack]
+        assert len(flat) == 7 and len(set(flat)) == 7
+
+    def test_stacked_tables_really_equal(self):
+        for tables in (FIG3_TABLES, FIG5_TABLES):
+            for stack in FIG35_STACKS:
+                first = tables[stack[0]]
+                for other in stack[1:]:
+                    assert tables[other] == first
+
+    def test_expected_array_builder(self):
+        arr = expected_array(FIG3_TABLES["plus_times"])
+        assert arr.shape == (3, 5)
+        assert arr.get("Genre|Pop", "Writer|Chad Anderson") == 13
+
+
+class TestSpecificFigureFacts:
+    """Spot-checks quoted directly from the paper's prose."""
+
+    def test_fig3_plus_times_electronic_row(self):
+        t = FIG3_TABLES["plus_times"]
+        assert [t[("Genre|Electronic", w)] for w in (
+            "Writer|Barrett Rich", "Writer|Chad Anderson",
+            "Writer|Chloe Chaidez", "Writer|Julian Chaidez",
+            "Writer|Nicholas Johns")] == [1, 7, 7, 2, 1]
+
+    def test_fig5_plus_times_rows_scaled_2_and_3(self):
+        """'the values in the adjacency array rows Genre|Pop and
+        Genre|Rock are multiplied by 2 and 3'."""
+        for col in ("Writer|Chad Anderson", "Writer|Chloe Chaidez"):
+            assert FIG5_TABLES["plus_times"][("Genre|Pop", col)] \
+                == 2 * FIG3_TABLES["plus_times"][("Genre|Pop", col)]
+            assert FIG5_TABLES["plus_times"][("Genre|Rock", col)] \
+                == 3 * FIG3_TABLES["plus_times"][("Genre|Rock", col)]
+
+    def test_fig5_max_plus_rows_larger_by_1_and_2(self):
+        """'the values ... are larger by 1 and 2' for max.+/min.+."""
+        for col in ("Writer|Chad Anderson", "Writer|Chloe Chaidez"):
+            assert FIG5_TABLES["max_plus"][("Genre|Pop", col)] \
+                == FIG3_TABLES["max_plus"][("Genre|Pop", col)] + 1
+            assert FIG5_TABLES["max_plus"][("Genre|Rock", col)] \
+                == FIG3_TABLES["max_plus"][("Genre|Rock", col)] + 2
+
+    def test_fig5_max_min_unchanged(self):
+        """'For the max.min semiring, Figure 3 and Figure 5 have the same
+        adjacency array because E2 is unchanged.'"""
+        assert FIG5_TABLES["max_min"] == FIG3_TABLES["max_min"]
+
+    def test_fig5_min_max_selects_larger_e1_values(self):
+        """'the ⊗ operator selecting the larger non-zero values from E1'."""
+        assert FIG5_TABLES["min_max"][("Genre|Pop",
+                                       "Writer|Chad Anderson")] == 2
+        assert FIG5_TABLES["min_max"][("Genre|Rock",
+                                       "Writer|Chad Anderson")] == 3
+
+    def test_computed_figures_match_through_experiments(self):
+        f3 = Figure3Experiment().run()
+        f5 = Figure5Experiment().run()
+        # 1⊗1 = 2 only where ⊗ = + (paper's Figure 3 remark).
+        assert f3["max_plus"].get("Genre|Electronic",
+                                  "Writer|Chad Anderson") == 2
+        assert f3["max_times"].get("Genre|Electronic",
+                                   "Writer|Chad Anderson") == 1
+        # Figure 5's min.max Pop row shows 2s.
+        assert f5["min_max"].get("Genre|Pop", "Writer|Chloe Chaidez") == 2

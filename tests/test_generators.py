@@ -1,0 +1,117 @@
+"""Tests for graph and value generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.digraph import GraphError
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    cycle_graph,
+    erdos_renyi_multigraph,
+    path_graph,
+    random_incidence_values,
+    rmat_multigraph,
+    star_graph,
+)
+from repro.values.semiring import get_op_pair
+
+
+class TestErdosRenyi:
+    def test_edge_count(self):
+        g = erdos_renyi_multigraph(10, 25, seed=1)
+        assert g.num_edges == 25
+
+    def test_deterministic_per_seed(self):
+        g1 = erdos_renyi_multigraph(10, 25, seed=7)
+        g2 = erdos_renyi_multigraph(10, 25, seed=7)
+        assert g1 == g2
+
+    def test_seed_changes_graph(self):
+        g1 = erdos_renyi_multigraph(10, 25, seed=7)
+        g2 = erdos_renyi_multigraph(10, 25, seed=8)
+        assert g1 != g2
+
+    def test_no_self_loops_option(self):
+        g = erdos_renyi_multigraph(5, 40, seed=3, allow_self_loops=False)
+        assert g.self_loops() == []
+
+    def test_vertex_bound(self):
+        g = erdos_renyi_multigraph(4, 50, seed=2)
+        assert g.num_vertices <= 4
+
+    def test_needs_a_vertex(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_multigraph(0, 1, seed=1)
+
+
+class TestRmat:
+    def test_edge_count_and_bounds(self):
+        g = rmat_multigraph(4, 60, seed=5)
+        assert g.num_edges == 60
+        assert g.num_vertices <= 16
+
+    def test_deterministic(self):
+        assert rmat_multigraph(4, 30, seed=5) == rmat_multigraph(4, 30, seed=5)
+
+    def test_skew_produces_hubs(self):
+        g = rmat_multigraph(6, 400, seed=9)
+        degs = sorted((g.out_degree(v) for v in g.out_vertices),
+                      reverse=True)
+        # Heavily skewed: the busiest source should dominate the median.
+        assert degs[0] >= 4 * max(degs[len(degs) // 2], 1)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(GraphError):
+            rmat_multigraph(3, 10, seed=1, a=0.5, b=0.4, c=0.3)
+
+
+class TestFixedShapes:
+    def test_path(self):
+        g = path_graph(4)
+        assert g.num_edges == 3
+        assert g.has_edge_between("v000", "v001")
+        with pytest.raises(GraphError):
+            path_graph(1)
+
+    def test_cycle(self):
+        g = cycle_graph(3)
+        assert g.num_edges == 3
+        assert g.has_edge_between("v002", "v000")
+
+    def test_star(self):
+        g = star_graph(5)
+        assert g.out_degree("v000") == 5
+        with pytest.raises(GraphError):
+            star_graph(0)
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite_graph(2, 3)
+        assert g.num_edges == 6
+        assert tuple(g.out_vertices) == ("l000", "l001")
+        with pytest.raises(GraphError):
+            complete_bipartite_graph(0, 1)
+
+
+class TestRandomIncidenceValues:
+    def test_nonzero_everywhere(self):
+        g = erdos_renyi_multigraph(6, 15, seed=4)
+        pair = get_op_pair("min_plus")
+        out_vals, in_vals = random_incidence_values(g, pair, seed=11)
+        assert set(out_vals) == set(g.edge_keys)
+        assert all(not pair.is_zero(v) for v in out_vals.values())
+        assert all(not pair.is_zero(v) for v in in_vals.values())
+
+    def test_deterministic(self):
+        g = erdos_renyi_multigraph(6, 15, seed=4)
+        pair = get_op_pair("plus_times")
+        assert random_incidence_values(g, pair, seed=11) == \
+            random_incidence_values(g, pair, seed=11)
+
+    def test_domain_override(self):
+        from repro.values.domains import FiniteField2
+        g = erdos_renyi_multigraph(4, 8, seed=4)
+        pair = get_op_pair("plus_times")
+        out_vals, _ = random_incidence_values(
+            g, pair, seed=2, domain=FiniteField2())
+        assert set(out_vals.values()) == {1}

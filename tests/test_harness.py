@@ -1,0 +1,53 @@
+"""Tests for the experiment harness and the synopsis validator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import Figure1Experiment
+from repro.experiments.harness import main, render_report, run_all
+from repro.experiments.synopsis import SYNOPSIS, validate_synopsis
+
+
+class TestHarness:
+    def test_run_all_matches(self):
+        report = run_all()
+        assert report.all_matched, render_report(report)
+
+    def test_summary_rows(self):
+        report = run_all(experiments=[Figure1Experiment()])
+        rows = dict(report.summary_rows())
+        assert rows["fig1"] is True
+        assert "synopsis" in rows
+
+    def test_render_report_mentions_each_experiment(self):
+        report = run_all(experiments=[Figure1Experiment()])
+        text = render_report(report)
+        assert "fig1" in text
+        assert "ALL MATCHED" in text
+
+    def test_main_exit_code(self, capsys):
+        assert main() == 0
+        out = capsys.readouterr().out
+        assert "ALL MATCHED" in out
+
+
+class TestSynopsis:
+    def test_every_figure_pair_covered(self):
+        assert [line.pair_name for line in SYNOPSIS] == [
+            "plus_times", "max_times", "min_times", "max_plus",
+            "min_plus", "max_min", "min_max"]
+
+    def test_prose_present(self):
+        assert all(len(line.prose) > 20 for line in SYNOPSIS)
+
+    def test_all_validated(self):
+        rows = validate_synopsis()
+        for name, ok, detail in rows:
+            assert ok, f"{name}: {detail}"
+
+    def test_reference_functions(self):
+        by_name = {l.pair_name: l for l in SYNOPSIS}
+        assert by_name["plus_times"].reference([1, 2, 3]) == 6
+        assert by_name["max_min"].term(4, 7) == 4
+        assert by_name["min_max"].term(4, 7) == 7

@@ -1,0 +1,137 @@
+"""Tests for incidence array construction and validation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.arrays.associative import AssociativeArray
+from repro.graphs.digraph import EdgeKeyedDigraph, GraphError
+from repro.graphs.incidence import (
+    graph_from_incidence,
+    incidence_arrays,
+    is_source_incidence_of,
+    is_target_incidence_of,
+)
+
+
+class TestConstruction:
+    def test_default_unit_values(self, small_graph):
+        eout, ein = incidence_arrays(small_graph)
+        assert eout.get("e1", "a") == 1
+        assert ein.get("e1", "b") == 1
+
+    def test_key_sets_follow_definition(self, small_graph):
+        eout, ein = incidence_arrays(small_graph)
+        assert eout.row_keys == small_graph.edge_keys
+        assert ein.row_keys == small_graph.edge_keys
+        assert eout.col_keys == small_graph.out_vertices
+        assert ein.col_keys == small_graph.in_vertices
+
+    def test_one_entry_per_edge_row(self, small_graph):
+        eout, ein = incidence_arrays(small_graph)
+        assert eout.nnz == small_graph.num_edges
+        assert ein.nnz == small_graph.num_edges
+
+    def test_mapping_values(self, small_graph):
+        eout, _ = incidence_arrays(
+            small_graph, out_values={"e1": 5, "e2": 7})
+        assert eout.get("e1", "a") == 5
+        assert eout.get("e3", "b") == 1  # default one
+
+    def test_callable_values(self, small_graph):
+        eout, _ = incidence_arrays(
+            small_graph, out_values=lambda k, v: f"{k}:{v}", zero="")
+        assert eout.get("e1", "a") == "e1:a"
+
+    def test_constant_values(self, small_graph):
+        _, ein = incidence_arrays(small_graph, in_values=9)
+        assert all(v == 9 for v in ein.to_dict().values())
+
+    def test_custom_zero(self, small_graph):
+        eout, _ = incidence_arrays(small_graph, zero=math.inf)
+        assert eout.zero == math.inf
+
+    def test_zero_valued_entry_rejected(self, small_graph):
+        with pytest.raises(GraphError, match="equals the zero"):
+            incidence_arrays(small_graph, out_values={"e1": 0})
+        with pytest.raises(GraphError, match="equals the zero"):
+            incidence_arrays(small_graph, in_values={"e3": 0})
+
+
+class TestValidation:
+    def test_valid_arrays_pass(self, small_graph):
+        eout, ein = incidence_arrays(small_graph)
+        assert is_source_incidence_of(eout, small_graph)
+        assert is_target_incidence_of(ein, small_graph)
+
+    def test_swapped_arrays_fail(self, small_graph):
+        eout, ein = incidence_arrays(small_graph)
+        # ein has the wrong column key set / pattern for a source array.
+        assert not is_source_incidence_of(ein, small_graph)
+
+    def test_missing_entry_fails(self, small_graph):
+        eout, _ = incidence_arrays(small_graph)
+        broken = AssociativeArray(
+            {k: v for k, v in eout.to_dict().items() if k != ("e1", "a")},
+            row_keys=eout.row_keys, col_keys=eout.col_keys)
+        assert not is_source_incidence_of(broken, small_graph)
+
+    def test_extra_entry_fails(self, small_graph):
+        eout, _ = incidence_arrays(small_graph)
+        data = eout.to_dict()
+        data[("e3", "a")] = 1  # e3 does not leave a
+        extra = AssociativeArray(data, row_keys=eout.row_keys,
+                                 col_keys=eout.col_keys)
+        assert not is_source_incidence_of(extra, small_graph)
+
+    def test_wrong_row_keys_fail(self, small_graph):
+        eout, _ = incidence_arrays(small_graph)
+        padded = eout.with_keys(row_keys=list(eout.row_keys) + ["extra"])
+        assert not is_source_incidence_of(padded, small_graph)
+
+
+class TestRoundTrip:
+    def test_graph_incidence_graph(self, small_graph):
+        eout, ein = incidence_arrays(small_graph)
+        assert graph_from_incidence(eout, ein) == small_graph
+
+    def test_weights_do_not_affect_structure(self, small_graph):
+        eout, ein = incidence_arrays(
+            small_graph,
+            out_values={k: i + 2 for i, k in
+                        enumerate(small_graph.edge_keys)},
+            in_values=3)
+        assert graph_from_incidence(eout, ein) == small_graph
+
+    def test_mismatched_edge_sets_rejected(self, small_graph):
+        eout, ein = incidence_arrays(small_graph)
+        padded = ein.with_keys(row_keys=list(ein.row_keys) + ["extra"])
+        with pytest.raises(GraphError, match="share the edge key set"):
+            graph_from_incidence(eout, padded)
+
+    def test_hyperedge_rejected(self):
+        # An edge with two sources is not an ordinary directed edge.
+        eout = AssociativeArray({("k", "a"): 1, ("k", "b"): 1},
+                                row_keys=["k"], col_keys=["a", "b"])
+        ein = AssociativeArray({("k", "c"): 1},
+                               row_keys=["k"], col_keys=["c"])
+        with pytest.raises(GraphError, match="source"):
+            graph_from_incidence(eout, ein)
+
+    def test_dangling_edge_rejected(self):
+        # Edge stored only in Eout.
+        eout = AssociativeArray({("k", "a"): 1},
+                                row_keys=["k"], col_keys=["a"])
+        ein = AssociativeArray({}, row_keys=["k"], col_keys=["c"])
+        with pytest.raises(GraphError, match="target"):
+            graph_from_incidence(eout, ein)
+
+    def test_fully_empty_rows_ignored(self):
+        eout = AssociativeArray({("k1", "a"): 1},
+                                row_keys=["k1", "k2"], col_keys=["a"])
+        ein = AssociativeArray({("k1", "b"): 1},
+                               row_keys=["k1", "k2"], col_keys=["b"])
+        g = graph_from_incidence(eout, ein)
+        assert g.num_edges == 1

@@ -1,0 +1,82 @@
+"""Tests for networkx / edge-list interoperability."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.arrays.associative import AssociativeArray
+from repro.graphs.digraph import EdgeKeyedDigraph, GraphError
+from repro.graphs.generators import erdos_renyi_multigraph
+from repro.graphs.interop import (
+    adjacency_to_networkx,
+    edge_list,
+    from_edge_list,
+    from_networkx,
+    to_networkx,
+)
+
+
+class TestNetworkxRoundTrip:
+    def test_to_networkx_preserves_structure(self, small_graph):
+        g = to_networkx(small_graph)
+        assert isinstance(g, nx.MultiDiGraph)
+        assert g.number_of_edges() == small_graph.num_edges
+        assert set(g.nodes) == set(small_graph.vertices)
+        assert g.has_edge("a", "b", key="e1")
+
+    def test_roundtrip(self, small_graph):
+        assert from_networkx(to_networkx(small_graph)) == small_graph
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_roundtrip_random(self, seed):
+        g = erdos_renyi_multigraph(8, 25, seed=seed)
+        assert from_networkx(to_networkx(g)) == g
+
+    def test_from_plain_digraph_generates_keys(self):
+        g = nx.DiGraph([("a", "b"), ("b", "c")])
+        out = from_networkx(g)
+        assert out.num_edges == 2
+        assert out.has_edge_between("a", "b")
+
+    def test_from_multigraph_with_default_keys(self):
+        g = nx.MultiDiGraph()
+        g.add_edge("a", "b")   # key 0
+        g.add_edge("a", "b")   # key 1
+        out = from_networkx(g)
+        assert len(out.edges_between("a", "b")) == 2
+
+    def test_undirected_rejected(self):
+        with pytest.raises(GraphError, match="directed"):
+            from_networkx(nx.Graph([("a", "b")]))
+
+
+class TestAdjacencyExport:
+    def test_numeric_weights(self):
+        adj = AssociativeArray({("a", "b"): 2.5},
+                               row_keys=["a", "b"], col_keys=["a", "b"])
+        g = adjacency_to_networkx(adj)
+        assert g["a"]["b"]["weight"] == 2.5
+
+    def test_non_numeric_values_ride_along(self):
+        adj = AssociativeArray({("a", "b"): frozenset({"w"})},
+                               row_keys=["a", "b"], col_keys=["a", "b"],
+                               zero=frozenset())
+        g = adjacency_to_networkx(adj)
+        assert g["a"]["b"]["value"] == frozenset({"w"})
+        assert g["a"]["b"]["weight"] == 1
+
+    def test_nodes_cover_both_key_sets(self):
+        adj = AssociativeArray({("a", "x"): 1},
+                               row_keys=["a"], col_keys=["x"])
+        g = adjacency_to_networkx(adj)
+        assert set(g.nodes) == {"a", "x"}
+
+
+class TestEdgeLists:
+    def test_roundtrip(self, small_graph):
+        assert from_edge_list(edge_list(small_graph)) == small_graph
+
+    def test_ordering(self, small_graph):
+        keys = [k for k, _s, _t in edge_list(small_graph)]
+        assert keys == sorted(keys)

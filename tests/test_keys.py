@@ -1,0 +1,155 @@
+"""Unit tests for repro.arrays.keys (KeySet and selectors)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arrays.keys import KeyError_, KeySet
+
+
+class TestConstruction:
+    def test_sorts_and_dedupes(self):
+        ks = KeySet(["b", "a", "b", "c"])
+        assert tuple(ks) == ("a", "b", "c")
+
+    def test_empty(self):
+        ks = KeySet()
+        assert len(ks) == 0 and list(ks) == []
+
+    def test_numeric_keys(self):
+        ks = KeySet([3, 1, 2])
+        assert tuple(ks) == (1, 2, 3)
+
+    def test_incomparable_keys_rejected(self):
+        with pytest.raises(KeyError_, match="comparable"):
+            KeySet(["a", 1])
+
+    def test_coerce(self):
+        ks = KeySet(["a"])
+        assert KeySet.coerce(ks) is ks
+        assert tuple(KeySet.coerce(["b", "a"])) == ("a", "b")
+        assert len(KeySet.coerce(None)) == 0
+
+
+class TestContainerProtocol:
+    def test_contains(self):
+        ks = KeySet(["a", "b"])
+        assert "a" in ks and "z" not in ks
+
+    def test_contains_unhashable_is_false(self):
+        assert ["a"] not in KeySet(["a"])
+
+    def test_getitem_int_and_slice(self):
+        ks = KeySet(["a", "b", "c"])
+        assert ks[0] == "a"
+        assert tuple(ks[1:]) == ("b", "c")
+
+    def test_index(self):
+        ks = KeySet(["a", "b", "c"])
+        assert ks.index("b") == 1
+        with pytest.raises(KeyError_):
+            ks.index("zz")
+
+    def test_equality_and_hash(self):
+        assert KeySet(["a", "b"]) == KeySet(["b", "a"])
+        assert hash(KeySet(["a"])) == hash(KeySet(["a"]))
+        assert KeySet(["a"]) != KeySet(["b"])
+
+    def test_keys_tuple(self):
+        assert KeySet(["b", "a"]).keys() == ("a", "b")
+
+
+class TestSetAlgebra:
+    def test_union(self):
+        assert tuple(KeySet(["a"]).union(["b"])) == ("a", "b")
+
+    def test_intersection_keeps_order(self):
+        assert tuple(KeySet(["a", "b", "c"]).intersection(["c", "a"])) \
+            == ("a", "c")
+
+    def test_difference(self):
+        assert tuple(KeySet(["a", "b", "c"]).difference(["b"])) == ("a", "c")
+
+
+class TestRangeQueries:
+    def test_between_inclusive(self):
+        ks = KeySet(["apple", "banana", "cherry", "date"])
+        assert tuple(ks.between("banana", "cherry")) == ("banana", "cherry")
+
+    def test_between_endpoints_not_members(self):
+        ks = KeySet(["bb", "cc", "dd"])
+        assert tuple(ks.between("a", "cz")) == ("bb", "cc")
+
+    def test_between_empty(self):
+        assert len(KeySet(["a"]).between("x", "z")) == 0
+
+    def test_starting_with(self):
+        ks = KeySet(["Genre|Pop", "Genre|Rock", "Writer|X"])
+        assert tuple(ks.starting_with("Genre|")) == ("Genre|Pop", "Genre|Rock")
+
+    def test_starting_with_skips_non_strings(self):
+        assert len(KeySet([1, 2]).starting_with("a")) == 0
+
+
+class TestSelect:
+    KS = KeySet(["Date|2010", "Genre|Electronic", "Genre|Pop", "Genre|Rock",
+                 "Writer|Anne", "Writer|Bob"])
+
+    def test_colon_selects_all(self):
+        assert self.KS.select(":") == self.KS
+
+    def test_paper_style_range(self):
+        got = self.KS.select("Genre|A : Genre|Z")
+        assert tuple(got) == ("Genre|Electronic", "Genre|Pop", "Genre|Rock")
+
+    def test_range_requires_spaces(self):
+        # Without ' : ' the text is a single (missing) key.
+        with pytest.raises(KeyError_):
+            self.KS.select("Genre|A:Genre|Z")
+
+    def test_malformed_range(self):
+        with pytest.raises(KeyError_, match="malformed"):
+            self.KS.select("a : ")
+
+    def test_prefix_star(self):
+        assert tuple(self.KS.select("Writer|*")) \
+            == ("Writer|Anne", "Writer|Bob")
+
+    def test_single_existing_key(self):
+        assert tuple(self.KS.select("Genre|Pop")) == ("Genre|Pop",)
+
+    def test_single_missing_key_raises(self):
+        with pytest.raises(KeyError_, match="not in key set"):
+            self.KS.select("Genre|Jazz")
+
+    def test_list_selector_checks_membership(self):
+        assert tuple(self.KS.select(["Genre|Pop", "Writer|Bob"])) \
+            == ("Genre|Pop", "Writer|Bob")
+        with pytest.raises(KeyError_, match="not in key set"):
+            self.KS.select(["Genre|Pop", "nope"])
+
+    def test_keyset_selector_intersects(self):
+        other = KeySet(["Genre|Pop", "Unknown|X"])
+        assert tuple(self.KS.select(other)) == ("Genre|Pop",)
+
+    def test_slice_selector(self):
+        got = self.KS.select(slice("Genre|A", "Genre|Z"))
+        assert tuple(got) == ("Genre|Electronic", "Genre|Pop", "Genre|Rock")
+
+    def test_slice_open_ends(self):
+        assert self.KS.select(slice(None, None)) == self.KS
+
+    def test_slice_with_step_rejected(self):
+        with pytest.raises(KeyError_, match="stepped"):
+            self.KS.select(slice("a", "z", 2))
+
+    def test_slice_on_empty_keyset(self):
+        assert len(KeySet().select(slice(None, None))) == 0
+
+    def test_unsupported_selector(self):
+        with pytest.raises(KeyError_, match="unsupported"):
+            self.KS.select(3.14)
+
+    def test_position_map(self):
+        pm = KeySet(["b", "a"]).position_map()
+        assert pm == {"a": 0, "b": 1}

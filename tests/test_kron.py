@@ -1,0 +1,101 @@
+"""Tests for Kronecker products of arrays and graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arrays.associative import AssociativeArray
+from repro.arrays.kron import kron, kron_power, kronecker_graph, pair_key
+from repro.core.construction import adjacency_array
+from repro.graphs.digraph import EdgeKeyedDigraph
+from repro.graphs.generators import cycle_graph, path_graph
+from repro.graphs.incidence import incidence_arrays
+from repro.values.operations import AND, TIMES
+from repro.values.semiring import get_op_pair
+
+
+class TestKronArrays:
+    A = AssociativeArray({("x", "u"): 2, ("y", "v"): 3},
+                         row_keys=["x", "y"], col_keys=["u", "v"])
+    B = AssociativeArray({("p", "q"): 5},
+                         row_keys=["p"], col_keys=["q", "r"])
+
+    def test_values_and_keys(self):
+        c = kron(self.A, self.B, TIMES)
+        assert c.get(pair_key("x", "p"), pair_key("u", "q")) == 10
+        assert c.get(pair_key("y", "p"), pair_key("v", "q")) == 15
+        assert c.shape == (2 * 1, 2 * 2)
+
+    def test_nnz_is_product(self):
+        c = kron(self.A, self.B, TIMES)
+        assert c.nnz == self.A.nnz * self.B.nnz
+
+    def test_zero_divisor_shrinks_pattern(self):
+        """With ⊗ = ∩ over a power set, disjoint blocks vanish —
+        criterion (b) seen through kron."""
+        from repro.values.operations import make_intersection
+        inter = make_intersection(frozenset({"a", "b"}))
+        zero = frozenset()
+        x = AssociativeArray({("r", "c"): frozenset({"a"})}, zero=zero)
+        y = AssociativeArray({("r", "c"): frozenset({"b"})}, zero=zero)
+        c = kron(x, y, inter, zero=zero)
+        assert c.nnz == 0
+
+    def test_kron_power(self):
+        eye = AssociativeArray({("0", "0"): 1, ("1", "1"): 1},
+                               row_keys=["0", "1"], col_keys=["0", "1"])
+        cube = kron_power(eye, 3, TIMES)
+        assert cube.nnz == 8          # identity on 2³ paired keys
+        assert cube.shape == (8, 8)
+
+    def test_kron_power_validates_exponent(self):
+        with pytest.raises(ValueError):
+            kron_power(self.A, 0, TIMES)
+
+    def test_kron_power_one_is_identity(self):
+        assert kron_power(self.A, 1, TIMES) == self.A
+
+
+class TestKroneckerGraphs:
+    def test_edge_count(self):
+        g = path_graph(3)     # 2 edges
+        h = cycle_graph(3)    # 3 edges
+        gh = kronecker_graph(g, h)
+        assert gh.num_edges == 6
+
+    def test_weischel_property(self):
+        """Adjacency(G ⊗ H) == kron(Adjacency(G), Adjacency(H)) — the
+        classical Kronecker-product theorem over the Boolean algebra."""
+        g = path_graph(3)
+        h = EdgeKeyedDigraph([("k1", "a", "b"), ("k2", "b", "a")])
+        pair = get_op_pair("or_and")
+
+        def bool_adjacency(graph):
+            eout, ein = incidence_arrays(graph, one=True, zero=False)
+            adj = adjacency_array(eout, ein, pair, kernel="generic")
+            verts = graph.vertices
+            return adj.with_keys(row_keys=verts, col_keys=verts)
+
+        ag = bool_adjacency(g)
+        ah = bool_adjacency(h)
+        left = kron(ag, ah, AND, zero=False)
+
+        gh = kronecker_graph(g, h)
+        right = bool_adjacency(gh)
+        # Compare on the pattern over the full paired vertex sets.
+        assert left.nonzero_pattern() == right.nonzero_pattern()
+
+    def test_weighted_kron_consistency(self):
+        """Over +.× the kron of adjacency arrays equals the adjacency of
+        the product graph with multiplied edge weights."""
+        pair = get_op_pair("plus_times")
+        g = EdgeKeyedDigraph([("k1", "a", "b")])
+        h = EdgeKeyedDigraph([("m1", "p", "q"), ("m2", "p", "q")])
+        g_out, g_in = incidence_arrays(g, out_values={"k1": 3.0})
+        h_out, h_in = incidence_arrays(h, out_values={"m1": 5.0,
+                                                      "m2": 7.0})
+        ag = adjacency_array(g_out, g_in, pair, kernel="generic")
+        ah = adjacency_array(h_out, h_in, pair, kernel="generic")
+        k = kron(ag, ah, TIMES)
+        # A_G(a,b) = 3; A_H(p,q) = 12 → paired entry 36.
+        assert k.get(pair_key("a", "p"), pair_key("b", "q")) == 36.0

@@ -1,0 +1,171 @@
+"""Unit tests for repro.arrays.matmul (Definition I.3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.arrays.associative import AssociativeArray
+from repro.arrays.matmul import MatmulError, multiply, multiply_generic
+from repro.values.semiring import get_op_pair
+
+from tests.helpers import SAFE_NUMERIC_PAIRS
+
+
+def _arr(data, rows, cols, zero=0):
+    return AssociativeArray(data, row_keys=rows, col_keys=cols, zero=zero)
+
+
+class TestConformability:
+    def test_inner_keys_must_match(self):
+        a = _arr({("r", "k1"): 1}, ["r"], ["k1"])
+        b = _arr({("k2", "c"): 1}, ["k2"], ["c"])
+        with pytest.raises(MatmulError, match="inner key sets"):
+            multiply(a, b, get_op_pair("plus_times"))
+
+    def test_unknown_mode(self):
+        a = _arr({("r", "k"): 1}, ["r"], ["k"])
+        b = _arr({("k", "c"): 1}, ["k"], ["c"])
+        with pytest.raises(MatmulError, match="unknown mode"):
+            multiply(a, b, get_op_pair("plus_times"), mode="lazy")
+
+
+class TestHandComputed:
+    """2×2 by 2×2 products, worked by hand."""
+
+    A = _arr({("x", "k1"): 2, ("x", "k2"): 3, ("y", "k1"): 4},
+             ["x", "y"], ["k1", "k2"])
+    B = _arr({("k1", "u"): 5, ("k2", "u"): 7, ("k2", "v"): 1},
+             ["k1", "k2"], ["u", "v"])
+
+    def test_plus_times(self):
+        c = multiply(self.A, self.B, get_op_pair("plus_times"),
+                     kernel="generic")
+        # c(x,u) = 2·5 + 3·7 = 31 ; c(x,v) = 3·1 = 3 ; c(y,u) = 4·5 = 20
+        assert c.get("x", "u") == 31
+        assert c.get("x", "v") == 3
+        assert c.get("y", "u") == 20
+        assert c.get("y", "v") == 0
+        assert c.zero == 0
+
+    def test_max_times(self):
+        c = multiply(self.A, self.B, get_op_pair("max_times"),
+                     kernel="generic")
+        assert c.get("x", "u") == max(2 * 5, 3 * 7)
+
+    def test_min_plus(self):
+        a = self.A.with_zero(math.inf)
+        b = self.B.with_zero(math.inf)
+        c = multiply(a, b, get_op_pair("min_plus"), kernel="generic")
+        # c(x,u) = min(2+5, 3+7) = 7
+        assert c.get("x", "u") == 7
+        assert c.zero == math.inf
+
+    def test_max_min(self):
+        c = multiply(self.A, self.B, get_op_pair("max_min"),
+                     kernel="generic")
+        # c(x,u) = max(min(2,5), min(3,7)) = 3
+        assert c.get("x", "u") == 3
+
+    def test_result_key_sets(self):
+        c = multiply(self.A, self.B, get_op_pair("plus_times"))
+        assert c.row_keys == self.A.row_keys
+        assert c.col_keys == self.B.col_keys
+
+
+class TestSparseVsDense:
+    @pytest.mark.parametrize("name", SAFE_NUMERIC_PAIRS)
+    def test_modes_agree_for_safe_pairs(self, name):
+        pair = get_op_pair(name)
+        a = _arr({("x", "k1"): 2, ("x", "k2"): 3, ("y", "k3"): 5},
+                 ["x", "y"], ["k1", "k2", "k3"], zero=pair.zero)
+        b = _arr({("k1", "u"): 5, ("k2", "u"): 7, ("k3", "v"): 2},
+                 ["k1", "k2", "k3"], ["u", "v"], zero=pair.zero)
+        sparse = multiply(a, b, pair, mode="sparse", kernel="generic")
+        dense = multiply(a, b, pair, mode="dense", kernel="generic")
+        assert sparse == dense, name
+
+    def test_modes_diverge_for_non_annihilating_pair(self):
+        """nonneg_max_plus: unstored zeros contribute under dense
+        evaluation — the Theorem II.1 content, observable."""
+        pair = get_op_pair("nonneg_max_plus")
+        a = _arr({("x", "k1"): 2}, ["x"], ["k1", "k2"])
+        b = _arr({("k2", "u"): 3}, ["k1", "k2"], ["u"])
+        sparse = multiply(a, b, pair, mode="sparse", kernel="generic")
+        dense = multiply(a, b, pair, mode="dense", kernel="generic")
+        # Sparse: no shared inner key → no entry.  Dense: terms
+        # max(2⊗0, 0⊗3) = max(2, 3) = 3 → spurious entry.
+        assert sparse.nnz == 0
+        assert dense.get("x", "u") == 3
+
+    def test_empty_inner_keyset(self):
+        pair = get_op_pair("plus_times")
+        a = AssociativeArray.empty(["x"], [], zero=0)
+        b = AssociativeArray.empty([], ["u"], zero=0)
+        for mode in ("sparse", "dense"):
+            c = multiply(a, b, pair, mode=mode, kernel="generic")
+            assert c.nnz == 0 and c.shape == (1, 1)
+
+    def test_empty_operands(self):
+        pair = get_op_pair("plus_times")
+        a = AssociativeArray.empty(["x"], ["k"], zero=0)
+        b = AssociativeArray.empty(["k"], ["u"], zero=0)
+        c = multiply(a, b, pair, kernel="generic")
+        assert c.nnz == 0
+
+
+class TestFoldOrder:
+    def test_non_associative_add_folds_in_inner_key_order(self):
+        """⊕̃ = a + b + a²b is non-associative: the fold must follow the
+        inner key set's total order."""
+        pair = get_op_pair("skew_plus_times")
+        a = _arr({("x", "k1"): 1, ("x", "k2"): 2, ("x", "k3"): 3},
+                 ["x"], ["k1", "k2", "k3"])
+        b = _arr({("k1", "u"): 1, ("k2", "u"): 1, ("k3", "u"): 1},
+                 ["k1", "k2", "k3"], ["u"])
+        c = multiply(a, b, pair, kernel="generic")
+        add = pair.add
+        expected = add(add(1, 2), 3)   # left fold over k1 < k2 < k3
+        assert c.get("x", "u") == expected
+        wrong_order = add(add(3, 2), 1)
+        assert expected != wrong_order  # the test has teeth
+
+    def test_non_commutative_mul_operand_order(self):
+        """⊗ = concat: A-value ⊗ B-value, never the reverse."""
+        pair = get_op_pair("max_concat")
+        zero = pair.zero
+        a = _arr({("x", "k"): "left"}, ["x"], ["k"], zero=zero)
+        b = _arr({("k", "u"): "right"}, ["k"], ["u"], zero=zero)
+        c = multiply(a, b, pair, kernel="generic")
+        assert c.get("x", "u") == "leftright"
+
+    def test_dense_mode_fold_covers_whole_inner_keyset(self):
+        pair = get_op_pair("skew_plus_times")
+        a = _arr({("x", "k2"): 2}, ["x"], ["k1", "k2"])
+        b = _arr({("k2", "u"): 1}, ["k1", "k2"], ["u"])
+        dense = multiply(a, b, pair, mode="dense", kernel="generic")
+        # Terms in order: k1 → 0⊗0 = 0, k2 → 2⊗1 = 2; fold 0 ⊕̃ 2 = 2.
+        assert dense.get("x", "u") == 2
+
+
+class TestKernelSelection:
+    def test_generic_forced_for_non_numeric(self):
+        pair = get_op_pair("string_max_min")
+        zero = pair.zero
+        a = _arr({("x", "k"): "abc"}, ["x"], ["k"], zero=zero)
+        b = _arr({("k", "u"): "abd"}, ["k"], ["u"], zero=zero)
+        c = multiply(a, b, pair)  # auto must fall back to generic
+        assert c.get("x", "u") == "abc"
+
+    def test_explicit_bad_kernel_name(self):
+        a = _arr({("x", "k"): 1}, ["x"], ["k"])
+        b = _arr({("k", "u"): 1}, ["k"], ["u"])
+        with pytest.raises(MatmulError, match="unknown kernel"):
+            multiply(a, b, get_op_pair("plus_times"), kernel="turbo")
+
+    def test_dot_method_delegates(self, tiny_array):
+        pair = get_op_pair("plus_times")
+        other = _arr({("c1", "z"): 1}, ["c1", "c2", "c3"], ["z"])
+        c = tiny_array.dot(other, pair)
+        assert c.get("r1", "z") == 1

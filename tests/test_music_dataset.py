@@ -1,0 +1,116 @@
+"""Tests pinning the music dataset to the paper's figures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.music import (
+    FIGURE1_ROW_COUNTS,
+    FIGURE4_GENRE_WEIGHTS,
+    GENRE_COLUMNS,
+    WRITER_COLUMNS,
+    music_e1,
+    music_e1_weighted,
+    music_e2,
+    music_incidence,
+    music_table,
+)
+from repro.experiments import expected as X
+
+
+class TestFigure1:
+    def test_shape(self):
+        e = music_incidence()
+        assert e.shape == (22, 31)
+
+    def test_row_keys_match_paper(self):
+        assert tuple(music_incidence().row_keys) == X.FIG1_ROW_KEYS
+
+    def test_col_keys_match_paper(self):
+        assert tuple(music_incidence().col_keys) == X.FIG1_COL_KEYS
+
+    def test_row_counts_match_paper(self):
+        e = music_incidence()
+        counts = {r: 0 for r in e.row_keys}
+        for (r, _c) in e.nonzero_pattern():
+            counts[r] += 1
+        assert counts == FIGURE1_ROW_COUNTS == X.FIG1_ROW_COUNTS
+
+    def test_total_nnz(self):
+        assert music_incidence().nnz == X.FIG1_NNZ == 186
+
+    def test_every_column_used(self):
+        e = music_incidence()
+        assert len(e.cols_nonempty()) == 31
+
+    def test_values_all_one(self):
+        assert all(v == 1 for v in music_incidence().to_dict().values())
+
+    def test_table_fields(self):
+        t = music_table()
+        assert len(t) == 22
+        # The writerless bonus track has neither Writer nor Label.
+        assert "Writer" not in t["093012ktnA8"]
+        assert "Label" not in t["093012ktnA8"]
+
+
+class TestFigure2:
+    def test_e1_pattern(self):
+        e1 = music_e1()
+        got = {t: tuple(sorted(c for (tt, c) in e1.nonzero_pattern()
+                               if tt == t))
+               for t in e1.row_keys}
+        want = {t: tuple(sorted(cs)) for t, cs in X.FIG2_E1_PATTERN.items()}
+        assert got == want
+
+    def test_e2_pattern(self):
+        e2 = music_e2()
+        got = {t: tuple(sorted(c for (tt, c) in e2.nonzero_pattern()
+                               if tt == t))
+               for t in e2.row_keys}
+        want = {t: tuple(sorted(cs)) for t, cs in X.FIG2_E2_PATTERN.items()}
+        assert got == want
+
+    def test_columns(self):
+        assert tuple(music_e1().col_keys) == GENRE_COLUMNS
+        assert tuple(music_e2().col_keys) == WRITER_COLUMNS
+
+    def test_selection_by_paper_syntax_equals_prefix(self):
+        e = music_incidence()
+        assert e.select(":", "Genre|A : Genre|Z") == e.select(":", "Genre|*")
+
+    def test_writerless_track_row_empty_in_e2(self):
+        e2 = music_e2()
+        assert "093012ktnA8" in e2.row_keys
+        assert e2.row("093012ktnA8") == {}
+
+    def test_e1_e2_share_track_rows(self):
+        assert music_e1().row_keys == music_e2().row_keys
+
+
+class TestFigure4:
+    def test_values(self):
+        got = {rc: int(v) for rc, v in music_e1_weighted().to_dict().items()}
+        assert got == X.FIG4_E1_VALUES
+
+    def test_weights_constant(self):
+        assert FIGURE4_GENRE_WEIGHTS == {
+            "Genre|Electronic": 1, "Genre|Pop": 2, "Genre|Rock": 3}
+
+    def test_pattern_unchanged(self):
+        assert music_e1_weighted().same_pattern(music_e1())
+
+
+class TestRowSums:
+    """The Figure 3 +.× row sums that pinned the reconstruction."""
+
+    def test_genre_incidence_totals(self):
+        e1, e2 = music_e1(), music_e2()
+        writers_per_track = {t: 0 for t in e2.row_keys}
+        for (t, _w) in e2.nonzero_pattern():
+            writers_per_track[t] += 1
+        sums = {}
+        for (t, g) in e1.nonzero_pattern():
+            sums[g] = sums.get(g, 0) + writers_per_track[t]
+        assert sums == {"Genre|Electronic": 18, "Genre|Pop": 29,
+                        "Genre|Rock": 13}

@@ -1,0 +1,194 @@
+"""Unit tests for repro.values.operations."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.values.operations import (
+    AND,
+    BinaryOp,
+    CONCAT,
+    CONCAT_ZERO,
+    COMPLETED_PLUS,
+    GCD,
+    LCM,
+    MAX,
+    MAX_ZERO,
+    MIN,
+    OR,
+    OperationError,
+    PLUS,
+    STR_MAX,
+    STR_MAX_WITH_ZERO,
+    SYMMETRIC_DIFFERENCE,
+    TIMES,
+    UNION,
+    XOR,
+    get_operation,
+    list_operations,
+    make_intersection,
+    make_str_min,
+    register_operation,
+)
+
+
+class TestBinaryOpBasics:
+    def test_call_applies_function(self):
+        assert PLUS(2, 3) == 5
+        assert TIMES(2, 3) == 6
+
+    def test_identity_attributes(self):
+        assert PLUS.identity == 0
+        assert TIMES.identity == 1
+        assert MAX.identity == -math.inf
+        assert MIN.identity == math.inf
+        assert MAX_ZERO.identity == 0
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(OperationError):
+            BinaryOp("bad", 42, 0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(OperationError):
+            BinaryOp("", lambda a, b: a, 0)
+
+    def test_is_identity(self):
+        assert PLUS.is_identity(0)
+        assert not PLUS.is_identity(1)
+        assert MAX.is_identity(-math.inf)
+
+    def test_is_identity_nan_safe(self):
+        op = BinaryOp("nan_id", lambda a, b: a, float("nan"))
+        assert op.is_identity(float("nan"))
+
+
+class TestFold:
+    def test_fold_empty_returns_identity(self):
+        assert PLUS.fold([]) == 0
+        assert MIN.fold([]) == math.inf
+
+    def test_fold_single(self):
+        assert PLUS.fold([7]) == 7
+
+    def test_fold_left_order(self):
+        # Non-associative op: order must be left-to-right.
+        op = BinaryOp("skew", lambda a, b: a + b + a * a * b, 0,
+                      associative=False)
+        # fold([1, 2, 3]) = ((0⊕1)⊕2)⊕3 = (1⊕2)⊕3 = 5 ⊕ 3 = 5+3+75 = 83
+        assert op.fold([1, 2, 3]) == 83
+
+    def test_fold_initial(self):
+        assert PLUS.fold([1, 2], initial=10) == 13
+
+
+class TestStandardOps:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        (MAX, 3, 5, 5),
+        (MIN, 3, 5, 3),
+        (MAX_ZERO, 0, 2, 2),
+        (OR, False, True, True),
+        (AND, True, False, False),
+        (XOR, True, True, False),
+        (GCD, 12, 18, 6),
+        (LCM, 4, 6, 12),
+    ])
+    def test_values(self, op, a, b, expected):
+        assert op(a, b) == expected
+
+    def test_gcd_identity_is_zero(self):
+        assert GCD(7, 0) == 7
+        assert GCD(0, 7) == 7
+
+    def test_lcm_identity_is_one(self):
+        assert LCM(7, 1) == 7
+
+    def test_union_intersection(self):
+        a, b = frozenset({1, 2}), frozenset({2, 3})
+        assert UNION(a, b) == frozenset({1, 2, 3})
+        inter = make_intersection(frozenset({1, 2, 3}))
+        assert inter(a, b) == frozenset({2})
+        assert inter(a, inter.identity) == a
+
+    def test_symmetric_difference(self):
+        assert SYMMETRIC_DIFFERENCE(frozenset({1, 2}), frozenset({2, 3})) \
+            == frozenset({1, 3})
+
+    def test_union_accepts_plain_sets(self):
+        assert UNION({1}, {2}) == frozenset({1, 2})
+
+
+class TestCompletedPlus:
+    def test_finite_addition(self):
+        assert COMPLETED_PLUS(2, 3) == 5
+
+    def test_indeterminate_resolves_to_plus_inf(self):
+        # The naive completion (the paper's non-example); DESIGN.md §5.
+        assert COMPLETED_PLUS(math.inf, -math.inf) == math.inf
+        assert COMPLETED_PLUS(-math.inf, math.inf) == math.inf
+
+    def test_minus_inf_absorbs_finite(self):
+        assert COMPLETED_PLUS(-math.inf, 5) == -math.inf
+
+    def test_plus_inf_with_finite(self):
+        assert COMPLETED_PLUS(math.inf, 5) == math.inf
+
+
+class TestStringOps:
+    def test_str_max(self):
+        assert STR_MAX("apple", "banana") == "banana"
+        assert STR_MAX("", "a") == "a"
+        assert STR_MAX.identity == ""
+
+    def test_make_str_min(self):
+        op = make_str_min("zzz")
+        assert op("abc", "abd") == "abc"
+        assert op("abc", "zzz") == "abc"
+        assert op("zzz", "abc") == "abc"
+
+    def test_concat(self):
+        assert CONCAT("ab", "cd") == "abcd"
+        assert CONCAT("ab", "") == "ab"
+        assert CONCAT("", "ab") == "ab"
+
+    def test_concat_zero_annihilates(self):
+        assert CONCAT("ab", CONCAT_ZERO) == CONCAT_ZERO
+        assert CONCAT(CONCAT_ZERO, "ab") == CONCAT_ZERO
+
+    def test_concat_non_commutative(self):
+        assert CONCAT("ab", "cd") != CONCAT("cd", "ab")
+
+    def test_str_max_with_zero_bottom(self):
+        # The distinguished zero is the bottom even though Python would
+        # sort "\0" above "".
+        assert STR_MAX_WITH_ZERO(CONCAT_ZERO, "") == ""
+        assert STR_MAX_WITH_ZERO("", CONCAT_ZERO) == ""
+        assert STR_MAX_WITH_ZERO(CONCAT_ZERO, CONCAT_ZERO) == CONCAT_ZERO
+        assert STR_MAX_WITH_ZERO("a", "b") == "b"
+
+
+class TestRegistry:
+    def test_get_known(self):
+        assert get_operation("plus") is PLUS
+        assert get_operation("max") is MAX
+
+    def test_get_unknown_raises_with_catalog(self):
+        with pytest.raises(OperationError, match="unknown operation"):
+            get_operation("nonexistent_op")
+
+    def test_list_operations_sorted(self):
+        names = list_operations()
+        assert names == sorted(names)
+        assert "plus" in names and "times" in names
+
+    def test_duplicate_registration_rejected(self):
+        op = BinaryOp("plus", lambda a, b: a + b, 0)
+        with pytest.raises(OperationError, match="already registered"):
+            register_operation(op)
+
+    def test_overwrite_allowed_when_requested(self):
+        op = BinaryOp("test_overwrite_tmp", lambda a, b: a, 0)
+        register_operation(op)
+        register_operation(op, overwrite=True)
+        assert get_operation("test_overwrite_tmp") is op

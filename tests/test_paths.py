@@ -1,0 +1,166 @@
+"""Tests for matrix powers and closures, cross-checked with networkx."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.arrays.associative import AssociativeArray
+from repro.core.construction import adjacency_array
+from repro.graphs.digraph import EdgeKeyedDigraph, GraphError
+from repro.graphs.generators import erdos_renyi_multigraph
+from repro.graphs.incidence import incidence_arrays
+from repro.graphs.paths import (
+    all_pairs_shortest_paths,
+    all_pairs_widest_paths,
+    closure,
+    matrix_power,
+    transitive_closure_pattern,
+    walk_counts,
+)
+from repro.values.semiring import get_op_pair
+
+
+def _square(graph, pair_name, weights=None):
+    pair = get_op_pair(pair_name)
+    kwargs = {"zero": pair.zero}
+    if weights is not None:
+        kwargs.update(out_values=weights, in_values=pair.one)
+    eout, ein = incidence_arrays(graph, **kwargs)
+    adj = adjacency_array(eout, ein, pair, kernel="generic")
+    verts = graph.vertices
+    return adj.with_keys(row_keys=verts, col_keys=verts)
+
+
+class TestMatrixPower:
+    def test_requires_square(self):
+        a = AssociativeArray({("r", "c"): 1}, row_keys=["r"],
+                             col_keys=["c"])
+        with pytest.raises(GraphError, match="square"):
+            matrix_power(a, 2, get_op_pair("plus_times"))
+
+    def test_exponent_validation(self):
+        a = AssociativeArray({("r", "r"): 1})
+        with pytest.raises(ValueError):
+            matrix_power(a, 0, get_op_pair("plus_times"))
+
+    def test_power_one_is_identity(self):
+        g = erdos_renyi_multigraph(5, 12, seed=1)
+        adj = _square(g, "plus_times")
+        assert matrix_power(adj, 1, get_op_pair("plus_times")) == adj
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_walk_counts_match_networkx(self, seed, k):
+        graph = erdos_renyi_multigraph(7, 20, seed=seed)
+        adj = _square(graph, "plus_times")
+        counts = walk_counts(adj, k)
+
+        g = nx.MultiDiGraph()
+        g.add_nodes_from(graph.vertices)
+        g.add_edges_from(graph.edge_pairs())
+        import numpy as np
+        order = list(graph.vertices)
+        m = nx.to_numpy_array(g, nodelist=order)
+        want = np.linalg.matrix_power(m, k)
+        for i, u in enumerate(order):
+            for j, v in enumerate(order):
+                assert counts.get(u, v) == pytest.approx(want[i, j])
+
+
+class TestShortestPathClosure:
+    @pytest.mark.parametrize("seed", [5, 6, 7])
+    def test_matches_floyd_warshall(self, seed):
+        import random
+        graph = erdos_renyi_multigraph(8, 25, seed=seed)
+        rng = random.Random(seed)
+        weights = {k: float(rng.randint(1, 9)) for k in graph.edge_keys}
+        adj = _square(graph, "min_plus", weights)
+        dist = all_pairs_shortest_paths(adj)
+
+        g = nx.MultiDiGraph()
+        g.add_nodes_from(graph.vertices)
+        for k, s, t in graph.edges():
+            g.add_edge(s, t, weight=weights[k])
+        want = dict(nx.all_pairs_dijkstra_path_length(g))
+        for u in graph.vertices:
+            for v in graph.vertices:
+                expected = want.get(u, {}).get(v, math.inf)
+                got = dist.get(u, v)
+                if math.isinf(expected):
+                    assert math.isinf(got)
+                else:
+                    assert got == pytest.approx(expected), (u, v)
+
+    def test_diagonal_is_zero(self):
+        graph = erdos_renyi_multigraph(5, 10, seed=2)
+        adj = _square(graph, "min_plus",
+                      {k: 2.0 for k in graph.edge_keys})
+        dist = all_pairs_shortest_paths(adj)
+        for v in graph.vertices:
+            assert dist.get(v, v) == 0
+
+
+class TestWidestPathClosure:
+    def test_hand_case(self):
+        g = EdgeKeyedDigraph([
+            ("e1", "a", "b"), ("e2", "b", "c"), ("e3", "a", "c")])
+        adj = _square(g, "max_min",
+                      {"e1": 5.0, "e2": 2.0, "e3": 1.0})
+        width = all_pairs_widest_paths(adj)
+        assert width.get("a", "c") == 2.0   # via b
+        assert width.get("a", "b") == 5.0
+        assert width.get("a", "a") == math.inf  # empty path
+
+    @pytest.mark.parametrize("seed", [8, 9])
+    def test_widest_at_least_direct_edge(self, seed):
+        import random
+        graph = erdos_renyi_multigraph(7, 20, seed=seed)
+        rng = random.Random(seed)
+        weights = {k: float(rng.randint(1, 9)) for k in graph.edge_keys}
+        adj = _square(graph, "max_min", weights)
+        width = all_pairs_widest_paths(adj)
+        for (u, v) in adj.nonzero_pattern():
+            assert width.get(u, v) >= adj.get(u, v)
+
+
+class TestTransitiveClosure:
+    @pytest.mark.parametrize("seed", [10, 11, 12])
+    def test_matches_networkx(self, seed):
+        graph = erdos_renyi_multigraph(8, 15, seed=seed)
+        adj = _square(graph, "max_min")
+        got = transitive_closure_pattern(adj)
+
+        g = nx.DiGraph()
+        g.add_nodes_from(graph.vertices)
+        g.add_edges_from(graph.edge_pairs())
+        closure_g = nx.transitive_closure(g, reflexive=True)
+        want = frozenset(closure_g.edges()) | frozenset(
+            (v, v) for v in g.nodes)
+        assert got == want
+
+    def test_or_and_closure_pattern_agrees(self):
+        graph = erdos_renyi_multigraph(6, 12, seed=13)
+        pair = get_op_pair("or_and")
+        eout, ein = incidence_arrays(graph, one=True, zero=False)
+        adj = adjacency_array(eout, ein, pair, kernel="generic")
+        verts = graph.vertices
+        adj = adj.with_keys(row_keys=verts, col_keys=verts)
+        closed = closure(adj, pair)
+        assert closed.nonzero_pattern() == transitive_closure_pattern(adj)
+
+
+class TestClosureGuards:
+    def test_plus_times_bounded_iterations(self):
+        """On a cycle, +.× closure diverges; the iteration bound applies
+        and the result covers bounded-length walks."""
+        g = EdgeKeyedDigraph([("e1", "a", "b"), ("e2", "b", "a")])
+        adj = _square(g, "plus_times")
+        out = closure(adj, get_op_pair("plus_times"), max_iterations=2)
+        assert out.get("a", "a") >= 1  # diagonal seeded + walks
+
+    def test_empty_array(self):
+        empty = AssociativeArray.empty([], [], zero=math.inf)
+        assert closure(empty, get_op_pair("min_plus")) == empty

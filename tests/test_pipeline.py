@@ -1,0 +1,81 @@
+"""Tests for the end-to-end graph-construction pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import GraphConstructionPipeline
+from repro.datasets.music import music_table
+from repro.values.semiring import get_op_pair
+
+
+@pytest.fixture(scope="module")
+def pipe():
+    return GraphConstructionPipeline(music_table())
+
+
+class TestIncidence:
+    def test_incidence_is_figure1(self, pipe):
+        assert pipe.incidence.shape == (22, 31)
+        assert pipe.incidence.nnz == 186
+
+    def test_select_prefix(self, pipe):
+        e1 = pipe.select("Genre|*")
+        assert e1.shape == (22, 3)
+
+    def test_select_range(self, pipe):
+        e2 = pipe.select("Writer|A : Writer|Z")
+        assert e2.shape == (22, 5)
+
+    def test_field_values(self, pipe):
+        assert pipe.field_values("Genre") == ["Electronic", "Pop", "Rock"]
+        assert len(pipe.field_values("Writer")) == 5
+
+
+class TestCorrelate:
+    def test_quickstart_value(self, pipe):
+        adj = pipe.correlate("Genre|*", "Writer|*", "plus_times")
+        assert adj["Genre|Electronic", "Writer|Chad Anderson"] == 7
+
+    def test_accepts_op_pair_object(self, pipe):
+        adj = pipe.correlate("Genre|*", "Writer|*",
+                             get_op_pair("plus_times"))
+        assert adj["Genre|Pop", "Writer|Chad Anderson"] == 13
+
+    def test_nonzero_zero_pairs_reinterpreted(self, pipe):
+        adj = pipe.correlate("Genre|*", "Writer|*", "min_plus")
+        assert adj["Genre|Rock", "Writer|Chad Anderson"] == 2
+        import math
+        assert adj.zero == math.inf
+
+    def test_require_safe_accepts_compliant(self, pipe):
+        adj = pipe.correlate("Genre|*", "Writer|*", "max_min",
+                             require_safe=True)
+        assert adj["Genre|Rock", "Writer|Chloe Chaidez"] == 1
+
+    def test_require_safe_rejects_violator(self, pipe):
+        with pytest.raises(ValueError, match="Theorem II.1"):
+            pipe.correlate("Genre|*", "Writer|*", "nonneg_max_plus",
+                           require_safe=True)
+
+    def test_certification_memoized(self, pipe):
+        c1 = pipe.certification("plus_times")
+        c2 = pipe.certification("plus_times")
+        assert c1 is c2
+
+
+class TestCustomTables:
+    def test_small_pipeline(self):
+        table = {
+            "r1": {"Color": "red", "Size": ["S", "M"]},
+            "r2": {"Color": "blue", "Size": "M"},
+        }
+        pipe = GraphConstructionPipeline(table)
+        adj = pipe.correlate("Color|*", "Size|*", "plus_times")
+        assert adj["Color|red", "Size|M"] == 1
+        assert adj["Color|blue", "Size|M"] == 1
+        assert adj["Color|blue", "Size|S"] == 0
+
+    def test_custom_separator(self):
+        pipe = GraphConstructionPipeline({"r": {"A": "x"}}, separator=":")
+        assert "A:x" in pipe.incidence.col_keys

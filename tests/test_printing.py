@@ -1,0 +1,87 @@
+"""Tests for the figure-style text rendering."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.arrays.associative import AssociativeArray
+from repro.arrays.printing import format_array, format_stacked, format_value
+
+
+class TestFormatValue:
+    @pytest.mark.parametrize("value,expected", [
+        (1, "1"),
+        (1.0, "1"),
+        (2.5, "2.5"),
+        (math.inf, "inf"),
+        (-math.inf, "-inf"),
+        (True, "1"),
+        (False, "0"),
+        ("abc", "abc"),
+        (frozenset({"b", "a"}), "{a,b}"),
+    ])
+    def test_rendering(self, value, expected):
+        assert format_value(value) == expected
+
+
+class TestFormatArray:
+    def _arr(self):
+        return AssociativeArray(
+            {("r1", "c1"): 1, ("r2", "c2"): 2.0},
+            row_keys=["r1", "r2"], col_keys=["c1", "c2"])
+
+    def test_blank_for_zeros(self):
+        text = format_array(self._arr())
+        row1 = [ln for ln in text.splitlines() if ln.startswith("r1")][0]
+        # r1 row shows 1 under c1 and nothing under c2.
+        assert "1" in row1 and "2" not in row1
+
+    def test_float_integers_print_without_decimal(self):
+        text = format_array(self._arr())
+        assert "2.0" not in text and "2" in text
+
+    def test_title(self):
+        text = format_array(self._arr(), title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_hide_empty_rows(self):
+        a = AssociativeArray({("r1", "c1"): 1},
+                             row_keys=["r1", "r_empty"], col_keys=["c1"])
+        text = format_array(a, hide_empty_rows=True)
+        assert "r_empty" not in text
+
+    def test_hide_empty_cols(self):
+        a = AssociativeArray({("r1", "c1"): 1},
+                             row_keys=["r1"], col_keys=["c1", "c_unused"])
+        text = format_array(a, hide_empty_cols=True)
+        assert "c_unused" not in text
+
+    def test_long_keys_clipped(self):
+        a = AssociativeArray({("short", "x" * 60): 1})
+        text = format_array(a, max_col_width=10)
+        assert "…" in text
+        assert "x" * 60 not in text
+
+    def test_empty_array(self):
+        a = AssociativeArray.empty(["r"], ["c"])
+        text = format_array(a)
+        assert "r" in text and "c" in text
+
+    def test_columns_aligned(self):
+        text = format_array(self._arr())
+        lines = text.splitlines()
+        # Header and body lines after stripping have consistent widths.
+        assert len(lines) == 3
+
+
+class TestFormatStacked:
+    def test_blocks_and_labels(self):
+        a = AssociativeArray({("r", "c"): 1})
+        text = format_stacked([("first +.×", a), ("second max.min", a)],
+                              title="Figure X")
+        assert "Figure X" in text
+        assert "-- first +.× --" in text
+        assert "-- second max.min --" in text
+        assert text.count("r") >= 2

@@ -1,0 +1,200 @@
+"""Unit tests for repro.values.properties (the axiom checkers)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.values.domains import (
+    BooleanDomain,
+    BoundedIntegerRange,
+    FiniteField2,
+    Integers,
+    IntegersModN,
+    Naturals,
+    NonNegativeReals,
+    PowerSetDomain,
+    TropicalReals,
+)
+from repro.values.operations import (
+    AND,
+    BinaryOp,
+    MAX,
+    MAX_ZERO,
+    MIN,
+    OR,
+    PLUS,
+    TIMES,
+    UNION,
+    make_intersection,
+)
+from repro.values.properties import (
+    check_annihilator,
+    check_associativity,
+    check_closure,
+    check_commutativity,
+    check_distributivity,
+    check_identity,
+    check_no_zero_divisors,
+    check_zero_sum_free,
+)
+
+
+class TestIdentity:
+    def test_plus_identity_on_naturals(self):
+        assert check_identity(PLUS, Naturals())
+
+    def test_max_zero_identity_on_nonneg(self):
+        assert check_identity(MAX_ZERO, NonNegativeReals())
+
+    def test_max_zero_identity_fails_on_integers(self):
+        # max(0, -3) = 0 ≠ -3: 0 is not an identity for max over ℤ.
+        report = check_identity(MAX_ZERO, Integers(), seed=1)
+        assert not report
+        assert report.witness is not None
+
+    def test_exhaustive_on_finite(self):
+        report = check_identity(AND, BooleanDomain())
+        assert report and report.exhaustive
+
+
+class TestStructuralAxioms:
+    def test_plus_associative_commutative(self):
+        dom = Naturals()
+        assert check_associativity(PLUS, dom)
+        assert check_commutativity(PLUS, dom)
+
+    def test_distributivity_times_over_plus(self):
+        assert check_distributivity(PLUS, TIMES, Naturals())
+
+    def test_distributivity_fails_plus_over_max(self):
+        # max does not distribute as ⊕ under ⊗=+ ... actually it does
+        # (max(b,c)+a = max(b+a, c+a)); use ⊗=max, ⊕=times instead:
+        # a max (b·c) ≠ (a max b)·(a max c) in general.
+        report = check_distributivity(TIMES, MAX_ZERO, Naturals(), seed=3)
+        assert not report
+
+    def test_nonassociative_detected(self):
+        skew = BinaryOp("skew_t", lambda a, b: a + b + a * a * b, 0)
+        report = check_associativity(skew, Naturals(), seed=5)
+        assert not report
+        a, b, c = report.witness
+        assert skew(skew(a, b), c) != skew(a, skew(b, c))
+
+    def test_noncommutative_detected(self):
+        skew = BinaryOp("skew_t2", lambda a, b: a + b + a * a * b, 0)
+        report = check_commutativity(skew, Naturals(), seed=5)
+        assert not report
+
+    def test_closure_holds_for_plus(self):
+        assert check_closure(PLUS, Naturals())
+
+    def test_closure_fails_for_minus_on_naturals(self):
+        minus = BinaryOp("minus_t", lambda a, b: a - b, 0)
+        report = check_closure(minus, Naturals(), seed=2)
+        assert not report
+
+    def test_closure_reports_exceptions(self):
+        bad = BinaryOp("raises_t", lambda a, b: 1 / 0, 0)
+        report = check_closure(bad, Naturals(), seed=2)
+        assert not report and "raised" in report.detail
+
+
+class TestZeroSumFree:
+    def test_naturals_plus(self):
+        assert check_zero_sum_free(PLUS, Naturals())
+
+    def test_integers_plus_fails_with_witness(self):
+        report = check_zero_sum_free(PLUS, Integers(), seed=11)
+        assert not report
+        a, b = report.witness
+        assert a + b == 0 and (a, b) != (0, 0)
+
+    def test_gf2_xor_fails_exhaustively(self):
+        xor_int = BinaryOp("xor_t", lambda a, b: (a + b) % 2, 0)
+        report = check_zero_sum_free(xor_int, FiniteField2())
+        assert not report and report.exhaustive
+        assert report.witness == (1, 1)
+
+    def test_union_zero_sum_free(self):
+        dom = PowerSetDomain({"a", "b"})
+        assert check_zero_sum_free(UNION, dom)
+
+    def test_max_tropical(self):
+        assert check_zero_sum_free(MAX, TropicalReals())
+
+    def test_broken_identity_caught_first(self):
+        # If 0 ⊕ 0 ≠ 0 the check fails immediately.
+        weird = BinaryOp("weird_t", lambda a, b: a + b + 1, 0)
+        report = check_zero_sum_free(weird, Naturals())
+        assert not report and report.witness == (0, 0)
+
+    def test_explicit_zero_override(self):
+        # Overriding the zero is honoured: with zero=5 the immediate
+        # 5 ⊕ 5 = 10 ≠ 5 sanity check fails.
+        report = check_zero_sum_free(PLUS, Naturals(), zero=5, seed=13)
+        assert not report and report.witness == (5, 5)
+
+
+class TestNoZeroDivisors:
+    def test_times_on_naturals(self):
+        assert check_no_zero_divisors(TIMES, Naturals(), zero=0)
+
+    def test_intersection_has_zero_divisors(self):
+        dom = PowerSetDomain({"a", "b", "c"})
+        inter = make_intersection(dom.universe)
+        report = check_no_zero_divisors(inter, dom, zero=frozenset())
+        assert not report and report.exhaustive
+        a, b = report.witness
+        assert a and b and not (frozenset(a) & frozenset(b))
+
+    def test_mod6_times_has_zero_divisors(self):
+        times6 = BinaryOp("times6_t", lambda a, b: (a * b) % 6, 1)
+        report = check_no_zero_divisors(times6, IntegersModN(6), zero=0)
+        assert not report
+        a, b = report.witness
+        assert (a * b) % 6 == 0 and a != 0 and b != 0
+
+    def test_min_on_extended(self):
+        from repro.values.domains import ExtendedNonNegativeReals
+        assert check_no_zero_divisors(MIN, ExtendedNonNegativeReals(), zero=0)
+
+
+class TestAnnihilator:
+    def test_zero_annihilates_times(self):
+        assert check_annihilator(TIMES, Naturals(), zero=0)
+
+    def test_minus_inf_annihilates_plus_on_tropical(self):
+        assert check_annihilator(PLUS, TropicalReals(), zero=-math.inf)
+
+    def test_zero_does_not_annihilate_plus(self):
+        report = check_annihilator(PLUS, Naturals(), zero=0, seed=17)
+        assert not report
+        (a,) = report.witness
+        assert a + 0 != 0
+
+    def test_exhaustive_on_finite(self):
+        report = check_annihilator(AND, BooleanDomain(), zero=False)
+        assert report and report.exhaustive
+
+
+class TestReportShape:
+    def test_bool_protocol(self):
+        r = check_identity(PLUS, Naturals())
+        assert bool(r) is True
+
+    def test_describe_mentions_witness_on_failure(self):
+        report = check_zero_sum_free(PLUS, Integers(), seed=11)
+        text = report.describe()
+        assert "FAILS" in text and "witness" in text
+
+    def test_describe_mentions_mode(self):
+        r = check_identity(AND, BooleanDomain())
+        assert "exhaustively" in r.describe()
+        r2 = check_identity(PLUS, Naturals())
+        assert "samples" in r2.describe()
+
+    def test_exhaustive_flag_small_range(self):
+        r = check_associativity(PLUS, BoundedIntegerRange(0, 5))
+        assert r.exhaustive and r.cases == 6 ** 3

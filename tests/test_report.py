@@ -1,0 +1,42 @@
+"""Tests for the markdown report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import render_criteria_markdown, render_markdown
+
+
+class TestCriteriaMarkdown:
+    def test_table_shape(self):
+        text = render_criteria_markdown()
+        lines = text.splitlines()
+        assert lines[0].startswith("| op-pair |")
+        # Header + separator + one row per catalog entry.
+        from repro.experiments.expected import CRITERIA_TABLE
+        assert len(lines) == 2 + len(CRITERIA_TABLE)
+
+    def test_verdicts_present(self):
+        text = render_criteria_markdown()
+        assert "| SAFE |" in text and "| UNSAFE |" in text
+        assert "zero-sum-free" in text
+
+
+class TestFullReport:
+    def test_all_matched(self):
+        text = render_markdown()
+        assert "**ALL MATCHED**" in text
+        assert "MISMATCH |" not in text.replace("| MATCH |", "")
+
+    def test_sections_per_experiment(self):
+        text = render_markdown()
+        for section in ("## fig1", "## fig3", "## criteria",
+                        "## structured", "## Section IV synopsis",
+                        "## Certification catalog"):
+            assert section in text
+
+    def test_is_valid_markdown_table_rows(self):
+        text = render_markdown()
+        for line in text.splitlines():
+            if line.startswith("|") and not set(line) <= {"|", "-", " "}:
+                assert line.count("|") >= 3

@@ -1,0 +1,166 @@
+"""Unit tests for repro.values.semiring (OpPair and the catalog)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.values.domains import Naturals, NonNegativeReals
+from repro.values.operations import BinaryOp, MAX, PLUS, STR_MIN, TIMES
+from repro.values.semiring import (
+    OpPair,
+    PAPER_FIGURE_PAIRS,
+    PAPER_FIGURE_STACKS,
+    SECTION_III_EXAMPLES,
+    SECTION_III_NON_EXAMPLES,
+    SemiringError,
+    get_op_pair,
+    list_op_pairs,
+    register_op_pair,
+)
+
+import repro.values.exotic  # noqa: F401  (registers exotic pairs)
+
+
+class TestOpPairBasics:
+    def test_zero_and_one(self):
+        pt = get_op_pair("plus_times")
+        assert pt.zero == 0 and pt.one == 1
+
+    @pytest.mark.parametrize("name,zero,one", [
+        ("plus_times", 0, 1),
+        ("max_times", 0, 1),
+        ("min_times", math.inf, 1),
+        ("max_plus", -math.inf, 0),
+        ("min_plus", math.inf, 0),
+        ("max_min", 0, math.inf),
+        ("min_max", math.inf, 0),
+        ("or_and", False, True),
+    ])
+    def test_figure_pair_identities(self, name, zero, one):
+        pair = get_op_pair(name)
+        assert pair.zero == zero
+        assert pair.one == one
+
+    def test_is_zero(self):
+        mp = get_op_pair("min_plus")
+        assert mp.is_zero(math.inf)
+        assert not mp.is_zero(0)
+
+    def test_is_zero_nan(self):
+        class _NanDomain(NonNegativeReals):
+            name = "nonneg_with_nan_t"
+
+            def contains(self, value):
+                return (isinstance(value, float) and math.isnan(value)) \
+                    or super().contains(value)
+
+        pair = OpPair("nan_pair_t", "t",
+                      BinaryOp("a_t", lambda a, b: a, float("nan")),
+                      BinaryOp("m_t", lambda a, b: a, 1.0),
+                      _NanDomain())
+        assert pair.is_zero(float("nan"))
+        assert not pair.is_zero(0.0)
+
+    def test_multiply_operand_order(self):
+        mc = get_op_pair("max_concat")
+        assert mc.multiply("ab", "cd") == "abcd"
+
+    def test_fold_add_empty_is_zero(self):
+        assert get_op_pair("plus_times").fold_add([]) == 0
+        assert get_op_pair("min_plus").fold_add([]) == math.inf
+
+    def test_fold_add_key_order(self):
+        sk = get_op_pair("skew_plus_times")
+        # Left fold of the non-associative ⊕̃ over [1, 2, 3].
+        add = sk.add
+        expected = add(add(1, 2), 3)
+        assert sk.fold_add([1, 2, 3]) == expected
+
+    def test_has_ufuncs(self):
+        assert get_op_pair("plus_times").has_ufuncs
+        assert get_op_pair("max_min").has_ufuncs
+        assert not get_op_pair("union_intersection").has_ufuncs
+        assert not get_op_pair("skew_plus_times").has_ufuncs
+
+    def test_is_numeric(self):
+        assert get_op_pair("min_plus").is_numeric
+        assert not get_op_pair("or_and").is_numeric  # bools excluded
+        assert not get_op_pair("string_max_min").is_numeric
+
+    def test_repr_mentions_display(self):
+        assert "+.×" in repr(get_op_pair("plus_times"))
+
+
+class TestValidation:
+    def test_mul_identity_none_rejected(self):
+        with pytest.raises(SemiringError, match="no concrete identity"):
+            OpPair("bad_t", "b", PLUS, STR_MIN, Naturals())
+
+    def test_zero_outside_domain_rejected(self):
+        with pytest.raises(SemiringError, match="zero"):
+            OpPair("bad_t2", "b", MAX, TIMES, Naturals())  # -inf ∉ ℕ
+
+    def test_one_outside_domain_rejected(self):
+        bad_mul = BinaryOp("badmul_t", lambda a, b: a * b, -1)
+        with pytest.raises(SemiringError, match="one"):
+            OpPair("bad_t3", "b", PLUS, bad_mul, Naturals())
+
+
+class TestRegistry:
+    def test_get_known(self):
+        assert get_op_pair("plus_times").name == "plus_times"
+
+    def test_get_unknown(self):
+        with pytest.raises(SemiringError, match="unknown op-pair"):
+            get_op_pair("definitely_missing")
+
+    def test_duplicate_rejected(self):
+        pair = OpPair("plus_times", "+.×", PLUS, TIMES, NonNegativeReals())
+        with pytest.raises(SemiringError, match="already registered"):
+            register_op_pair(pair)
+
+    def test_list_sorted(self):
+        names = list_op_pairs()
+        assert names == sorted(names)
+
+
+class TestPaperCatalog:
+    def test_figure_pairs_complete(self):
+        assert PAPER_FIGURE_PAIRS == (
+            "plus_times", "max_times", "min_times", "max_plus",
+            "min_plus", "max_min", "min_max")
+        for name in PAPER_FIGURE_PAIRS:
+            assert get_op_pair(name) is not None
+
+    def test_stacks_partition_figure_pairs(self):
+        flattened = [n for stack in PAPER_FIGURE_STACKS for n in stack]
+        assert sorted(flattened) == sorted(PAPER_FIGURE_PAIRS)
+
+    def test_examples_marked_safe(self):
+        for name in SECTION_III_EXAMPLES:
+            assert get_op_pair(name).expected_safe is True
+
+    def test_non_examples_marked_unsafe(self):
+        for name in SECTION_III_NON_EXAMPLES:
+            assert get_op_pair(name).expected_safe is False
+
+    def test_every_figure_pair_has_synopsis_description(self):
+        for name in PAPER_FIGURE_PAIRS:
+            assert len(get_op_pair(name).description) > 20
+
+    def test_zero_one_belong_to_domain(self):
+        for name in list_op_pairs():
+            pair = get_op_pair(name)
+            assert pair.domain.contains(pair.zero), name
+            assert pair.domain.contains(pair.one), name
+
+    def test_identities_verified_empirically(self):
+        from repro.values.properties import check_identity
+        for name in list_op_pairs():
+            pair = get_op_pair(name)
+            if name == "nonneg_max_plus":
+                continue  # deliberately degenerate (one == zero) but valid
+            assert check_identity(pair.add, pair.domain, seed=3), name
+            assert check_identity(pair.mul, pair.domain, seed=3), name
