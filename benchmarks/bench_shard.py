@@ -1,0 +1,96 @@
+"""Smoke benchmark for the sharded construction engine — emits JSON.
+
+Times batch ``adjacency_array`` against the sharded engine across shard
+counts and executors on an R-MAT workload, asserting correctness in
+every configuration, and prints one JSON document for the perf
+trajectory (one row per configuration, plus the batch baseline):
+
+    PYTHONPATH=src python benchmarks/bench_shard.py [--quick] [--out F]
+
+Unlike the pytest-benchmark suite (``pytest benchmarks/
+--benchmark-only``), this is a plain script so CI can archive its JSON
+output per commit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core.construction import adjacency_array
+from repro.graphs.generators import rmat_multigraph
+from repro.graphs.incidence import incidence_arrays
+from repro.shard import ShardedAdjacencyPlan
+from repro.values.semiring import get_op_pair
+
+
+def _operands(scale: int, n_edges: int, pair_name: str, seed: int = 77):
+    pair = get_op_pair(pair_name)
+    graph = rmat_multigraph(scale, n_edges, seed=seed)
+    weights = {k: float(1 + (i % 9))
+               for i, k in enumerate(graph.edge_keys)}
+    eout, ein = incidence_arrays(graph, zero=pair.zero,
+                                 out_values=weights, in_values=weights)
+    return pair, eout, ein
+
+
+def run(quick: bool) -> dict:
+    scale, n_edges = (8, 2000) if quick else (10, 12000)
+    pair_name = "plus_times"
+    pair, eout, ein = _operands(scale, n_edges, pair_name)
+
+    t0 = time.perf_counter()
+    batch = adjacency_array(eout, ein, pair)
+    batch_seconds = time.perf_counter() - t0
+
+    configs = [("serial", 1), ("serial", 4),
+               ("thread", 4), ("process", 4)]
+    if not quick:
+        configs += [("thread", 8), ("process", 8)]
+    rows = []
+    for executor, n_shards in configs:
+        plan = ShardedAdjacencyPlan(pair, n_shards=n_shards,
+                                    executor=executor, n_workers=4)
+        t0 = time.perf_counter()
+        result = plan.run((eout, ein))
+        elapsed = time.perf_counter() - t0
+        assert result.adjacency == batch, (executor, n_shards)
+        rows.append({
+            "executor": executor,
+            "n_shards": n_shards,
+            "seconds": round(elapsed, 4),
+            "speedup_vs_batch": round(batch_seconds / elapsed, 3),
+            "timings": {k: round(v, 4)
+                        for k, v in result.timings.items()},
+        })
+    return {
+        "benchmark": "bench_shard",
+        "workload": {"generator": "rmat", "scale": scale,
+                     "n_edges": n_edges, "op_pair": pair_name,
+                     "nnz": batch.nnz},
+        "batch_seconds": round(batch_seconds, 4),
+        "sharded": rows,
+        "correct": True,  # every configuration asserted against batch
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small workload (CI smoke)")
+    parser.add_argument("--out", default=None,
+                        help="also write the JSON to this file")
+    args = parser.parse_args(argv)
+    report = run(args.quick)
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,29 @@
-"""Legacy setup shim.
+"""Packaging metadata (kept in setup.py — the offline environment has no
+``wheel`` package, so modern PEP 517 editable installs fail with
+``invalid command 'bdist_wheel'``; ``pip install -e . --no-use-pep517
+--no-build-isolation`` routes through ``setup.py develop`` instead)."""
 
-The environment has no ``wheel`` package (offline), so modern PEP 517
-editable installs fail with ``invalid command 'bdist_wheel'``.  This shim
-enables ``pip install -e . --no-use-pep517 --no-build-isolation``, which
-routes through ``setup.py develop``.  All metadata lives in pyproject.toml.
-"""
+import re
+from pathlib import Path
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+_INIT = Path(__file__).parent / "src" / "repro" / "__init__.py"
+VERSION = re.search(r'__version__ = "([^"]+)"', _INIT.read_text()).group(1)
+
+setup(
+    name="repro-adjacency-arrays",
+    version=VERSION,
+    description="Constructing adjacency arrays from incidence arrays "
+                "(Jananthan, Dibert & Kepner, 2017) — reproduction and "
+                "out-of-core construction engine",
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+)

@@ -9,8 +9,9 @@ A from-scratch Python implementation of
 comprising a D4M-style associative-array library over arbitrary value
 algebras, a certification engine for the paper's Theorem II.1 criteria
 (with constructive Lemma II.2–II.4 witnesses), an edge-keyed multigraph
-substrate, semiring graph algorithms, and harnesses reproducing every
-figure of the paper.
+substrate, semiring graph algorithms, an out-of-core sharded
+construction engine (:mod:`repro.shard`), and harnesses reproducing
+every figure of the paper.
 
 Quickstart
 ----------
@@ -58,6 +59,7 @@ from repro.graphs import (
 from repro.core import (
     Certification,
     GraphConstructionPipeline,
+    StreamingAdjacencyBuilder,
     Witness,
     adjacency_array,
     certify,
@@ -67,7 +69,12 @@ from repro.core import (
     is_adjacency_array_of_graph,
     reverse_adjacency_array,
 )
-from repro.core.streaming import StreamingAdjacencyBuilder
+from repro.shard import (
+    ShardedAdjacencyPlan,
+    ShardedResult,
+    ShardManifest,
+    sharded_adjacency,
+)
 from repro.arrays.kron import kron, kron_power, kronecker_graph
 from repro.arrays.reductions import reduce_cols, reduce_rows
 
@@ -75,7 +82,7 @@ from repro.arrays.reductions import reduce_cols, reduce_rows
 from repro.values import exotic as _exotic  # noqa: F401
 from repro.values import extensions as _extensions  # noqa: F401
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -114,6 +121,11 @@ __all__ = [
     "Witness",
     "GraphConstructionPipeline",
     "StreamingAdjacencyBuilder",
+    # shard (out-of-core construction)
+    "ShardedAdjacencyPlan",
+    "ShardedResult",
+    "ShardManifest",
+    "sharded_adjacency",
     "kron",
     "kron_power",
     "kronecker_graph",

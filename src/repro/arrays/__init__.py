@@ -20,7 +20,12 @@ from repro.arrays.keys import KeySet
 from repro.arrays.associative import AssociativeArray
 from repro.arrays.matmul import MatmulError, multiply
 from repro.arrays.elementwise import elementwise_add, elementwise_multiply
-from repro.arrays.io import explode_table, read_tsv_triples, write_tsv_triples
+from repro.arrays.io import (
+    explode_table,
+    iter_tsv_triples,
+    read_tsv_triples,
+    write_tsv_triples,
+)
 from repro.arrays.printing import format_array, format_stacked
 
 __all__ = [
@@ -32,6 +37,7 @@ __all__ = [
     "elementwise_add",
     "elementwise_multiply",
     "explode_table",
+    "iter_tsv_triples",
     "read_tsv_triples",
     "write_tsv_triples",
     "format_array",

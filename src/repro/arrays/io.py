@@ -28,6 +28,7 @@ from repro.arrays.keys import KeyError_, KeySet
 __all__ = [
     "explode_table",
     "collapse_exploded",
+    "iter_tsv_triples",
     "read_tsv_triples",
     "write_tsv_triples",
     "read_csv_table",
@@ -121,6 +122,34 @@ def write_tsv_triples(
             fh.write(f"{r}\t{c}\t{value_formatter(v)}\n")
 
 
+def iter_tsv_triples(
+    path: Union[str, Path],
+    *,
+    value_parser=None,
+):
+    """Stream ``row<TAB>col<TAB>value`` lines as ``(row, col, value)``.
+
+    The file is read one line at a time — this is the out-of-core ingest
+    path (:mod:`repro.shard` routes these triples to shard files without
+    ever holding the whole array in memory).  ``value_parser`` as in
+    :func:`read_tsv_triples`.
+    """
+    parse = value_parser or _parse_scalar
+    p = Path(path)
+    with p.open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise KeyError_(
+                    f"{p}:{lineno}: expected 3 tab-separated fields, "
+                    f"got {len(parts)}")
+            r, c, v = parts
+            yield r, c, parse(v)
+
+
 def read_tsv_triples(
     path: Union[str, Path],
     *,
@@ -134,21 +163,8 @@ def read_tsv_triples(
     ``value_parser`` converts the value text (default: int if possible,
     else float if possible, else the raw string).
     """
-    parse = value_parser or _parse_scalar
-    triples: List[Tuple[str, str, Any]] = []
-    p = Path(path)
-    with p.open("r", encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, 1):
-            line = line.rstrip("\n")
-            if not line:
-                continue
-            parts = line.split("\t")
-            if len(parts) != 3:
-                raise KeyError_(
-                    f"{p}:{lineno}: expected 3 tab-separated fields, "
-                    f"got {len(parts)}")
-            r, c, v = parts
-            triples.append((r, c, parse(v)))
+    triples: List[Tuple[str, str, Any]] = list(
+        iter_tsv_triples(path, value_parser=value_parser))
     return AssociativeArray.from_triples(
         triples, zero=zero, row_keys=row_keys, col_keys=col_keys)
 

@@ -29,7 +29,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.arrays.associative import AssociativeArray
 from repro.arrays.keys import KeyError_, KeySet
 from repro.arrays.matmul import MatmulError, multiply
-from repro.values.semiring import OpPair, get_op_pair
+from repro.values.semiring import OpPair, SemiringError
+from repro.values.shipping import registered_name, resolve_registered_pair
 
 __all__ = ["partition_rows", "stack_rows", "parallel_multiply"]
 
@@ -75,16 +76,18 @@ def stack_rows(blocks: Sequence[AssociativeArray]) -> AssociativeArray:
         raise ValueError("no blocks to stack")
     first = blocks[0]
     all_rows: List[Any] = []
+    seen_rows: set = set()
     data: Dict[Tuple[Any, Any], Any] = {}
     for b in blocks:
         if b.col_keys != first.col_keys:
             raise KeyError_("blocks disagree on column key sets")
         if not _zero_eq(b.zero, first.zero):
             raise KeyError_("blocks disagree on the zero element")
-        overlap = set(all_rows) & set(b.row_keys)
+        overlap = seen_rows.intersection(b.row_keys)
         if overlap:
             raise KeyError_(f"duplicate row keys across blocks: {overlap}")
         all_rows.extend(b.row_keys)
+        seen_rows.update(b.row_keys)
         data.update(b.to_dict())
     return AssociativeArray(data, row_keys=KeySet(all_rows),
                             col_keys=first.col_keys, zero=first.zero)
@@ -101,11 +104,7 @@ def _zero_eq(a: Any, b: Any) -> bool:
 def _block_task(block: AssociativeArray, b: AssociativeArray,
                 pair_name: str, mode: str, kernel: str) -> AssociativeArray:
     """Worker body (module-level so process pools can pickle it)."""
-    # Side-effect imports ensure every registered pair resolves in
-    # freshly spawned interpreters.
-    import repro.values.exotic  # noqa: F401
-    import repro.values.extensions  # noqa: F401
-    pair = get_op_pair(pair_name)
+    pair = resolve_registered_pair(pair_name)
     return multiply(block, b, pair, mode=mode, kernel=kernel)
 
 
@@ -147,12 +146,12 @@ def parallel_multiply(
 
 
 def _registered_name(op_pair: OpPair) -> str:
-    """The registry name for an op-pair (workers re-resolve by name)."""
+    """The registry name for an op-pair (workers re-resolve by name).
+
+    Thin wrapper over :func:`repro.values.shipping.registered_name` that
+    keeps this module's error type.
+    """
     try:
-        if get_op_pair(op_pair.name) is op_pair:
-            return op_pair.name
-    except Exception:
-        pass
-    raise MatmulError(
-        f"op-pair {op_pair.name!r} is not registered; parallel execution "
-        "ships pairs by registry name (operations may not pickle)")
+        return registered_name(op_pair)
+    except SemiringError as exc:
+        raise MatmulError(str(exc)) from None

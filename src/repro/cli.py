@@ -1,6 +1,6 @@
 """Command-line interface.
 
-``python -m repro <command>``:
+``python -m repro <command>`` (or just ``repro`` once installed):
 
 ``figures``
     Run every paper experiment and print the paper-vs-measured report
@@ -14,22 +14,30 @@
     Print the music-figure product for one op-pair (Figures 3/5 rows).
 ``render FIGURE``
     Print one regenerated figure (fig1..fig5, criteria, structured).
+``build EOUT.tsv EIN.tsv -o ADJ.tsv``
+    Out-of-core construction: shard a TSV incidence pair on disk, build
+    per-shard adjacency arrays in parallel, ⊕-merge, write the adjacency
+    array back out as TSV triples (see :mod:`repro.shard`).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 __all__ = ["build_parser", "main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Constructing adjacency arrays from incidence arrays "
                     "(Jananthan, Dibert & Kepner, 2017) — reproduction CLI.")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("figures",
@@ -52,6 +60,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_render.add_argument("figure",
                           choices=["fig1", "fig2", "fig3", "fig4", "fig5",
                                    "criteria", "reverse", "structured"])
+
+    p_build = sub.add_parser(
+        "build",
+        help="construct an adjacency TSV from a TSV incidence pair "
+             "through on-disk shards")
+    p_build.add_argument("eout", help="Eout TSV-triple file (edge, vertex, "
+                                      "value)")
+    p_build.add_argument("ein", help="Ein TSV-triple file")
+    p_build.add_argument("-o", "--output", required=True,
+                         help="output adjacency TSV-triple file")
+    p_build.add_argument("--pair", default="plus_times",
+                         help="op-pair registry name (default: plus_times)")
+    p_build.add_argument("--shards", type=int, default=4,
+                         help="number of edge shards (default: 4)")
+    p_build.add_argument("--workers", type=int, default=4,
+                         help="worker count (default: 4)")
+    p_build.add_argument("--executor", default="thread",
+                         choices=["serial", "thread", "process"],
+                         help="per-shard execution backend")
+    p_build.add_argument("--strategy", default="round_robin",
+                         choices=["round_robin", "hash"],
+                         help="edge-key → shard assignment")
+    p_build.add_argument("--kernel", default="auto",
+                         choices=["auto", "generic", "scipy", "reduceat",
+                                  "dense_blocked"],
+                         help="multiply kernel")
+    p_build.add_argument("--mode", default="sparse",
+                         choices=["sparse", "dense"],
+                         help="evaluation mode (dense = faithful "
+                              "Definition I.3 semantics; required by "
+                              "--kernel dense_blocked)")
+    p_build.add_argument("--workdir", default=None,
+                         help="shard/spill directory, kept after the run; "
+                              "an existing shard set there is replaced.  "
+                              "Default: a temporary directory")
+    p_build.add_argument("--unsafe-ok", action="store_true",
+                         help="accept op-pairs that fail the Theorem II.1 "
+                              "criteria or have order-sensitive ⊕")
+    p_build.add_argument("--quiet", action="store_true",
+                         help="suppress the summary report")
     return parser
 
 
@@ -140,6 +188,65 @@ def _cmd_render(figure: str) -> int:
     return 2  # pragma: no cover
 
 
+def _cmd_build(args) -> int:
+    from repro.arrays.io import write_tsv_triples
+    from repro.shard import ShardedAdjacencyPlan, ShardError
+    from repro.values.semiring import SemiringError, get_op_pair
+    try:
+        pair = get_op_pair(args.pair)
+    except SemiringError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    try:
+        plan = ShardedAdjacencyPlan(
+            pair,
+            n_shards=args.shards,
+            executor=args.executor,
+            n_workers=args.workers,
+            mode=args.mode,
+            kernel=args.kernel,
+            strategy=args.strategy,
+            shard_format="tsv",
+            workdir=args.workdir,
+            keep_workdir=args.workdir is not None,
+            overwrite=True,  # pointing --workdir at a dir again is intent
+            unsafe_ok=args.unsafe_ok,
+        )
+    except ShardError as exc:
+        # The library hint names the keyword argument; translate to the
+        # CLI spelling.
+        msg = str(exc).replace("unsafe_ok=True", "--unsafe-ok")
+        print(f"refused: {msg}", file=sys.stderr)
+        return 1
+    try:
+        result = plan.run((args.eout, args.ein))
+        write_tsv_triples(result.adjacency, args.output)
+    except (ValueError, TypeError, OSError) as exc:
+        # ValueError covers ShardError/KeyError_/MatmulError/GraphError;
+        # TypeError covers algebra failures on malformed TSV values
+        # (e.g. a text field where the op-pair expects a number).
+        print(f"build failed: {exc}", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        m = result.manifest
+        t = result.timings
+        print(f"built {args.output}: {result.nnz} stored entries "
+              f"({result.adjacency.shape[0]}×{result.adjacency.shape[1]})")
+        waived = args.unsafe_ok and (not plan.certification.safe
+                                     or plan.order_sensitive)
+        print(f"  op-pair   {pair.display} [{pair.name}]"
+              + ("  (UNSAFE — guarantees waived)" if waived else ""))
+        print(f"  edges     {m.n_edges} across {m.n_shards} shards "
+              f"({m.strategy}); per-shard nnz {list(result.shard_nnz)}")
+        print(f"  executor  {args.executor} ×{args.workers} workers, "
+              f"kernel={args.kernel}")
+        if args.workdir is not None:
+            print(f"  manifest  {Path(args.workdir) / 'manifest.json'}")
+        print("  timings   " + "  ".join(
+            f"{k}={v:.3f}s" for k, v in t.items()))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -153,6 +260,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_music(args.pair, args.weighted)
     if args.command == "render":
         return _cmd_render(args.figure)
+    if args.command == "build":
+        return _cmd_build(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -12,7 +12,10 @@
   be an adjacency array;
 * :mod:`repro.core.pipeline` — the end-to-end "data processing pipeline"
   of the introduction: table → exploded incidence array → sub-array
-  selection → correlation → adjacency array.
+  selection → correlation → adjacency array;
+* :mod:`repro.core.streaming` — incremental construction under edge
+  arrivals (the certification-gated single-accumulator counterpart of
+  the sharded engine in :mod:`repro.shard`).
 """
 
 from repro.core.construction import (
@@ -31,6 +34,7 @@ from repro.core.certify import (
     witness_for_violation,
 )
 from repro.core.pipeline import GraphConstructionPipeline
+from repro.core.streaming import StreamingAdjacencyBuilder
 
 __all__ = [
     "adjacency_array",
@@ -46,4 +50,5 @@ __all__ = [
     "certify",
     "witness_for_violation",
     "GraphConstructionPipeline",
+    "StreamingAdjacencyBuilder",
 ]

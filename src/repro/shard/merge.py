@@ -1,0 +1,174 @@
+"""⊕-merge tree: combine per-shard adjacency arrays, spilling to disk.
+
+For an edge partition ``K = K₁ ∪ … ∪ Kₙ`` the paper's construction
+distributes over the contraction axis:
+
+    ``A = ⊕ₛ (Eout|Kₛ)ᵀ ⊕.⊗ (Ein|Kₛ)``
+
+*provided* ``⊕`` is associative and commutative — the per-shard folds
+and the merge tree reassociate and reorder the Definition I.3 edge-key
+fold.  The gate here therefore mirrors
+:class:`~repro.core.streaming.StreamingAdjacencyBuilder`: the op-pair
+must pass the Theorem II.1 certification **and** carry an
+associative/commutative ``⊕``, unless the caller opts out with
+``unsafe_ok=True`` (in which case the result is *not* guaranteed to
+equal batch construction — exactly as the theorem predicts).
+
+Merging is pairwise over a balanced binary tree.  The spilled variant
+holds at most two operands in memory at any time and deletes inputs as
+soon as their parent is written, so peak memory is O(result), not
+O(result × shards).
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.arrays.associative import AssociativeArray
+from repro.arrays.elementwise import elementwise_add
+from repro.core.certify import Certification, certify
+from repro.shard.manifest import ShardError
+from repro.values.semiring import OpPair
+
+__all__ = [
+    "check_merge_safety",
+    "oplus_union",
+    "merge_adjacency",
+    "merge_spilled",
+]
+
+
+def check_merge_safety(
+    op_pair: OpPair,
+    *,
+    unsafe_ok: bool = False,
+    certification: Optional[Certification] = None,
+    certification_seed: int = 0xD4,
+) -> Optional[Certification]:
+    """Certify that sharded construction equals batch for ``op_pair``.
+
+    Raises :class:`ShardError` when the pair fails the Theorem II.1
+    criteria or its ``⊕`` is flagged non-associative/non-commutative —
+    unless ``unsafe_ok``.  Pass a precomputed ``certification`` to avoid
+    re-running the criteria search (the plan front-end certifies once at
+    construction and reuses it).  Returns the certification used, or
+    ``None`` when ``unsafe_ok`` made computing one unnecessary.
+    """
+    if unsafe_ok:
+        return certification
+    cert = certification if certification is not None else certify(
+        op_pair, seed=certification_seed, build_witness=False)
+    if not cert.safe:
+        raise ShardError(
+            "op-pair fails the Theorem II.1 criteria; sharded construction "
+            "would not be guaranteed to produce an adjacency array.  Pass "
+            "unsafe_ok=True to override.\n" + cert.criteria.describe())
+    if not (op_pair.add.associative and op_pair.add.commutative):
+        raise ShardError(
+            f"⊕ ({op_pair.add.name}) is not associative and commutative; "
+            "the shard merge tree reorders the edge-key fold, so the "
+            "merged result may differ from batch construction.  Pass "
+            "unsafe_ok=True to override.")
+    return cert
+
+
+def oplus_union(
+    a: AssociativeArray,
+    b: AssociativeArray,
+    op_pair: OpPair,
+) -> AssociativeArray:
+    """``a ⊕ b`` over the union of both key sets.
+
+    Shard results cover different (overlapping) vertex sets; the merge
+    embeds both into the union before the element-wise ``⊕``, which is
+    exact because absent entries read as the shared zero — ``⊕``'s
+    identity.
+    """
+    if a.row_keys != b.row_keys or a.col_keys != b.col_keys:
+        a = a.with_keys(a.row_keys.union(b.row_keys),
+                        a.col_keys.union(b.col_keys))
+        b = b.with_keys(a.row_keys, a.col_keys)
+    return elementwise_add(a, b, op_pair.add)
+
+
+def merge_adjacency(
+    results: Sequence[AssociativeArray],
+    op_pair: OpPair,
+    *,
+    unsafe_ok: bool = False,
+) -> AssociativeArray:
+    """Pairwise-merge in-memory shard results into one adjacency array."""
+    check_merge_safety(op_pair, unsafe_ok=unsafe_ok)
+    if not results:
+        raise ShardError("no shard results to merge")
+    level = list(results)
+    while len(level) > 1:
+        level = [oplus_union(level[i], level[i + 1], op_pair)
+                 if i + 1 < len(level) else level[i]
+                 for i in range(0, len(level), 2)]
+    return level[0]
+
+
+def merge_spilled(
+    paths: Sequence[Union[str, Path]],
+    op_pair: OpPair,
+    *,
+    workdir: Optional[Union[str, Path]] = None,
+    unsafe_ok: bool = False,
+    cleanup: bool = True,
+) -> AssociativeArray:
+    """Pairwise-merge spilled (pickled) shard results from disk.
+
+    Intermediate merge levels are themselves spilled to ``workdir``
+    (default: the first input's directory); at most two operands are
+    resident at once.  ``cleanup`` deletes inputs and intermediates as
+    they are consumed.
+    """
+    check_merge_safety(op_pair, unsafe_ok=unsafe_ok)
+    if not paths:
+        raise ShardError("no shard results to merge")
+    level: List[Path] = [Path(p) for p in paths]
+    root = Path(workdir) if workdir is not None else level[0].parent
+    root.mkdir(parents=True, exist_ok=True)
+    generation = 0
+    while len(level) > 1:
+        generation += 1
+        if len(level) == 2:
+            # Final merge: its product is the answer — return it without
+            # the spill/reload round-trip (it is the largest array of
+            # the whole run).
+            merged = oplus_union(_load(level[0]), _load(level[1]),
+                                 op_pair)
+            if cleanup:
+                level[0].unlink(missing_ok=True)
+                level[1].unlink(missing_ok=True)
+            return merged
+        nxt: List[Path] = []
+        for i in range(0, len(level), 2):
+            if i + 1 >= len(level):
+                nxt.append(level[i])  # odd one out rides up a level
+                continue
+            merged = oplus_union(_load(level[i]), _load(level[i + 1]),
+                                 op_pair)
+            out = root / f"merge_{generation:03d}_{i // 2:05d}.pkl"
+            with out.open("wb") as fh:
+                pickle.dump(merged, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            if cleanup:
+                level[i].unlink(missing_ok=True)
+                level[i + 1].unlink(missing_ok=True)
+            nxt.append(out)
+        level = nxt
+    result = _load(level[0])
+    if cleanup:
+        level[0].unlink(missing_ok=True)
+    return result
+
+
+def _load(path: Path) -> AssociativeArray:
+    try:
+        with path.open("rb") as fh:
+            return pickle.load(fh)
+    except FileNotFoundError:
+        raise ShardError(f"missing spilled shard result {path}") from None

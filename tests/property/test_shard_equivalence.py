@@ -1,0 +1,112 @@
+"""Sharded construction ≡ batch construction, property-based.
+
+The blocked decomposition ``A = ⊕ₛ (Eout|Kₛ)ᵀ ⊕.⊗ (Ein|Kₛ)`` must equal
+batch ``adjacency_array`` for *every* op-pair the merge gate admits
+(certified safe + associative/commutative ``⊕``), on arbitrary random
+multigraphs with arbitrary nonzero incidence values, across shard counts
+1–5 and all three executors.
+
+Comparison is exact (``==``) except for the pairs whose ``⊕`` performs
+floating-point *sums* — reassociating a float sum may drift an ulp, which
+is inherent to the decomposition, not a bug; those compare ``allclose``.
+Selection-style ``⊕`` (min/max/gcd/or/lexicographic) is order-exact.
+
+Process pools spawn per example, so the process-executor leg runs as a
+deterministic parametrized sweep rather than under hypothesis.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.certify import certify
+from repro.core.construction import adjacency_array
+from repro.graphs.incidence import incidence_arrays
+from repro.shard import sharded_adjacency
+from repro.values.semiring import get_op_pair, list_op_pairs
+
+from tests.helpers import SAFE_PAIRS  # noqa: F401  (registers catalog)
+from tests.property.strategies import graph_with_values
+
+#: Catalog pairs the shard merge gate admits.
+MERGEABLE_PAIRS = tuple(
+    name for name in list_op_pairs()
+    if certify(get_op_pair(name), seed=0xD4, build_witness=False).safe
+    and get_op_pair(name).add.associative
+    and get_op_pair(name).add.commutative)
+
+#: Pairs whose ⊕ sums floats — reassociation may drift an ulp.
+APPROX_PAIRS = frozenset({"plus_times", "plus_twisted_times",
+                          "log_semiring"})
+
+COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def test_gate_admits_a_meaningful_catalog_slice():
+    """Sanity: the sweep below is not vacuous, and excludes both the
+    unsafe pairs and the safe-but-order-sensitive ones."""
+    assert "plus_times" in MERGEABLE_PAIRS
+    assert "string_max_min" in MERGEABLE_PAIRS
+    assert "int_plus_times" not in MERGEABLE_PAIRS
+    assert "skew_plus_times" not in MERGEABLE_PAIRS
+    assert len(MERGEABLE_PAIRS) >= 12
+
+
+def _assert_shard_equals_batch(name, data, n_shards, executor):
+    pair = get_op_pair(name)
+    graph, out_vals, in_vals = data
+    eout, ein = incidence_arrays(graph, zero=pair.zero,
+                                 out_values=out_vals, in_values=in_vals)
+    want = adjacency_array(eout, ein, pair, kernel="generic")
+    got = sharded_adjacency((eout, ein), pair, n_shards=n_shards,
+                            executor=executor, n_workers=2,
+                            kernel="generic")
+    if name in APPROX_PAIRS:
+        assert got.row_keys == want.row_keys
+        assert got.col_keys == want.col_keys
+        assert got.allclose(want), f"{name}: sharded ≉ batch"
+    else:
+        assert got == want, f"{name}: sharded ≠ batch"
+
+
+def _make_equivalence_test(name: str):
+    pair = get_op_pair(name)
+
+    @settings(max_examples=12, **COMMON)
+    @given(data=graph_with_values(pair),
+           n_shards=st.integers(1, 5),
+           executor=st.sampled_from(("serial", "thread")))
+    def _test(data, n_shards, executor):
+        _assert_shard_equals_batch(name, data, n_shards, executor)
+
+    _test.__name__ = f"test_shard_equivalence_{name}"
+    return _test
+
+
+for _name in MERGEABLE_PAIRS:
+    globals()[f"test_shard_equivalence_{_name}"] = \
+        _make_equivalence_test(_name)
+del _name
+
+
+@pytest.mark.parametrize("n_shards", [1, 2, 3, 4, 5])
+@pytest.mark.parametrize("name", ["plus_times", "max_min"])
+def test_shard_equivalence_process_executor(name, n_shards):
+    """The process-executor leg of the sweep (deterministic examples:
+    integer-valued weights make even ⊕ = + bit-exact)."""
+    from repro.graphs.generators import erdos_renyi_multigraph
+    pair = get_op_pair(name)
+    graph = erdos_renyi_multigraph(10, 45, seed=31 + n_shards)
+    weights = {k: float(1 + (i % 5))
+               for i, k in enumerate(graph.edge_keys)}
+    eout, ein = incidence_arrays(graph, zero=pair.zero,
+                                 out_values=weights, in_values=weights)
+    want = adjacency_array(eout, ein, pair)
+    got = sharded_adjacency((eout, ein), pair, n_shards=n_shards,
+                            executor="process", n_workers=2)
+    assert got == want

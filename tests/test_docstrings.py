@@ -9,12 +9,14 @@ import pytest
 import repro
 import repro.core.pipeline
 import repro.core.streaming
+import repro.shard.plan
 
 
 @pytest.mark.parametrize("module", [
     repro,
     repro.core.pipeline,
     repro.core.streaming,
+    repro.shard.plan,
 ], ids=lambda m: m.__name__)
 def test_module_doctests(module):
     result = doctest.testmod(module, verbose=False,

@@ -23,6 +23,7 @@ def _run(script: str, *args: str) -> subprocess.CompletedProcess:
     ("semiring_gallery.py", "Every catalog verdict matches the paper."),
     ("document_words.py", "zero-divisor failure, live"),
     ("flight_network.py", "Section IV in action"),
+    ("sharded_build.py", "sharded construction verified against batch"),
 ])
 def test_example_runs_and_reports(script, expect):
     proc = _run(script)
