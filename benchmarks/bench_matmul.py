@@ -1,0 +1,153 @@
+"""Chained-correlation matmul benchmark for the storage backends — JSON.
+
+Times the hot path ``A = Eoutᵀ ⊕.⊗ Ein`` followed by the chained
+correlation ``C = A ⊕.⊗ Aᵀ`` on an R-MAT workload, across three
+execution strategies:
+
+``generic``
+    The pure-Python reference kernel (small workload only).
+
+``per_call_conversion``
+    The pre-refactor shape: every multiply receives fresh dict-backed
+    operands (so each call pays the dict→CSR conversion) and each
+    result is materialised back into dict storage — the
+    build-a-scipy-matrix-and-throw-it-away pattern.
+
+``persistent_backend``
+    The pluggable-backend path: operands compiled to the numeric
+    backend once, kernels reuse the cached CSR, and results stay
+    columnar end to end — chained correlations never leave NumPy.
+
+Emits one JSON document (written to ``BENCH_matmul.json`` by default)
+with per-workload timings and the persistent-vs-conversion speedup,
+asserting that all strategies agree:
+
+    PYTHONPATH=src python benchmarks/bench_matmul.py [--quick] [--out F]
+
+Like ``bench_shard.py`` this is a plain script (not pytest-benchmark)
+so CI can archive its JSON output per commit for the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.arrays.associative import AssociativeArray
+from repro.arrays.matmul import multiply
+from repro.graphs.generators import rmat_multigraph
+from repro.graphs.incidence import incidence_arrays
+from repro.values.semiring import get_op_pair
+
+PAIR_NAME = "plus_times"
+
+
+def _operands(scale: int, n_edges: int, seed: int = 77):
+    pair = get_op_pair(PAIR_NAME)
+    graph = rmat_multigraph(scale, n_edges, seed=seed)
+    weights = {k: float(1 + (i % 9)) for i, k in enumerate(graph.edge_keys)}
+    eout, ein = incidence_arrays(graph, zero=pair.zero,
+                                 out_values=weights, in_values=weights)
+    return pair, eout, ein
+
+
+def _fresh_dict(array: AssociativeArray) -> AssociativeArray:
+    """A dict-backed copy with no caches — a 'cold' operand (unpinned,
+    so the vectorised kernels run but must reconvert from the dict)."""
+    return AssociativeArray(dict(array.to_dict()), row_keys=array.row_keys,
+                            col_keys=array.col_keys, zero=array.zero)
+
+
+def _chain_generic(eout, ein, pair):
+    a = multiply(eout.transpose(), ein, pair, kernel="generic")
+    return multiply(a, a.transpose(), pair, kernel="generic")
+
+
+def _chain_per_call_conversion(eout, ein, pair):
+    # Cold dict operands before every call: each multiply pays dict→CSR
+    # for both operands and each result is forced back into a Python
+    # dict — the build-and-throw-away pattern this PR removes.
+    a = multiply(_fresh_dict(eout).transpose(), _fresh_dict(ein), pair)
+    c = multiply(_fresh_dict(a), _fresh_dict(a.transpose()), pair)
+    return _fresh_dict(c)
+
+
+def _chain_persistent(eout, ein, pair):
+    a = multiply(eout.transpose(), ein, pair)
+    return multiply(a, a.transpose(), pair)
+
+
+def _timed(fn, repeat: int):
+    best, result = None, None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def run(quick: bool) -> dict:
+    workloads = [(11, 10_000, True)]
+    if not quick:
+        workloads.append((14, 100_000, False))
+    repeat = 1 if quick else 3
+    rows = []
+    for scale, n_edges, with_generic in workloads:
+        pair, eout, ein = _operands(scale, n_edges)
+        eout_n = eout.with_backend("numeric")
+        ein_n = ein.with_backend("numeric")
+
+        conv_s, conv = _timed(
+            lambda: _chain_per_call_conversion(eout, ein, pair), repeat)
+        pers_s, pers = _timed(
+            lambda: _chain_persistent(eout_n, ein_n, pair), repeat)
+        assert pers.allclose(conv), (scale, n_edges)
+
+        row = {
+            "scale": scale,
+            "n_edges": n_edges,
+            "chain_nnz": pers.nnz,
+            "seconds": {
+                "per_call_conversion": round(conv_s, 4),
+                "persistent_backend": round(pers_s, 4),
+            },
+            "speedup_persistent_vs_conversion": round(conv_s / pers_s, 3),
+        }
+        if with_generic:
+            gen_s, gen = _timed(
+                lambda: _chain_generic(eout, ein, pair), repeat=1)
+            assert pers.allclose(gen), (scale, n_edges)
+            row["seconds"]["generic"] = round(gen_s, 4)
+            row["speedup_persistent_vs_generic"] = round(gen_s / pers_s, 3)
+        rows.append(row)
+    return {
+        "benchmark": "bench_matmul",
+        "op_pair": PAIR_NAME,
+        "chain": "A = Eoutᵀ ⊕.⊗ Ein; C = A ⊕.⊗ Aᵀ",
+        "workloads": rows,
+        "correct": True,   # every strategy asserted equivalent
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small workload only (CI smoke)")
+    parser.add_argument("--out", default="BENCH_matmul.json",
+                        help="write the JSON here (default: "
+                             "BENCH_matmul.json; '-' to skip)")
+    args = parser.parse_args(argv)
+    report = run(args.quick)
+    text = json.dumps(report, indent=2, ensure_ascii=False)
+    print(text)
+    if args.out != "-":
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

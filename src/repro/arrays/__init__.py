@@ -6,6 +6,9 @@ Implements the paper's Definitions I.1–I.3:
   D4M-style range/prefix selection (``'Genre|A : Genre|Z'``);
 * :mod:`repro.arrays.associative` — :class:`AssociativeArray`
   ``A : K1 × K2 → V`` with transpose and sub-array selection;
+* :mod:`repro.arrays.backend` — pluggable storage backends: dict
+  storage for arbitrary value sets, persistent columnar/CSR storage
+  for numeric fast paths;
 * :mod:`repro.arrays.matmul` — array multiplication ``C = A ⊕.⊗ B`` with
   sparse and dense (Definition I.3) evaluation modes;
 * :mod:`repro.arrays.elementwise` — element-wise ``⊕``/``⊗``;

@@ -16,7 +16,11 @@ Design notes
   when some edges touch no vertex of one side.
 * Entries equal to the zero are never stored; assigning the zero deletes.
 * Instances are immutable by convention: all operations return new arrays.
-  (Storage is a plain dict; we do not defensively copy on read.)
+  (Storage is never defensively copied on read.)
+* Storage lives behind a backend (:mod:`repro.arrays.backend`): a plain
+  dict for arbitrary value sets, or a persistent columnar/CSR
+  representation for plain numbers.  The choice is automatic; the
+  ``backend=`` keyword pins it explicitly.
 """
 
 from __future__ import annotations
@@ -24,20 +28,23 @@ from __future__ import annotations
 import math
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
+from repro.arrays.backend import (
+    BACKEND_KINDS,
+    DictBackend,
+    NumericBackend,
+    dict_to_numeric,
+    embed_lookup,
+    usable_numeric_zero,
+)
 from repro.arrays.keys import KeyError_, KeySet, Selector
+from repro.values.equality import values_equal as _values_equal
 
 __all__ = ["AssociativeArray"]
 
-
-def _values_equal(a: Any, b: Any) -> bool:
-    """Equality robust to NaN and to int/float mixing."""
-    if isinstance(a, float) and isinstance(b, float) \
-            and math.isnan(a) and math.isnan(b):
-        return True
-    try:
-        return bool(a == b)
-    except Exception:  # pragma: no cover - defensive
-        return a is b
+#: Cache sentinel: "we tried to promote to numeric storage and could not".
+_NO_NUMERIC = object()
 
 
 class AssociativeArray:
@@ -54,9 +61,15 @@ class AssociativeArray:
         empty rows/columns, which Definition I.3 semantics need.
     zero:
         The array's zero element (default ``0``).
+    backend:
+        Storage backend: ``"auto"`` (dict storage, promoted to the
+        columnar form on demand by the vectorised fast paths),
+        ``"dict"`` (pinned to dict storage — every operation takes the
+        generic path), or ``"numeric"`` (eager columnar conversion;
+        raises unless the zero and all stored values are plain numbers).
     """
 
-    __slots__ = ("_data", "_row_keys", "_col_keys", "_zero", "_cache")
+    __slots__ = ("_backend", "_row_keys", "_col_keys", "_zero", "_cache")
 
     def __init__(
         self,
@@ -65,7 +78,11 @@ class AssociativeArray:
         row_keys: Union[KeySet, Iterable[Any], None] = None,
         col_keys: Union[KeySet, Iterable[Any], None] = None,
         zero: Any = 0,
+        backend: str = "auto",
     ) -> None:
+        if backend not in BACKEND_KINDS:
+            raise KeyError_(
+                f"unknown backend {backend!r}; use one of {BACKEND_KINDS}")
         entries = dict(data or {})
         if row_keys is None:
             row_keys = {r for (r, _c) in entries}
@@ -82,11 +99,179 @@ class AssociativeArray:
                 raise KeyError_(f"column key {c!r} not in column key set")
             if not _values_equal(v, zero):
                 clean[(r, c)] = v
-        self._data = clean
-        # Derived-representation memo (e.g. CSR form for the vectorised
-        # kernels).  Arrays are immutable by convention, so caching is
-        # safe; the cache never participates in equality.
+        # Derived-representation memo (e.g. the promoted numeric
+        # backend).  Arrays are immutable by convention, so caching is
+        # safe; the cache never participates in equality or pickling.
         self._cache: Dict[str, Any] = {}
+        if backend == "numeric":
+            self._backend = self._promote_or_raise(clean)
+        else:
+            self._backend = DictBackend(clean, pinned=(backend == "dict"))
+
+    # ------------------------------------------------------------------
+    # Storage backend machinery
+    # ------------------------------------------------------------------
+    @property
+    def _data(self) -> Dict[Tuple[Any, Any], Any]:
+        """The ``{(row, col): value}`` view of the stored entries.
+
+        For dict storage this *is* the store (not copied — mutating it
+        would violate immutability-by-convention); for numeric storage
+        it is a lazily materialised, cached view.
+        """
+        be = self._backend
+        if be.kind == "dict":
+            return be.data
+        return be.to_dict(self._row_keys.keys(), self._col_keys.keys())
+
+    @property
+    def backend(self) -> str:
+        """The active storage backend kind: ``"dict"`` or ``"numeric"``."""
+        return self._backend.kind
+
+    @property
+    def pinned(self) -> bool:
+        """Whether this array is pinned to dict storage (``backend="dict"``).
+
+        Pins are inherited by derived arrays (transpose, selection,
+        re-embedding, generic operation results over pinned operands),
+        so an explicit opt-out of the numeric fast paths holds through
+        whole computations — e.g. a ⊕-merge tree over pinned shard
+        results stays generic at every level.
+        """
+        be = self._backend
+        return be.kind == "dict" and be.pinned
+
+    @property
+    def _derived_backend(self) -> str:
+        """Constructor ``backend=`` argument for arrays derived from self."""
+        return "dict" if self.pinned else "auto"
+
+    def numeric_backend(self) -> Optional[NumericBackend]:
+        """The columnar backend driving the vectorised fast paths.
+
+        Returns the native backend when storage is already numeric;
+        otherwise attempts (and caches) a one-time promotion of the dict
+        store.  Returns ``None`` — and the callers fall back to the
+        generic implementations — when the array is pinned
+        (``backend="dict"``), its zero is not a plain non-NaN number, or
+        any stored value is not a plain number.
+        """
+        be = self._backend
+        if be.kind == "numeric":
+            return be
+        if be.pinned:
+            return None
+        cached = self._cache.get("numeric_backend", _NO_NUMERIC)
+        if cached is not _NO_NUMERIC:
+            return cached
+        nb = None
+        if usable_numeric_zero(self._zero):
+            nb = dict_to_numeric(be.data, self._row_keys.position_map(),
+                                 self._col_keys.position_map(), self.shape)
+        self._cache["numeric_backend"] = nb
+        return nb
+
+    def _promote_or_raise(self, data: Dict[Tuple[Any, Any], Any]) -> NumericBackend:
+        """Columnar conversion of ``data`` for an explicit ``"numeric"``
+        request; raises with a precise reason when impossible."""
+        if not usable_numeric_zero(self._zero):
+            raise KeyError_(
+                f"backend='numeric' requires a plain (non-NaN) numeric "
+                f"zero, got {self._zero!r}")
+        nb = dict_to_numeric(data, self._row_keys.position_map(),
+                             self._col_keys.position_map(), self.shape)
+        if nb is None:
+            raise KeyError_(
+                "backend='numeric' requires plain numeric stored values "
+                "(ints exactly representable in float64)")
+        return nb
+
+    def with_backend(self, backend: str) -> "AssociativeArray":
+        """This array under an explicitly chosen storage backend.
+
+        ``"numeric"`` forces columnar storage (raising when the values
+        or zero are not plain numbers — the explicit request overrides a
+        pin); ``"dict"`` pins to dict storage; ``"auto"`` lifts a pin.
+        Returns ``self`` when nothing changes.
+        """
+        if backend not in BACKEND_KINDS:
+            raise KeyError_(
+                f"unknown backend {backend!r}; use one of {BACKEND_KINDS}")
+        be = self._backend
+        if backend == "numeric":
+            if be.kind == "numeric":
+                return self
+            # Reuse a promotion a fast path already computed; a pinned
+            # array skips the cache (the pin suppressed it) and the
+            # explicit request overrides the pin.
+            nb = None if be.pinned else self.numeric_backend()
+            if nb is None:
+                nb = self._promote_or_raise(be.data)
+            return AssociativeArray._adopt(nb, self._row_keys,
+                                           self._col_keys, self._zero)
+        if backend == "dict":
+            if be.kind == "dict" and be.pinned:
+                return self
+            return AssociativeArray._adopt(
+                DictBackend(dict(self._data), pinned=True),
+                self._row_keys, self._col_keys, self._zero)
+        if be.kind == "dict" and be.pinned:
+            return AssociativeArray._adopt(DictBackend(be.data),
+                                           self._row_keys, self._col_keys,
+                                           self._zero)
+        return self
+
+    @classmethod
+    def _adopt(cls, backend, row_keys, col_keys, zero) -> "AssociativeArray":
+        """Internal: wrap a ready-made backend without re-validation."""
+        self = object.__new__(cls)
+        self._backend = backend
+        self._row_keys = KeySet.coerce(row_keys)
+        self._col_keys = KeySet.coerce(col_keys)
+        self._zero = zero
+        self._cache = {}
+        return self
+
+    @classmethod
+    def _from_numeric(
+        cls,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        *,
+        row_keys: Union[KeySet, Iterable[Any]],
+        col_keys: Union[KeySet, Iterable[Any]],
+        zero: Any,
+        presorted: bool = False,
+        filtered: bool = False,
+    ) -> "AssociativeArray":
+        """Internal: adopt columnar storage from a vectorised kernel.
+
+        Positions are trusted (in-range for the key sets); entries equal
+        to ``zero`` are dropped vectorised unless ``filtered`` says the
+        caller already did.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        vals = np.asarray(vals, dtype=np.float64)
+        if not filtered:
+            keep = vals != float(zero)
+            if not bool(keep.all()):
+                rows, cols, vals = rows[keep], cols[keep], vals[keep]
+        rk = KeySet.coerce(row_keys)
+        ck = KeySet.coerce(col_keys)
+        be = NumericBackend(rows, cols, vals, (len(rk), len(ck)),
+                            presorted=presorted)
+        return cls._adopt(be, rk, ck, zero)
+
+    # -- pickling: the cache is derived state; spill files stay lean ----------
+    def __getstate__(self):
+        return (self._backend, self._row_keys, self._col_keys, self._zero)
+
+    def __setstate__(self, state) -> None:
+        self._backend, self._row_keys, self._col_keys, self._zero = state
+        self._cache = {}
 
     # ------------------------------------------------------------------
     # Constructors
@@ -111,12 +296,14 @@ class AssociativeArray:
         col_keys: Union[KeySet, Iterable[Any], None] = None,
         zero: Any = 0,
         combine: Optional[Callable[[Any, Any], Any]] = None,
+        backend: str = "auto",
     ) -> "AssociativeArray":
         """Build from ``(row, col, value)`` triples.
 
         Duplicate coordinates raise unless ``combine`` is given, in which
         case values are combined left-to-right in input order (D4M's
-        assoc-with-collision-function construction).
+        assoc-with-collision-function construction).  ``backend`` as in
+        the constructor.
         """
         data: Dict[Tuple[Any, Any], Any] = {}
         for r, c, v in triples:
@@ -129,7 +316,8 @@ class AssociativeArray:
                 data[key] = combine(data[key], v)
             else:
                 data[key] = v
-        return cls(data, row_keys=row_keys, col_keys=col_keys, zero=zero)
+        return cls(data, row_keys=row_keys, col_keys=col_keys, zero=zero,
+                   backend=backend)
 
     @classmethod
     def from_dense(
@@ -185,7 +373,7 @@ class AssociativeArray:
     @property
     def nnz(self) -> int:
         """Number of stored (nonzero) entries."""
-        return len(self._data)
+        return self._backend.nnz
 
     def is_zero_value(self, v: Any) -> bool:
         """Whether ``v`` equals this array's zero."""
@@ -234,11 +422,27 @@ class AssociativeArray:
         """Sub-array on the selected keys (selection semantics of Figure 1)."""
         rows = self._row_keys.select(row_selector)
         cols = self._col_keys.select(col_selector)
+        be = self._backend
+        if be.kind == "numeric":
+            # Index-array permutation: mask the stored coordinates and
+            # remap positions through (monotone) selection lookups — the
+            # lex order survives, so no re-sort.
+            rlook = embed_lookup(self._row_keys, rows.position_map(),
+                                 len(self._row_keys))
+            clook = embed_lookup(self._col_keys, cols.position_map(),
+                                 len(self._col_keys))
+            nr = rlook[be.rows]
+            nc = clook[be.cols]
+            keep = (nr >= 0) & (nc >= 0)
+            sub = NumericBackend(nr[keep], nc[keep], be.vals[keep],
+                                 (len(rows), len(cols)), presorted=True)
+            return AssociativeArray._adopt(sub, rows, cols, self._zero)
         row_set, col_set = set(rows), set(cols)
         data = {(r, c): v for (r, c), v in self._data.items()
                 if r in row_set and c in col_set}
         return AssociativeArray(data, row_keys=rows, col_keys=cols,
-                                zero=self._zero)
+                                zero=self._zero,
+                                backend=self._derived_backend)
 
     def row(self, row: Any) -> Dict[Any, Any]:
         """Stored entries of one row as ``{col: value}`` (sorted by col)."""
@@ -256,10 +460,21 @@ class AssociativeArray:
 
     def entries(self) -> Iterator[Tuple[Any, Any, Any]]:
         """Stored entries as ``(row, col, value)`` in (row, col) key order."""
+        be = self._backend
+        if be.kind == "numeric":
+            # Columnar storage is already lex-sorted: stream it without
+            # materialising the dict view or sorting in Python.
+            rk = self._row_keys.keys()
+            ck = self._col_keys.keys()
+            for i, j, v in zip(be.rows.tolist(), be.cols.tolist(),
+                               be.vals.tolist()):
+                yield rk[i], ck[j], v
+            return
+        data = self._data
         ri = self._row_keys.position_map()
         ci = self._col_keys.position_map()
-        for (r, c) in sorted(self._data, key=lambda rc: (ri[rc[0]], ci[rc[1]])):
-            yield r, c, self._data[(r, c)]
+        for (r, c) in sorted(data, key=lambda rc: (ri[rc[0]], ci[rc[1]])):
+            yield r, c, data[(r, c)]
 
     def triples(self) -> List[Tuple[Any, Any, Any]]:
         """:meth:`entries` as a list."""
@@ -279,12 +494,22 @@ class AssociativeArray:
 
     def rows_nonempty(self) -> KeySet:
         """Row keys that have at least one stored entry."""
+        be = self._backend
+        if be.kind == "numeric":
+            rk = self._row_keys.keys()
+            return KeySet([rk[i] for i in np.unique(be.rows).tolist()],
+                          presorted=True)
         present = {r for (r, _c) in self._data}
         return KeySet([r for r in self._row_keys if r in present],
                       presorted=True)
 
     def cols_nonempty(self) -> KeySet:
         """Column keys that have at least one stored entry."""
+        be = self._backend
+        if be.kind == "numeric":
+            ck = self._col_keys.keys()
+            return KeySet([ck[j] for j in np.unique(be.cols).tolist()],
+                          presorted=True)
         present = {c for (_r, c) in self._data}
         return KeySet([c for c in self._col_keys if c in present],
                       presorted=True)
@@ -294,9 +519,16 @@ class AssociativeArray:
     # ------------------------------------------------------------------
     def transpose(self) -> "AssociativeArray":
         """Definition I.2: ``Aᵀ(k2, k1) = A(k1, k2)``."""
+        be = self._backend
+        if be.kind == "numeric":
+            # Index-array permutation; this array's cached CSC becomes
+            # the transpose's CSR, so Aᵀ arrives pre-compiled.
+            return AssociativeArray._adopt(be.transposed(), self._col_keys,
+                                           self._row_keys, self._zero)
         data = {(c, r): v for (r, c), v in self._data.items()}
         return AssociativeArray(data, row_keys=self._col_keys,
-                                col_keys=self._row_keys, zero=self._zero)
+                                col_keys=self._row_keys, zero=self._zero,
+                                backend=self._derived_backend)
 
     @property
     def T(self) -> "AssociativeArray":
@@ -317,7 +549,8 @@ class AssociativeArray:
                     f"stored value at {(r, c)!r} equals the new zero "
                     f"{zero!r}; reinterpretation would drop it")
         return AssociativeArray(self._data, row_keys=self._row_keys,
-                                col_keys=self._col_keys, zero=zero)
+                                col_keys=self._col_keys, zero=zero,
+                                backend=self._derived_backend)
 
     def map_values(self, func: Callable[[Any], Any],
                    *, zero: Any = None) -> "AssociativeArray":
@@ -326,20 +559,25 @@ class AssociativeArray:
         z = self._zero if zero is None else zero
         data = {rc: func(v) for rc, v in self._data.items()}
         return AssociativeArray(data, row_keys=self._row_keys,
-                                col_keys=self._col_keys, zero=z)
+                                col_keys=self._col_keys, zero=z,
+                                backend=self._derived_backend)
 
     def restrict_values(self, predicate: Callable[[Any], bool]) -> "AssociativeArray":
         """Keep only stored entries whose value satisfies ``predicate``."""
         data = {rc: v for rc, v in self._data.items() if predicate(v)}
         return AssociativeArray(data, row_keys=self._row_keys,
-                                col_keys=self._col_keys, zero=self._zero)
+                                col_keys=self._col_keys, zero=self._zero,
+                                backend=self._derived_backend)
 
     def prune_to_pattern(self) -> "AssociativeArray":
         """Drop empty rows/columns, shrinking the key sets to the pattern."""
+        if self._backend.kind == "numeric":
+            return self.select(self.rows_nonempty(), self.cols_nonempty())
         return AssociativeArray(self._data,
                                 row_keys=self.rows_nonempty(),
                                 col_keys=self.cols_nonempty(),
-                                zero=self._zero)
+                                zero=self._zero,
+                                backend=self._derived_backend)
 
     def with_keys(
         self,
@@ -349,8 +587,28 @@ class AssociativeArray:
         """Re-embed into (super)key sets, e.g. to share an edge set ``K``."""
         rk = self._row_keys if row_keys is None else KeySet.coerce(row_keys)
         ck = self._col_keys if col_keys is None else KeySet.coerce(col_keys)
+        be = self._backend
+        if be.kind == "numeric":
+            rlook = embed_lookup(self._row_keys, rk.position_map(),
+                                 len(self._row_keys))
+            clook = embed_lookup(self._col_keys, ck.position_map(),
+                                 len(self._col_keys))
+            nr = rlook[be.rows]
+            nc = clook[be.cols]
+            # Stored entries must survive the embedding (unused keys may
+            # drop) — the same contract the dict constructor enforces.
+            if nr.size and int(nr.min()) < 0:
+                key = self._row_keys[int(be.rows[int(np.argmin(nr))])]
+                raise KeyError_(f"row key {key!r} not in row key set")
+            if nc.size and int(nc.min()) < 0:
+                key = self._col_keys[int(be.cols[int(np.argmin(nc))])]
+                raise KeyError_(f"column key {key!r} not in column key set")
+            emb = NumericBackend(nr, nc, be.vals, (len(rk), len(ck)),
+                                 presorted=True)
+            return AssociativeArray._adopt(emb, rk, ck, self._zero)
         return AssociativeArray(self._data, row_keys=rk, col_keys=ck,
-                                zero=self._zero)
+                                zero=self._zero,
+                                backend=self._derived_backend)
 
     # ------------------------------------------------------------------
     # Comparison

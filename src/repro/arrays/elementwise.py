@@ -15,13 +15,42 @@ and element-wise ``⊗`` with an annihilating zero intersects them.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.arrays.associative import AssociativeArray
+from repro.arrays.backend import (
+    VECTORIZE_MIN_NNZ,
+    union_apply,
+    usable_numeric_zero,
+)
 from repro.arrays.keys import KeyError_
+from repro.values.equality import values_equal as _eq
 from repro.values.operations import BinaryOp
 
-__all__ = ["elementwise_add", "elementwise_multiply", "elementwise_apply"]
+__all__ = ["elementwise_add", "elementwise_multiply", "elementwise_apply",
+           "vectorizable_operands"]
+
+
+def vectorizable_operands(a: AssociativeArray, b: AssociativeArray):
+    """Both operands' numeric backends under the shared fast-path policy.
+
+    The one pairwise promotion gate (used here and by the shard
+    ⊕-merge): operands already numeric-backed always qualify; tiny
+    dict-backed pairs stay on the generic paths (conversion overhead
+    dominates and exact Python value types are preserved); anything
+    that cannot promote disqualifies the pair.  Returns ``(na, nb)`` or
+    ``None``.
+    """
+    native = a.backend == "numeric" or b.backend == "numeric"
+    if not native and a.nnz + b.nnz < VECTORIZE_MIN_NNZ:
+        return None
+    na = a.numeric_backend()
+    if na is None:
+        return None
+    nb = b.numeric_backend()
+    if nb is None:
+        return None
+    return na, nb
 
 
 def _check_aligned(a: AssociativeArray, b: AssociativeArray) -> None:
@@ -51,6 +80,9 @@ def elementwise_apply(
         raise KeyError_(
             f"op({a.zero!r}, {b.zero!r}) = {background!r} ≠ {result_zero!r}: "
             "result would be dense; element-wise evaluation refused")
+    fast = _apply_vectorized(a, b, op, result_zero)
+    if fast is not None:
+        return fast
     data: Dict[Tuple[Any, Any], Any] = {}
     a_data, b_data = a.to_dict(), b.to_dict()
     for rc in set(a_data) | set(b_data):
@@ -58,7 +90,40 @@ def elementwise_apply(
         if not _eq(v, result_zero):
             data[rc] = v
     return AssociativeArray(data, row_keys=a.row_keys, col_keys=a.col_keys,
-                            zero=result_zero)
+                            zero=result_zero,
+                            backend="dict" if a.pinned and b.pinned
+                            else "auto")
+
+
+def _apply_vectorized(
+    a: AssociativeArray,
+    b: AssociativeArray,
+    op: BinaryOp,
+    result_zero: Any,
+) -> Optional[AssociativeArray]:
+    """Ufunc evaluation over the union pattern on aligned index arrays.
+
+    Applies when the op has a ufunc form, every zero involved is a plain
+    non-NaN number, and both operands carry (or promote to) the numeric
+    backend.  Tiny dict-backed operands stay generic — that preserves
+    exact Python value types for the paper-figure-sized arrays.  Returns
+    ``None`` when not applicable.
+    """
+    if op.ufunc is None:
+        return None
+    if not (usable_numeric_zero(result_zero) and usable_numeric_zero(a.zero)
+            and usable_numeric_zero(b.zero)):
+        return None
+    backends = vectorizable_operands(a, b)
+    if backends is None:
+        return None
+    na, nb = backends
+    rows, cols, vals = union_apply(
+        na, nb, op.ufunc, float(a.zero), float(b.zero), float(result_zero),
+        a.shape)
+    return AssociativeArray._from_numeric(
+        rows, cols, vals, row_keys=a.row_keys, col_keys=a.col_keys,
+        zero=result_zero, presorted=True, filtered=True)
 
 
 def elementwise_add(a: AssociativeArray, b: AssociativeArray,
@@ -76,14 +141,3 @@ def elementwise_multiply(a: AssociativeArray, b: AssociativeArray,
     survive wherever either operand is stored.
     """
     return elementwise_apply(a, b, op)
-
-
-def _eq(x: Any, y: Any) -> bool:
-    import math
-    if isinstance(x, float) and isinstance(y, float) \
-            and math.isnan(x) and math.isnan(y):
-        return True
-    try:
-        return bool(x == y)
-    except Exception:  # pragma: no cover
-        return x is y

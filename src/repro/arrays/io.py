@@ -109,17 +109,33 @@ def collapse_exploded(
 # TSV triples (the D4M interchange format)
 # ---------------------------------------------------------------------------
 
+#: Number of lines buffered per write in :func:`write_tsv_triples`.
+_WRITE_CHUNK = 16384
+
+
 def write_tsv_triples(
     array: AssociativeArray,
     path: Union[str, Path],
     *,
     value_formatter=str,
 ) -> None:
-    """Write stored entries as ``row<TAB>col<TAB>value`` lines in key order."""
+    """Write stored entries as ``row<TAB>col<TAB>value`` lines in key order.
+
+    Encoding streams straight off the array's storage backend —
+    numeric-backed arrays iterate their lex-sorted columnar form, so no
+    dict view is materialised and no Python-side sort runs — and lines
+    are flushed in chunks rather than per entry.
+    """
     p = Path(path)
+    chunk: List[str] = []
     with p.open("w", encoding="utf-8", newline="") as fh:
         for r, c, v in array.entries():
-            fh.write(f"{r}\t{c}\t{value_formatter(v)}\n")
+            chunk.append(f"{r}\t{c}\t{value_formatter(v)}\n")
+            if len(chunk) >= _WRITE_CHUNK:
+                fh.write("".join(chunk))
+                chunk.clear()
+        if chunk:
+            fh.write("".join(chunk))
 
 
 def iter_tsv_triples(
@@ -157,16 +173,20 @@ def read_tsv_triples(
     zero: Any = 0,
     row_keys: Optional[Iterable[Any]] = None,
     col_keys: Optional[Iterable[Any]] = None,
+    backend: str = "auto",
 ) -> AssociativeArray:
     """Read ``row<TAB>col<TAB>value`` lines into an associative array.
 
     ``value_parser`` converts the value text (default: int if possible,
-    else float if possible, else the raw string).
+    else float if possible, else the raw string).  ``backend`` selects
+    the storage backend (``"numeric"`` compiles the columnar form
+    eagerly at ingest; see :class:`AssociativeArray`).
     """
     triples: List[Tuple[str, str, Any]] = list(
         iter_tsv_triples(path, value_parser=value_parser))
     return AssociativeArray.from_triples(
-        triples, zero=zero, row_keys=row_keys, col_keys=col_keys)
+        triples, zero=zero, row_keys=row_keys, col_keys=col_keys,
+        backend=backend)
 
 
 def _parse_scalar(text: str) -> Any:

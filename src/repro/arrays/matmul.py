@@ -86,12 +86,20 @@ def _pick_kernel(a: AssociativeArray, b: AssociativeArray,
 
     Vectorised kernels need numeric values and NumPy ufunc forms of both
     operations; `scipy` additionally needs the genuine ``+.×`` pair.  Tiny
-    operands stay on the generic kernel (conversion overhead dominates).
+    dict-backed operands stay on the generic kernel (conversion overhead
+    dominates and exact Python value types are preserved); operands that
+    already carry a numeric backend skip that bailout — their compiled
+    form is paid for, so staying vectorised is free.
     """
     from repro.arrays import sparse_backend
-    if not sparse_backend.vectorizable(a, b, op_pair):
+    from repro.arrays.backend import VECTORIZE_MIN_NNZ
+    # Size bailout first: vectorizable() promotes dict operands to the
+    # columnar backend, which tiny operands should never pay for.
+    native = a.backend == "numeric" and b.backend == "numeric"
+    if not native and a.nnz + b.nnz < VECTORIZE_MIN_NNZ \
+            and len(a.row_keys) * len(b.col_keys) < 4096:
         return "generic"
-    if a.nnz + b.nnz < 256 and len(a.row_keys) * len(b.col_keys) < 4096:
+    if not sparse_backend.vectorizable(a, b, op_pair):
         return "generic"
     if mode == "dense":
         return "dense_blocked"
@@ -149,7 +157,9 @@ def multiply_generic(
     data = {rc: v for rc, v in out.items()
             if not op_pair.is_zero(v)}
     return AssociativeArray(data, row_keys=a.row_keys, col_keys=b.col_keys,
-                            zero=zero)
+                            zero=zero,
+                            backend="dict" if a.pinned and b.pinned
+                            else "auto")
 
 
 def _generic_dense(
@@ -172,4 +182,6 @@ def _generic_dense(
             if not op_pair.is_zero(total):
                 data[(r, c)] = total
     return AssociativeArray(data, row_keys=a.row_keys, col_keys=b.col_keys,
-                            zero=zero)
+                            zero=zero,
+                            backend="dict" if a.pinned and b.pinned
+                            else "auto")

@@ -31,12 +31,13 @@ coincide exactly for criteria-compliant op-pairs — property-tested).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Tuple
+from typing import Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.arrays.associative import AssociativeArray
+from repro.arrays.backend import NumericBackend, is_number as _is_number
 from repro.values.semiring import OpPair
 
 __all__ = [
@@ -55,21 +56,19 @@ KERNELS = ("scipy", "reduceat", "dense_blocked")
 DENSE_BLOCK_ROWS = 64
 
 
-def _is_number(v: Any) -> bool:
-    return isinstance(v, (int, float)) and not isinstance(v, bool)
-
-
 def vectorizable(a: AssociativeArray, b: AssociativeArray,
                  op_pair: OpPair) -> bool:
     """Whether the vectorised kernels can run this product exactly.
 
     Requires ufunc forms for both operations, numeric zero/one, and
-    numeric stored values throughout both operands.
+    operands whose storage is (or promotes to) the numeric backend —
+    arrays pinned to ``backend="dict"`` report False, which is the
+    escape hatch that forces the generic path.
     """
     if not (op_pair.has_ufuncs and op_pair.is_numeric):
         return False
-    return all(_is_number(v) for v in a.to_dict().values()) and \
-        all(_is_number(v) for v in b.to_dict().values())
+    return a.numeric_backend() is not None and \
+        b.numeric_backend() is not None
 
 
 # ---------------------------------------------------------------------------
@@ -81,33 +80,18 @@ def _to_csr_arrays(
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """``(data, indices, indptr)`` float64 CSR arrays in key order.
 
-    Memoised on the array (immutable by convention), so repeated products
-    against the same operand pay the dict→CSR conversion once — the same
-    trick D4M uses by keeping arrays in sorted-triple form.
+    The view is owned by the array's numeric backend and persists across
+    operations (arrays are immutable by convention), so chained products
+    pay any dict→columnar conversion once — the same trick D4M uses by
+    keeping arrays in sorted-triple form.
     """
-    cached = array._cache.get("csr")
-    if cached is not None:
-        return cached
-    m = len(array.row_keys)
-    rpos = array.row_keys.position_map()
-    cpos = array.col_keys.position_map()
-    items = array.to_dict()
-    nnz = len(items)
-    rows = np.empty(nnz, dtype=np.int64)
-    cols = np.empty(nnz, dtype=np.int64)
-    vals = np.empty(nnz, dtype=np.float64)
-    for t, ((r, c), v) in enumerate(items.items()):
-        rows[t] = rpos[r]
-        cols[t] = cpos[c]
-        vals[t] = float(v)
-    order = np.lexsort((cols, rows))
-    rows, cols, vals = rows[order], cols[order], vals[order]
-    indptr = np.zeros(m + 1, dtype=np.int64)
-    np.add.at(indptr, rows + 1, 1)
-    np.cumsum(indptr, out=indptr)
-    result = (vals, cols, indptr)
-    array._cache["csr"] = result
-    return result
+    nb = array.numeric_backend()
+    if nb is None:
+        from repro.arrays.matmul import MatmulError
+        raise MatmulError(
+            "array values/zero are not plain numbers (or the array is "
+            "pinned to the dict backend); use kernel='generic'")
+    return nb.csr()
 
 
 def to_scipy(array: AssociativeArray) -> sp.csr_matrix:
@@ -133,7 +117,11 @@ def from_scipy(
     *,
     zero: float = 0.0,
 ) -> AssociativeArray:
-    """Wrap a SciPy sparse matrix as an associative array over given keys."""
+    """Wrap a SciPy sparse matrix as a (numeric-backed) associative array.
+
+    Duplicate coordinates are summed first (scipy's canonical-form
+    semantics: a COO matrix with duplicates *represents* their sum).
+    """
     coo = matrix.tocoo()
     rk = list(row_keys)
     ck = list(col_keys)
@@ -141,11 +129,10 @@ def from_scipy(
         raise ValueError(
             f"shape {coo.shape} does not match key sets "
             f"({len(rk)}, {len(ck)})")
-    data: Dict[Tuple[Any, Any], Any] = {}
-    for i, j, v in zip(coo.row, coo.col, coo.data):
-        if v != zero:
-            data[(rk[i], ck[j])] = float(v)
-    return AssociativeArray(data, row_keys=rk, col_keys=ck, zero=zero)
+    coo.sum_duplicates()        # also sorts row-major: entries arrive canonical
+    return AssociativeArray._from_numeric(
+        coo.row, coo.col, coo.data, row_keys=rk, col_keys=ck, zero=zero,
+        presorted=True)
 
 
 # ---------------------------------------------------------------------------
@@ -188,12 +175,18 @@ def multiply_vectorized(
 
 def _scipy_plus_times(a: AssociativeArray, b: AssociativeArray,
                       op_pair: OpPair) -> AssociativeArray:
-    """CSR×CSR through scipy for the arithmetic semiring."""
+    """CSR×CSR through scipy for the arithmetic semiring.
+
+    The product's CSR arrays are adopted directly as the result's
+    backend — chained correlations never leave NumPy.
+    """
     sa = _csr_for_pair(a)
     sb = _csr_for_pair(b)
     sc = sa @ sb
     sc.eliminate_zeros()
-    return _result_from_coo(sc.tocoo(), a, b, op_pair)
+    sc.sort_indices()
+    be = NumericBackend.from_csr(sc.data, sc.indices, sc.indptr, sc.shape)
+    return AssociativeArray._adopt(be, a.row_keys, b.col_keys, op_pair.zero)
 
 
 def _csr_for_pair(array: AssociativeArray) -> sp.csr_matrix:
@@ -201,20 +194,6 @@ def _csr_for_pair(array: AssociativeArray) -> sp.csr_matrix:
     return sp.csr_matrix(
         (data, indices, indptr),
         shape=(len(array.row_keys), len(array.col_keys)))
-
-
-def _result_from_coo(coo: sp.coo_matrix, a: AssociativeArray,
-                     b: AssociativeArray, op_pair: OpPair) -> AssociativeArray:
-    rk = tuple(a.row_keys)
-    ck = tuple(b.col_keys)
-    zero = float(op_pair.zero)
-    data: Dict[Tuple[Any, Any], Any] = {}
-    for i, j, v in zip(coo.row, coo.col, coo.data):
-        fv = float(v)
-        if fv != zero:
-            data[(rk[i], ck[j])] = fv
-    return AssociativeArray(data, row_keys=a.row_keys, col_keys=b.col_keys,
-                            zero=op_pair.zero)
 
 
 def _reduceat_spgemm(a: AssociativeArray, b: AssociativeArray,
@@ -267,12 +246,10 @@ def _reduceat_spgemm(a: AssociativeArray, b: AssociativeArray,
 
     zero = float(op_pair.zero)
     keep = reduced != zero
-    rk = tuple(a.row_keys)
-    ck = tuple(b.col_keys)
-    data = {(rk[i], ck[j]): float(v)
-            for i, j, v in zip(grp_rows[keep], grp_cols[keep], reduced[keep])}
-    return AssociativeArray(data, row_keys=a.row_keys, col_keys=b.col_keys,
-                            zero=op_pair.zero)
+    return AssociativeArray._from_numeric(
+        grp_rows[keep], grp_cols[keep], reduced[keep],
+        row_keys=a.row_keys, col_keys=b.col_keys, zero=op_pair.zero,
+        presorted=True, filtered=True)
 
 
 def _dense_blocked(a: AssociativeArray, b: AssociativeArray,
@@ -285,27 +262,39 @@ def _dense_blocked(a: AssociativeArray, b: AssociativeArray,
     k2, n = b.shape
     assert k == k2
 
-    da = _to_dense(a, zero)
-    db = _to_dense(b, zero)
-    rk = tuple(a.row_keys)
-    ck = tuple(b.col_keys)
-    data: Dict[Tuple[Any, Any], Any] = {}
-    if k == 0:
-        # Empty inner key set: every ⊕-fold is empty, i.e. all zero.
+    if k == 0 or m == 0:
+        # Empty inner key set (every ⊕-fold is empty, i.e. all zero) or
+        # no output rows at all.
         return AssociativeArray.empty(a.row_keys, b.col_keys,
                                       zero=op_pair.zero)
+    da = _to_dense(a, zero)
+    db = _to_dense(b, zero)
+    out_rows = []
+    out_cols = []
+    out_vals = []
     for start in range(0, m, DENSE_BLOCK_ROWS):
         stop = min(start + DENSE_BLOCK_ROWS, m)
         block = mul_uf(da[start:stop, :, None], db[None, :, :])
         cblock = add_uf.reduce(block, axis=1)
-        nz = np.argwhere(cblock != zero)
-        for bi, j in nz:
-            data[(rk[start + int(bi)], ck[int(j)])] = float(cblock[bi, j])
-    return AssociativeArray(data, row_keys=a.row_keys, col_keys=b.col_keys,
-                            zero=op_pair.zero)
+        bi, j = np.nonzero(cblock != zero)
+        out_rows.append(bi.astype(np.int64) + start)
+        out_cols.append(j.astype(np.int64))
+        out_vals.append(cblock[bi, j])
+    # Blocks come out in row order and np.nonzero is row-major, so the
+    # concatenation is already lex-sorted.
+    return AssociativeArray._from_numeric(
+        np.concatenate(out_rows), np.concatenate(out_cols),
+        np.concatenate(out_vals).astype(np.float64),
+        row_keys=a.row_keys, col_keys=b.col_keys, zero=op_pair.zero,
+        presorted=True, filtered=True)
 
 
 def _to_dense(array: AssociativeArray, fill: float) -> np.ndarray:
+    nb = array.numeric_backend()
+    if nb is not None:
+        out = np.full(array.shape, fill, dtype=np.float64)
+        out[nb.rows, nb.cols] = nb.vals
+        return out
     out = np.full(array.shape, fill, dtype=np.float64)
     rpos = array.row_keys.position_map()
     cpos = array.col_keys.position_map()

@@ -86,6 +86,12 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["auto", "generic", "scipy", "reduceat",
                                   "dense_blocked"],
                          help="multiply kernel")
+    p_build.add_argument("--backend", default="auto",
+                         choices=["auto", "dict", "numeric"],
+                         help="array storage backend per shard (dict pins "
+                              "the generic paths; numeric compiles the "
+                              "columnar/CSR form at ingest and keeps it "
+                              "through the ⊕-merge)")
     p_build.add_argument("--mode", default="sparse",
                          choices=["sparse", "dense"],
                          help="evaluation mode (dense = faithful "
@@ -205,6 +211,7 @@ def _cmd_build(args) -> int:
             n_workers=args.workers,
             mode=args.mode,
             kernel=args.kernel,
+            backend=args.backend,
             strategy=args.strategy,
             shard_format="tsv",
             workdir=args.workdir,
@@ -239,7 +246,7 @@ def _cmd_build(args) -> int:
         print(f"  edges     {m.n_edges} across {m.n_shards} shards "
               f"({m.strategy}); per-shard nnz {list(result.shard_nnz)}")
         print(f"  executor  {args.executor} ×{args.workers} workers, "
-              f"kernel={args.kernel}")
+              f"kernel={args.kernel}, backend={args.backend}")
         if args.workdir is not None:
             print(f"  manifest  {Path(args.workdir) / 'manifest.json'}")
         print("  timings   " + "  ".join(

@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Any, List, Optional, Set, Tuple, Union
 
 from repro.arrays.associative import AssociativeArray
+from repro.arrays.backend import BACKEND_KINDS
 from repro.arrays.io import iter_tsv_triples
 from repro.arrays.keys import KeySet
 from repro.arrays.matmul import multiply
@@ -67,12 +68,15 @@ def load_shard(
     info: ShardInfo,
     *,
     zero: Any = 0,
+    backend: str = "auto",
 ) -> Tuple[AssociativeArray, AssociativeArray]:
     """Load one shard's ``(Eout|Kₛ, Ein|Kₛ)`` incidence pair.
 
     Row keys are the union of edge keys observed on either side (both
     arrays share them, as Definition I.4 requires); column keys are the
     observed vertices of each side; ``zero`` should be the op-pair's.
+    ``backend`` picks the arrays' storage backend
+    (:mod:`repro.arrays.backend`).
     """
     eout_path, ein_path = manifest.shard_paths(info)
     out_triples = list(_iter_entries(eout_path, manifest.format))
@@ -82,10 +86,12 @@ def load_shard(
     row_keys = KeySet(keys)
     eout = AssociativeArray.from_triples(
         out_triples, row_keys=row_keys,
-        col_keys={v for _k, v, _w in out_triples}, zero=zero)
+        col_keys={v for _k, v, _w in out_triples}, zero=zero,
+        backend=backend)
     ein = AssociativeArray.from_triples(
         in_triples, row_keys=row_keys,
-        col_keys={v for _k, v, _w in in_triples}, zero=zero)
+        col_keys={v for _k, v, _w in in_triples}, zero=zero,
+        backend=backend)
     return eout, ein
 
 
@@ -95,6 +101,7 @@ def _shard_task(
     pair: PairOrName,
     mode: str,
     kernel: str,
+    backend: str,
     out_path: str,
 ) -> Tuple[int, str, int]:
     """Worker body (module-level so process pools can pickle it).
@@ -104,8 +111,12 @@ def _shard_task(
     """
     if isinstance(pair, str):
         pair = resolve_registered_pair(pair)
-    eout, ein = load_shard(manifest, info, zero=pair.zero)
+    eout, ein = load_shard(manifest, info, zero=pair.zero, backend=backend)
     adj = multiply(eout.transpose(), ein, pair, mode=mode, kernel=kernel)
+    if backend != "auto":
+        # Spilled shard results carry the requested storage backend, so
+        # the ⊕-merge tree sees (and keeps) the chosen representation.
+        adj = adj.with_backend(backend)
     with open(out_path, "wb") as fh:
         pickle.dump(adj, fh, protocol=pickle.HIGHEST_PROTOCOL)
     return info.index, out_path, adj.nnz
@@ -119,6 +130,7 @@ def execute_shards(
     n_workers: int = 4,
     mode: str = "sparse",
     kernel: str = "auto",
+    backend: str = "auto",
     workdir: Optional[Union[str, Path]] = None,
 ) -> List[ShardProduct]:
     """Build every shard's adjacency array, spilled to ``workdir``.
@@ -127,11 +139,17 @@ def execute_shards(
     spill records in shard-index order.  Only ``executor="process"``
     requires a *registered* op-pair (it ships the pair by name);
     serial/thread execution stays in-process and accepts any pair.
+    ``backend`` pins the per-shard array storage (``"dict"`` forces the
+    generic paths end to end; ``"numeric"`` compiles the columnar form
+    at ingest).
     """
     if executor not in EXECUTORS:
         raise ShardError(f"unknown executor {executor!r}; use {EXECUTORS}")
     if n_workers < 1:
         raise ShardError("n_workers must be >= 1")
+    if backend not in BACKEND_KINDS:
+        raise ShardError(
+            f"unknown backend {backend!r}; use one of {BACKEND_KINDS}")
     shipped: PairOrName = op_pair
     if executor == "process":
         try:
@@ -145,7 +163,8 @@ def execute_shards(
     tasks = [(info, str(root / f"adj_{info.index:05d}.pkl"))
              for info in manifest.shards]
     if executor == "serial" or n_workers == 1 or len(tasks) <= 1:
-        raw = [_shard_task(manifest, info, op_pair, mode, kernel, out)
+        raw = [_shard_task(manifest, info, op_pair, mode, kernel, backend,
+                           out)
                for info, out in tasks]
     else:
         pool_cls = ThreadPoolExecutor if executor == "thread" \
@@ -154,7 +173,7 @@ def execute_shards(
             futures = [
                 pool.submit(_shard_task, manifest, info,
                             shipped if executor == "process" else op_pair,
-                            mode, kernel, out)
+                            mode, kernel, backend, out)
                 for info, out in tasks]
             raw = [f.result() for f in futures]
     return [ShardProduct(index=i, path=Path(p), nnz=nnz)

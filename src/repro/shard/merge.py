@@ -27,9 +27,15 @@ from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
 from repro.arrays.associative import AssociativeArray
-from repro.arrays.elementwise import elementwise_add
+from repro.arrays.backend import (
+    embed_lookup,
+    union_apply,
+    usable_numeric_zero,
+)
+from repro.arrays.elementwise import elementwise_add, vectorizable_operands
 from repro.core.certify import Certification, certify
 from repro.shard.manifest import ShardError
+from repro.values.equality import values_equal
 from repro.values.semiring import OpPair
 
 __all__ = [
@@ -84,13 +90,64 @@ def oplus_union(
     Shard results cover different (overlapping) vertex sets; the merge
     embeds both into the union before the element-wise ``⊕``, which is
     exact because absent entries read as the shared zero — ``⊕``'s
-    identity.
+    identity.  Numeric-backed shard results take a fully vectorised
+    path (union key sets → monotone index remap → ufunc ⊕ over the
+    coordinate-code union), so the merge tree stops being
+    entry-at-a-time; exotic value sets fall back to the generic
+    re-embed + element-wise evaluation.
     """
+    merged = _oplus_union_vectorized(a, b, op_pair)
+    if merged is not None:
+        return merged
     if a.row_keys != b.row_keys or a.col_keys != b.col_keys:
         a = a.with_keys(a.row_keys.union(b.row_keys),
                         a.col_keys.union(b.col_keys))
         b = b.with_keys(a.row_keys, a.col_keys)
     return elementwise_add(a, b, op_pair.add)
+
+
+def _oplus_union_vectorized(
+    a: AssociativeArray,
+    b: AssociativeArray,
+    op_pair: OpPair,
+) -> Optional[AssociativeArray]:
+    """The numeric fast path of :func:`oplus_union`; None when inapplicable.
+
+    Requires a ufunc ``⊕``, a shared plain-numeric zero, and operands on
+    (or promotable to) the numeric backend; small dict-backed operands
+    stay generic so value types are preserved for the tiny cases.
+    """
+    add = op_pair.add
+    if add.ufunc is None:
+        return None
+    if not (usable_numeric_zero(a.zero) and values_equal(a.zero, b.zero)):
+        return None
+    if not values_equal(add(a.zero, b.zero), a.zero):
+        return None                # generic path raises the proper error
+    backends = vectorizable_operands(a, b)
+    if backends is None:
+        return None
+    na, nb = backends
+    rk, ck = a.row_keys, a.col_keys
+    if rk != b.row_keys or ck != b.col_keys:
+        rk = rk.union(b.row_keys)
+        ck = ck.union(b.col_keys)
+        shape = (len(rk), len(ck))
+        rpos, cpos = rk.position_map(), ck.position_map()
+        # Embedding sorted key sets into their sorted union is monotone,
+        # so the remapped backends stay lex-sorted — no re-sort.
+        na = na.remapped(
+            embed_lookup(a.row_keys, rpos, len(a.row_keys)),
+            embed_lookup(a.col_keys, cpos, len(a.col_keys)), shape)
+        nb = nb.remapped(
+            embed_lookup(b.row_keys, rpos, len(b.row_keys)),
+            embed_lookup(b.col_keys, cpos, len(b.col_keys)), shape)
+    zero = float(a.zero)
+    rows, cols, vals = union_apply(na, nb, add.ufunc, zero, zero, zero,
+                                   (len(rk), len(ck)))
+    return AssociativeArray._from_numeric(
+        rows, cols, vals, row_keys=rk, col_keys=ck, zero=a.zero,
+        presorted=True, filtered=True)
 
 
 def merge_adjacency(

@@ -41,6 +41,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.arrays.associative import AssociativeArray
+from repro.arrays.backend import BACKEND_KINDS
 from repro.arrays.keys import KeySet
 from repro.core.certify import Certification, certify
 from repro.graphs.incidence import ValueSpec
@@ -98,6 +99,11 @@ class ShardedAdjacencyPlan:
         op-pair to be registered (shipped by name).
     mode, kernel:
         Forwarded to :func:`repro.arrays.matmul.multiply` per shard.
+    backend:
+        Array storage backend per shard (``"auto"``, ``"dict"``,
+        ``"numeric"`` — see :mod:`repro.arrays.backend`).  ``"dict"``
+        pins every shard to the generic paths; ``"numeric"`` compiles
+        the columnar form at ingest and keeps it through the merge.
     shard_format:
         ``"tsv"``, ``"pickle"``, or ``"auto"`` (TSV for TSV-file
         sources, whose keys/values are text by construction; pickle for
@@ -132,6 +138,7 @@ class ShardedAdjacencyPlan:
         n_workers: int = 4,
         mode: str = "sparse",
         kernel: str = "auto",
+        backend: str = "auto",
         shard_format: str = "auto",
         strategy: str = "round_robin",
         workdir: Optional[Union[str, Path]] = None,
@@ -157,6 +164,9 @@ class ShardedAdjacencyPlan:
             raise ShardError(
                 f"unknown shard format {shard_format!r}; use 'auto', "
                 "'tsv' or 'pickle'")
+        if backend not in BACKEND_KINDS:
+            raise ShardError(
+                f"unknown backend {backend!r}; use one of {BACKEND_KINDS}")
         self._pair = op_pair
         self._certification = certify(op_pair, seed=certification_seed,
                                       build_witness=False)
@@ -167,6 +177,7 @@ class ShardedAdjacencyPlan:
         self.n_workers = n_workers
         self.mode = mode
         self.kernel = kernel
+        self.backend = backend
         # "auto" is resolved per source in partition(): TSV files carry
         # string keys and pre-round-tripped values so TSV shards are
         # faithful; any in-memory source may hold arbitrary key/value
@@ -309,7 +320,8 @@ class ShardedAdjacencyPlan:
             products = execute_shards(
                 self._manifest, self._pair, executor=self.executor,
                 n_workers=self.n_workers, mode=self.mode,
-                kernel=self.kernel, workdir=spill_dir)
+                kernel=self.kernel, backend=self.backend,
+                workdir=spill_dir)
             t1 = time.perf_counter()
             adjacency = merge_spilled(
                 [p.path for p in products], self._pair,

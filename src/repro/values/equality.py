@@ -1,0 +1,34 @@
+"""The one value-equality predicate used across the codebase.
+
+Sparse storage, zero-filtering, array equality and identity checks all
+need the same notion of "these two values are the same element of V":
+
+* ``NaN == NaN`` must hold (a NaN zero would otherwise never match
+  itself, so NaN-zero arrays could never drop entries);
+* ``3 == 3.0`` must hold (int/float mixing is routine — TSV ingest
+  parses ``3`` as int while the vectorised kernels produce floats);
+* values that raise on ``==`` (exotic carriers) fall back to identity.
+
+Historically this predicate was re-implemented per module
+(``_values_equal`` in :mod:`repro.arrays.associative` and
+:mod:`repro.values.operations`, ``_eq`` in
+:mod:`repro.arrays.elementwise`); this module is the single shared home.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+__all__ = ["values_equal"]
+
+
+def values_equal(a: Any, b: Any) -> bool:
+    """Equality robust to NaN, to int/float mixing, and to broken ``==``."""
+    if isinstance(a, float) and isinstance(b, float) \
+            and math.isnan(a) and math.isnan(b):
+        return True
+    try:
+        return bool(a == b)
+    except Exception:  # pragma: no cover - defensive
+        return a is b

@@ -22,6 +22,8 @@ from typing import Any, Callable, Dict, Optional
 
 import numpy as np
 
+from repro.values.equality import values_equal as _values_equal
+
 __all__ = [
     "OperationError",
     "BinaryOp",
@@ -102,17 +104,6 @@ class BinaryOp:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"BinaryOp({self.name!r}, identity={self.identity!r})"
-
-
-def _values_equal(a: Any, b: Any) -> bool:
-    """Equality that treats NaN as equal to NaN and is set-friendly."""
-    if isinstance(a, float) and isinstance(b, float):
-        if math.isnan(a) and math.isnan(b):
-            return True
-    try:
-        return bool(a == b)
-    except Exception:  # pragma: no cover - defensive
-        return a is b
 
 
 # ---------------------------------------------------------------------------

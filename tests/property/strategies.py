@@ -16,6 +16,8 @@ __all__ = [
     "graphs",
     "graph_with_values",
     "conformable_numeric_arrays",
+    "aligned_numeric_arrays",
+    "overlapping_numeric_arrays",
 ]
 
 #: Vertex pool for generated graphs (small on purpose: collisions create
@@ -77,4 +79,46 @@ def conformable_numeric_arrays(draw, zero: float = 0.0,
                          row_keys=rows, col_keys=inner, zero=zero)
     b = AssociativeArray({rc: float(v) for rc, v in b_entries.items()},
                          row_keys=inner, col_keys=cols, zero=zero)
+    return a, b
+
+
+@st.composite
+def aligned_numeric_arrays(draw, zero: float = 0.0, max_dim: int = 8):
+    """Two arrays over identical key sets (element-wise operands)."""
+    m = draw(st.integers(1, max_dim))
+    n = draw(st.integers(1, max_dim))
+    rows = [f"r{i}" for i in range(m)]
+    cols = [f"c{i}" for i in range(n)]
+    coord = st.tuples(st.sampled_from(rows), st.sampled_from(cols))
+    a_entries = draw(st.dictionaries(coord, st.integers(1, 9), max_size=m * n))
+    b_entries = draw(st.dictionaries(coord, st.integers(1, 9), max_size=m * n))
+    a = AssociativeArray({rc: float(v) for rc, v in a_entries.items()},
+                         row_keys=rows, col_keys=cols, zero=zero)
+    b = AssociativeArray({rc: float(v) for rc, v in b_entries.items()},
+                         row_keys=rows, col_keys=cols, zero=zero)
+    return a, b
+
+
+@st.composite
+def overlapping_numeric_arrays(draw, zero: float = 0.0, max_dim: int = 6):
+    """Two arrays over *overlapping but distinct* key sets (⊕-merge
+    operands: shard results cover different vertex subsets)."""
+    m = draw(st.integers(1, max_dim))
+    n = draw(st.integers(1, max_dim))
+    row_off = draw(st.integers(0, 3))
+    col_off = draw(st.integers(0, 3))
+    rows_a = [f"r{i}" for i in range(m)]
+    cols_a = [f"c{i}" for i in range(n)]
+    rows_b = [f"r{i + row_off}" for i in range(m)]
+    cols_b = [f"c{i + col_off}" for i in range(n)]
+    a_entries = draw(st.dictionaries(
+        st.tuples(st.sampled_from(rows_a), st.sampled_from(cols_a)),
+        st.integers(1, 9), max_size=m * n))
+    b_entries = draw(st.dictionaries(
+        st.tuples(st.sampled_from(rows_b), st.sampled_from(cols_b)),
+        st.integers(1, 9), max_size=m * n))
+    a = AssociativeArray({rc: float(v) for rc, v in a_entries.items()},
+                         row_keys=rows_a, col_keys=cols_a, zero=zero)
+    b = AssociativeArray({rc: float(v) for rc, v in b_entries.items()},
+                         row_keys=rows_b, col_keys=cols_b, zero=zero)
     return a, b

@@ -1,0 +1,182 @@
+"""Storage-backend equivalence, property-based.
+
+The refactor contract of the pluggable-backend architecture: for every
+certified numeric op-pair in the catalog — including the −∞- and
++∞-zero pairs, whose zeros stress the semiring-aware fill/filter logic —
+an operation must produce the *same array* whether its operands are
+pinned to the dict backend (forcing the generic Python implementations)
+or compiled to the numeric columnar/CSR backend (taking the vectorised
+fast paths):
+
+* array multiplication (sparse and dense modes);
+* element-wise ``⊕`` and ``⊗``;
+* row/column reductions, pattern counts, and row/column scaling;
+* transpose and selection;
+* the shard ⊕-merge (``oplus_union`` over differing key sets).
+
+Equality is the strict ``==`` (key sets, zero, pattern, values — with
+int/float mixing allowed by design); values here are small-int-valued
+floats, for which every catalog fold is exact in float64.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.arrays.elementwise import elementwise_add, elementwise_multiply
+from repro.arrays.matmul import multiply
+from repro.arrays.reductions import (
+    col_counts,
+    reduce_cols,
+    reduce_rows,
+    row_counts,
+    scale_cols,
+    scale_rows,
+    total_reduce,
+)
+from repro.shard.merge import oplus_union
+from repro.values.semiring import get_op_pair
+
+from tests.helpers import SAFE_NUMERIC_PAIRS
+from tests.property.strategies import (
+    aligned_numeric_arrays,
+    conformable_numeric_arrays,
+    overlapping_numeric_arrays,
+)
+
+COMMON = dict(deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+
+#: Pairs whose zero is an infinity — the hard cases of the fill logic.
+INFINITY_ZERO_PAIRS = ("min_times", "max_plus", "min_plus", "min_max")
+assert set(INFINITY_ZERO_PAIRS) <= set(SAFE_NUMERIC_PAIRS)
+
+
+def _dict(array):
+    return array.with_backend("dict")
+
+
+def _numeric(array):
+    return array.with_backend("numeric")
+
+
+def _make_matmul_test(name: str):
+    pair = get_op_pair(name)
+
+    @settings(max_examples=30, **COMMON)
+    @given(ab=conformable_numeric_arrays(zero=float(pair.zero)))
+    def _test(ab):
+        a, b = ab
+        ref = multiply(_dict(a), _dict(b), pair)
+        got = multiply(_numeric(a), _numeric(b), pair)
+        assert got == ref
+        if got.nnz:
+            # The fast path result is itself numeric-backed, so chained
+            # correlations never leave NumPy.
+            assert got.backend == "numeric"
+            assert multiply(got, got.transpose(), pair) == \
+                multiply(_dict(got), _dict(got.transpose()), pair)
+
+    _test.__name__ = f"test_matmul_{name}"
+    return _test
+
+
+def _make_matmul_dense_test(name: str):
+    pair = get_op_pair(name)
+
+    @settings(max_examples=15, **COMMON)
+    @given(ab=conformable_numeric_arrays(zero=float(pair.zero)))
+    def _test(ab):
+        a, b = ab
+        ref = multiply(_dict(a), _dict(b), pair, mode="dense")
+        got = multiply(_numeric(a), _numeric(b), pair, mode="dense")
+        assert got == ref
+
+    _test.__name__ = f"test_matmul_dense_{name}"
+    return _test
+
+
+def _make_elementwise_test(name: str):
+    pair = get_op_pair(name)
+
+    @settings(max_examples=30, **COMMON)
+    @given(ab=aligned_numeric_arrays(zero=float(pair.zero)))
+    def _test(ab):
+        a, b = ab
+        assert elementwise_add(_numeric(a), _numeric(b), pair.add) == \
+            elementwise_add(_dict(a), _dict(b), pair.add)
+        assert elementwise_multiply(_numeric(a), _numeric(b), pair.mul) == \
+            elementwise_multiply(_dict(a), _dict(b), pair.mul)
+
+    _test.__name__ = f"test_elementwise_{name}"
+    return _test
+
+
+def _make_reductions_test(name: str):
+    pair = get_op_pair(name)
+
+    @settings(max_examples=30, **COMMON)
+    @given(ab=aligned_numeric_arrays(zero=float(pair.zero)))
+    def _test(ab):
+        a, _b = ab
+        an, ad = _numeric(a), _dict(a)
+        assert reduce_rows(an, pair.add) == reduce_rows(ad, pair.add)
+        assert reduce_cols(an, pair.add) == reduce_cols(ad, pair.add)
+        assert row_counts(an) == row_counts(ad)
+        assert col_counts(an) == col_counts(ad)
+        assert total_reduce(an, pair.add) == total_reduce(ad, pair.add)
+        factors = {r: float(i % 4 + 1) for i, r in enumerate(a.row_keys)}
+        assert scale_rows(an, factors, pair.mul) == \
+            scale_rows(ad, factors, pair.mul)
+        cfactors = {c: float(i % 3 + 1) for i, c in enumerate(a.col_keys)}
+        assert scale_cols(an, cfactors, pair.mul) == \
+            scale_cols(ad, cfactors, pair.mul)
+
+    _test.__name__ = f"test_reductions_{name}"
+    return _test
+
+
+def _make_structural_test(name: str):
+    pair = get_op_pair(name)
+
+    @settings(max_examples=30, **COMMON)
+    @given(ab=aligned_numeric_arrays(zero=float(pair.zero)))
+    def _test(ab):
+        a, _b = ab
+        an, ad = _numeric(a), _dict(a)
+        assert an.transpose() == ad.transpose()
+        assert an.transpose().transpose() == a
+        half_r = list(a.row_keys)[: max(1, len(a.row_keys) // 2)]
+        assert an.select(half_r, ":") == ad.select(half_r, ":")
+        assert an.prune_to_pattern() == ad.prune_to_pattern()
+        wide_rows = list(a.row_keys) + ["zz_extra_row"]
+        assert an.with_keys(wide_rows, a.col_keys) == \
+            ad.with_keys(wide_rows, a.col_keys)
+
+    _test.__name__ = f"test_structural_{name}"
+    return _test
+
+
+def _make_merge_test(name: str):
+    pair = get_op_pair(name)
+
+    @settings(max_examples=30, **COMMON)
+    @given(ab=overlapping_numeric_arrays(zero=float(pair.zero)))
+    def _test(ab):
+        a, b = ab
+        ref = oplus_union(_dict(a), _dict(b), pair)
+        got = oplus_union(_numeric(a), _numeric(b), pair)
+        assert got == ref
+
+    _test.__name__ = f"test_merge_{name}"
+    return _test
+
+
+for _name in SAFE_NUMERIC_PAIRS:
+    globals()[f"test_matmul_{_name}"] = _make_matmul_test(_name)
+    globals()[f"test_matmul_dense_{_name}"] = _make_matmul_dense_test(_name)
+    globals()[f"test_elementwise_{_name}"] = _make_elementwise_test(_name)
+    globals()[f"test_reductions_{_name}"] = _make_reductions_test(_name)
+    globals()[f"test_structural_{_name}"] = _make_structural_test(_name)
+    globals()[f"test_merge_{_name}"] = _make_merge_test(_name)
+del _name
