@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Serving adjacency queries: snapshots, deltas, epochs, the cache.
+
+Constructing ``A = Eoutᵀ ⊕.⊗ Ein`` is half the story — the paper's
+opening point is that adjacency arrays exist to be *queried*.  This
+example walks the :mod:`repro.serve` read path end to end, in process
+(the same service the ``repro serve`` HTTP front end wraps):
+
+1. build a weighted flight-style graph and load it into an
+   :class:`~repro.serve.AdjacencyService` (epoch 0);
+2. run the query vocabulary — neighbors, degrees, k-hop frontiers
+   under two different certified op-pairs, path lengths, top-k;
+3. stream a delta batch and publish epoch 1: an old snapshot reference
+   keeps answering from its own epoch while new queries see the merge;
+4. watch the ``(epoch, query)`` LRU cache go cold → warm → invalidated;
+5. watch the certification gate refuse an unsafe query algebra.
+
+Run:  python examples/adjacency_service.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.serve import AdjacencyService, ServeError
+
+
+def main() -> None:
+    pair = repro.get_op_pair("plus_times")
+
+    # 1. A small route network: edge weight = seats on that flight leg.
+    service = AdjacencyService(pair)
+    service.add_edges([
+        ("f1", "BOS", "JFK", 120.0, 1.0),
+        ("f2", "BOS", "JFK", 30.0, 1.0),   # parallel edge: ⊕-folds
+        ("f3", "JFK", "SFO", 180.0, 1.0),
+        ("f4", "BOS", "ORD", 90.0, 1.0),
+        ("f5", "ORD", "SFO", 150.0, 1.0),
+    ])
+    service.publish()
+    snap = service.snapshot()
+    print(f"epoch {snap.epoch}: {len(snap.vertices)} airports, "
+          f"{snap.nnz} route entries under {pair.display}")
+
+    # 2. The query vocabulary.
+    print("\nneighbors(BOS):       ", service.neighbors("BOS"))
+    print("in-neighbors(SFO):    ",
+          service.neighbors("SFO", direction="in"))
+    print("out-degrees:          ", service.degrees())
+    print("2-hop seats from BOS: ", service.khop("BOS", 2))
+    print("2-hop min.+ from BOS: ",
+          service.khop("BOS", 2, pair="min_plus"))
+    print("path lengths from BOS:", service.path_lengths("BOS"))
+    print("top-2 heaviest routes:", service.top_k(2))
+
+    # 3. Snapshot isolation: readers holding the old epoch are
+    #    undisturbed by a delta publication.
+    old = service.snapshot()
+    service.add_edge("f6", "SFO", "HNL", 200.0)
+    service.add_edge("f7", "BOS", "JFK", 50.0)  # ⊕-merges into 150
+    new_epoch = service.publish()
+    print(f"\npublished epoch {new_epoch}: "
+          f"BOS→JFK now {service.neighbors('BOS')['JFK']}, "
+          f"SFO→{list(service.neighbors('SFO'))}")
+    print(f"old snapshot (epoch {old.epoch}) still answers: "
+          f"BOS→JFK = {old.neighbors_out('BOS')['JFK']}, "
+          f"HNL known: {'HNL' in old.vertices}")
+
+    # 4. The (epoch, query) cache: cold, then warm, then invalidated.
+    cold = service.query("khop", vertex="BOS", k=2)
+    warm = service.query("khop", vertex="BOS", k=2)
+    print(f"\nkhop cached: first={cold['cached']}, "
+          f"repeat={warm['cached']}")
+    stats = service.stats()
+    cache = stats["cache"]
+    print(f"cache: {cache['hits']} hits / {cache['misses']} misses, "
+          f"{cache['invalidations']} invalidated at publication")
+
+    # 5. The gate: GF(2)'s ⊕ cancels (1 ⊕ 1 = 0), so folding queries
+    #    under it is refused — Theorem II.1, enforced at the read path.
+    try:
+        service.khop("BOS", 1, pair="gf2_xor_and")
+    except ServeError:
+        print("gf2_xor_and refused as a query algebra, "
+              "as Theorem II.1 demands")
+
+    print("\nadjacency service demo complete")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,8 +10,9 @@ comprising a D4M-style associative-array library over arbitrary value
 algebras, a certification engine for the paper's Theorem II.1 criteria
 (with constructive Lemma II.2–II.4 witnesses), an edge-keyed multigraph
 substrate, semiring graph algorithms, an out-of-core sharded
-construction engine (:mod:`repro.shard`), and harnesses reproducing
-every figure of the paper.
+construction engine (:mod:`repro.shard`), a concurrent adjacency query
+service with snapshot isolation (:mod:`repro.serve`), and harnesses
+reproducing every figure of the paper.
 
 Quickstart
 ----------
@@ -75,6 +76,7 @@ from repro.shard import (
     ShardManifest,
     sharded_adjacency,
 )
+from repro.serve import AdjacencyService, Snapshot
 from repro.arrays.kron import kron, kron_power, kronecker_graph
 from repro.arrays.reductions import reduce_cols, reduce_rows
 
@@ -82,7 +84,7 @@ from repro.arrays.reductions import reduce_cols, reduce_rows
 from repro.values import exotic as _exotic  # noqa: F401
 from repro.values import extensions as _extensions  # noqa: F401
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -126,6 +128,9 @@ __all__ = [
     "ShardedResult",
     "ShardManifest",
     "sharded_adjacency",
+    # serve (concurrent query service)
+    "AdjacencyService",
+    "Snapshot",
     "kron",
     "kron_power",
     "kronecker_graph",

@@ -18,6 +18,16 @@
     Out-of-core construction: shard a TSV incidence pair on disk, build
     per-shard adjacency arrays in parallel, ⊕-merge, write the adjacency
     array back out as TSV triples (see :mod:`repro.shard`).
+``serve --source ADJ.tsv``
+    Run the concurrent adjacency query service over HTTP: load an
+    adjacency TSV (or a kept shard-manifest workdir), answer
+    ``/query/*`` reads from immutable epoch snapshots, accept streamed
+    edge deltas on ``POST /edges`` + ``/publish`` (see
+    :mod:`repro.serve`).
+``query KIND [VERTEX]``
+    Ask a running server one question (``neighbors``, ``degrees``,
+    ``khop``, ``path-lengths``, ``top-k``, ``stats``) and print the
+    JSON answer.
 """
 
 from __future__ import annotations
@@ -106,6 +116,47 @@ def build_parser() -> argparse.ArgumentParser:
                               "criteria or have order-sensitive ⊕")
     p_build.add_argument("--quiet", action="store_true",
                          help="suppress the summary report")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve adjacency queries over HTTP from a TSV file or "
+             "shard workdir")
+    p_serve.add_argument("--source", required=True,
+                         help="adjacency TSV-triple file (src, dst, "
+                              "value — e.g. repro build output) or a "
+                              "kept shard workdir with a manifest.json")
+    p_serve.add_argument("--pair", default=None,
+                         help="op-pair registry name (default: a "
+                              "manifest source's recorded pair, else "
+                              "plus_times)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8631,
+                         help="TCP port (default: 8631; 0 = ephemeral)")
+    p_serve.add_argument("--cache-size", type=int, default=1024,
+                         help="query-cache capacity (0 disables caching)")
+    p_serve.add_argument("--unsafe-ok", action="store_true",
+                         help="accept op-pairs that fail the Theorem "
+                              "II.1 criteria or have order-sensitive ⊕")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log each HTTP request")
+
+    p_query = sub.add_parser(
+        "query", help="query a running adjacency service over HTTP")
+    p_query.add_argument("kind",
+                         choices=["neighbors", "degrees", "khop",
+                                  "path-lengths", "top-k", "stats"])
+    p_query.add_argument("vertex", nargs="?",
+                         help="subject vertex (required by neighbors, "
+                              "khop, path-lengths)")
+    p_query.add_argument("--direction", default=None,
+                         choices=["out", "in"],
+                         help="edge direction for neighbors/degrees")
+    p_query.add_argument("-k", type=int, default=None, dest="k",
+                         help="hop count (khop) or result count (top-k)")
+    p_query.add_argument("--query-pair", default=None, metavar="PAIR",
+                         help="fold khop under this certified op-pair")
+    p_query.add_argument("--url", default="http://127.0.0.1:8631",
+                         help="server base URL")
     return parser
 
 
@@ -254,6 +305,105 @@ def _cmd_build(args) -> int:
     return 0
 
 
+def load_service(source: str, pair_name: Optional[str] = None, *,
+                 cache_size: int = 1024, unsafe_ok: bool = False):
+    """Build an :class:`~repro.serve.AdjacencyService` from ``--source``.
+
+    A directory (or a path to a ``manifest.json``) is treated as a kept
+    shard workdir and constructed on load; anything else is read as an
+    adjacency TSV-triple file.  ``pair_name=None`` means "not chosen":
+    a manifest source then uses its recorded op-pair, a TSV source
+    defaults to ``plus_times``.  Raises ``ValueError`` subclasses with
+    user-facing messages; ``FileNotFoundError`` for a missing source.
+    """
+    from repro.serve import AdjacencyService
+    from repro.values.semiring import get_op_pair
+    path = Path(source)
+    options = {"cache_size": cache_size, "unsafe_ok": unsafe_ok}
+    if path.is_dir() or path.name == "manifest.json":
+        # The manifest records its own op-pair; an explicit --pair wins.
+        pair = get_op_pair(pair_name) if pair_name is not None else None
+        return AdjacencyService.from_manifest(path, pair, **options)
+    if not path.exists():
+        raise FileNotFoundError(f"no such source: {path}")
+    return AdjacencyService.from_tsv(
+        path, get_op_pair(pair_name or "plus_times"), **options)
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve import build_server
+    from repro.values.semiring import SemiringError
+    try:
+        service = load_service(
+            args.source, args.pair,
+            cache_size=args.cache_size, unsafe_ok=args.unsafe_ok)
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    except (SemiringError, ValueError) as exc:
+        # ServeError / ShardError / KeyError_ are ValueErrors with
+        # user-facing messages; the library hint names the keyword
+        # argument — translate to the CLI spelling.
+        msg = str(exc).replace("unsafe_ok=True", "--unsafe-ok")
+        print(f"refused: {msg}", file=sys.stderr)
+        return 1
+    server = build_server(service, args.host, args.port,
+                          quiet=not args.verbose)
+    host, port = server.server_address[:2]
+    snap = service.snapshot()
+    print(f"serving {args.source} on http://{host}:{port}  "
+          f"(epoch {snap.epoch}, {len(snap.vertices)} vertices, "
+          f"{snap.nnz} entries, op-pair {service.op_pair.name})")
+    print("  GET  /health  /stats  /query/<kind>?vertex=...&k=...")
+    print("  POST /edges   /publish")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_query(args) -> int:
+    import json
+    from urllib import error as urlerror
+    from urllib import request as urlrequest
+    from urllib.parse import urlencode
+    kind = args.kind.replace("-", "_")
+    if kind == "stats":
+        url = f"{args.url.rstrip('/')}/stats"
+    else:
+        params = {}
+        if args.vertex is not None:
+            params["vertex"] = args.vertex
+        if args.direction is not None:
+            params["direction"] = args.direction
+        if args.k is not None:
+            params["k"] = args.k
+        if args.query_pair is not None:
+            params["pair"] = args.query_pair
+        url = f"{args.url.rstrip('/')}/query/{kind}"
+        if params:
+            url += "?" + urlencode(params)
+    try:
+        with urlrequest.urlopen(url, timeout=30) as resp:
+            doc = json.loads(resp.read().decode("utf-8"))
+    except urlerror.HTTPError as exc:
+        try:
+            doc = json.loads(exc.read().decode("utf-8"))
+            message = doc.get("error", str(exc))
+        except Exception:
+            message = str(exc)
+        print(f"query failed: {message}", file=sys.stderr)
+        return 1
+    except urlerror.URLError as exc:
+        print(f"cannot reach {args.url}: {exc.reason}", file=sys.stderr)
+        return 1
+    print(json.dumps(doc, indent=2, sort_keys=True))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -269,6 +419,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_render(args.figure)
     if args.command == "build":
         return _cmd_build(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "query":
+        return _cmd_query(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -30,6 +30,11 @@ from __future__ import annotations
 from typing import Any, Dict, Optional, Tuple
 
 from repro.arrays.associative import AssociativeArray
+from repro.arrays.backend import (
+    VECTORIZE_MIN_NNZ,
+    dict_to_numeric,
+    usable_numeric_zero,
+)
 from repro.arrays.keys import KeySet
 from repro.core.certify import certify
 from repro.graphs.digraph import EdgeKeyedDigraph, GraphError
@@ -177,14 +182,35 @@ class StreamingAdjacencyBuilder:
                 AssociativeArray(in_data, row_keys=keys, col_keys=kin,
                                  zero=zero))
 
-    def adjacency(self) -> AssociativeArray:
-        """The current adjacency array (accumulated, O(1) per lookup)."""
+    def adjacency(self, *, backend: str = "auto") -> AssociativeArray:
+        """The current adjacency array (accumulated, O(1) per lookup).
+
+        ``backend`` selects the result's storage backend
+        (:mod:`repro.arrays.backend`).  Under ``"auto"`` the accumulator
+        is adopted straight into the columnar/CSR form when the zero and
+        every accumulated value are plain numbers and the array is large
+        enough to benefit (``VECTORIZE_MIN_NNZ``) — so consumers that
+        keep computing on the result (the ⊕-merge tree, service
+        snapshots) start on the fast backend without a second
+        conversion.  Small or non-numeric accumulators keep today's
+        dict path, preserving exact Python value types.  ``"numeric"``
+        forces the columnar form (raising when values don't qualify);
+        ``"dict"`` pins the generic representation.
+        """
         kout = KeySet({s for (s, _t, _o, _i) in self._edges.values()})
         kin = KeySet({t for (_s, t, _o, _i) in self._edges.values()})
+        zero = self._pair.zero
         data = {rc: v for rc, v in self._acc.items()
                 if not self._pair.is_zero(v)}
+        if (backend == "auto" and len(data) >= VECTORIZE_MIN_NNZ
+                and usable_numeric_zero(zero)):
+            nb = dict_to_numeric(data, kout.position_map(),
+                                 kin.position_map(),
+                                 (len(kout), len(kin)))
+            if nb is not None:
+                return AssociativeArray._adopt(nb, kout, kin, zero)
         return AssociativeArray(data, row_keys=kout, col_keys=kin,
-                                zero=self._pair.zero)
+                                zero=zero, backend=backend)
 
     def batch_adjacency(self) -> AssociativeArray:
         """Reference: rebuild ``EoutᵀEin`` from scratch (edge-key fold

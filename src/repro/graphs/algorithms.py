@@ -22,6 +22,8 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, Optional
 
+import numpy as np
+
 from repro.arrays.associative import AssociativeArray
 from repro.graphs.digraph import GraphError
 
@@ -218,8 +220,33 @@ def triangle_count(adj: AssociativeArray) -> int:
     return count
 
 
+def _degree_backend(adj: AssociativeArray):
+    """The numeric backend for degree counting, or ``None``.
+
+    Mirrors the reductions-module bailout: an array not already numeric
+    with nnz below ``VECTORIZE_MIN_NNZ`` is cheaper to count generically
+    than to promote.
+    """
+    from repro.arrays.backend import VECTORIZE_MIN_NNZ
+    if adj.backend != "numeric" and adj.nnz < VECTORIZE_MIN_NNZ:
+        return None
+    return adj.numeric_backend()
+
+
 def out_degrees(adj: AssociativeArray) -> Dict[Any, int]:
-    """Number of stored entries per row (out-degree in the pattern)."""
+    """Number of stored entries per row (out-degree in the pattern).
+
+    Numeric-backed arrays count row lengths straight off the cached CSR
+    index pointer (one vectorised ``diff``, no per-entry Python loop);
+    everything else falls back to iterating the stored pattern.  Small
+    dict-backed arrays stay generic (the usual ``VECTORIZE_MIN_NNZ``
+    bailout — promotion would cost more than the count).
+    """
+    nb = _degree_backend(adj)
+    if nb is not None:
+        _data, _indices, indptr = nb.csr()
+        counts = np.diff(indptr)
+        return dict(zip(adj.row_keys.keys(), counts.tolist()))
     deg: Dict[Any, int] = {v: 0 for v in adj.row_keys}
     for (r, _c) in adj.nonzero_pattern():
         deg[r] += 1
@@ -227,7 +254,17 @@ def out_degrees(adj: AssociativeArray) -> Dict[Any, int]:
 
 
 def in_degrees(adj: AssociativeArray) -> Dict[Any, int]:
-    """Number of stored entries per column (in-degree in the pattern)."""
+    """Number of stored entries per column (in-degree in the pattern).
+
+    The numeric fast path mirrors :func:`out_degrees` over the cached
+    CSC index pointer — building it here also warms the CSC view that
+    per-column neighbor queries reuse.
+    """
+    nb = _degree_backend(adj)
+    if nb is not None:
+        _data, _rows, indptr, _perm = nb.csc()
+        counts = np.diff(indptr)
+        return dict(zip(adj.col_keys.keys(), counts.tolist()))
     deg: Dict[Any, int] = {v: 0 for v in adj.col_keys}
     for (_r, c) in adj.nonzero_pattern():
         deg[c] += 1

@@ -1,0 +1,137 @@
+"""LRU query cache keyed on ``(epoch, query)`` with hit/miss counters.
+
+Correctness under concurrent publication comes from the key shape, not
+from eviction timing: the epoch is the first component of every cache
+key, so an entry computed against epoch ``e`` can only ever be returned
+to a query that is itself reading epoch ``e`` — the cache is structurally
+incapable of serving a stale epoch.  Publication-time invalidation
+(:meth:`QueryCache.invalidate_below`) merely reclaims memory held by
+entries no reader can ask for again.
+
+Values are cached by reference and must be treated as immutable by
+callers (the service returns them verbatim to many readers).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Hashable, Tuple
+
+__all__ = ["QueryCache"]
+
+
+class QueryCache:
+    """A thread-safe LRU keyed by ``(epoch, ...)`` tuples.
+
+    Parameters
+    ----------
+    maxsize:
+        Entry capacity; least-recently-used entries are evicted beyond
+        it.  ``0`` disables caching (every lookup misses, nothing is
+        stored) — the escape hatch for measuring cold latency.
+    """
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        if maxsize < 0:
+            raise ValueError(f"maxsize must be >= 0, got {maxsize}")
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self._cold_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Core protocol
+    # ------------------------------------------------------------------
+    def lookup(self, key: Hashable) -> Tuple[bool, Any]:
+        """``(hit, value)``; counts the hit or miss."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return True, self._entries[key]
+            self.misses += 1
+            return False, None
+
+    def store(self, key: Hashable, value: Any) -> None:
+        """Insert ``value`` under ``key``, evicting LRU entries."""
+        if self.maxsize == 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def get_or_compute(self, key: Hashable,
+                       compute: Callable[[], Any]) -> Tuple[Any, bool]:
+        """``(value, was_cached)`` — compute-and-fill on miss.
+
+        ``compute`` runs outside the lock, so two readers racing on the
+        same cold key may both compute it; both results are equal (the
+        computation is a pure function of the immutable snapshot), the
+        second store simply wins.  Cold compute time feeds the latency
+        counters surfaced by :meth:`stats`.
+        """
+        hit, value = self.lookup(key)
+        if hit:
+            return value, True
+        t0 = time.perf_counter()
+        value = compute()
+        elapsed = time.perf_counter() - t0
+        with self._lock:
+            self._cold_seconds += elapsed
+        self.store(key, value)
+        return value, False
+
+    # ------------------------------------------------------------------
+    # Publication-time maintenance
+    # ------------------------------------------------------------------
+    def invalidate_below(self, epoch: int) -> int:
+        """Drop entries whose key epoch precedes ``epoch``.
+
+        Called by the service right after publishing ``epoch``; returns
+        the number of entries reclaimed.
+        """
+        with self._lock:
+            stale = [k for k in self._entries
+                     if isinstance(k, tuple) and k and k[0] < epoch]
+            for k in stale:
+                del self._entries[k]
+            self.invalidations += len(stale)
+            return len(stale)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters for the service's ``stats`` query."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "hit_rate": (self.hits / lookups) if lookups else 0.0,
+                "cold_seconds_total": self._cold_seconds,
+                "cold_seconds_avg": (self._cold_seconds / self.misses
+                                     if self.misses else 0.0),
+            }

@@ -1,0 +1,239 @@
+"""HTTP JSON front end on stdlib ``ThreadingHTTPServer``.
+
+The golden path for serving without importing library internals:
+
+* ``GET /health`` — liveness plus the current epoch;
+* ``GET /stats`` — the service's ``stats`` query (cache counters etc.);
+* ``GET /query/<kind>?vertex=...&direction=...&k=...&pair=...`` — the
+  versioned read API (``kind`` as in
+  :data:`repro.serve.service.QUERY_KINDS`);
+* ``POST /edges`` — buffer streaming edge deltas (JSON body
+  ``{"edges": [[key, src, dst], [key, src, dst, w_out, w_in], ...],
+  "publish": false}``);
+* ``POST /publish`` — fold the buffered delta into the next epoch.
+
+``ThreadingHTTPServer`` handles each request on its own thread, which
+is exactly what the snapshot-isolation design is for: every request
+reads one immutable snapshot reference and never blocks on ingest.
+
+Errors come back as JSON bodies ``{"error": ..., "status": ...}`` —
+400 for malformed requests, 404 for unknown routes/kinds/vertices.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.serve.service import QUERY_KINDS, AdjacencyService
+from repro.serve.snapshot import ServeError, UnknownVertexError
+
+__all__ = ["build_server", "serve_forever"]
+
+#: Default TCP port of ``repro serve`` (spells "adj" on a phone pad).
+DEFAULT_PORT = 8631
+
+#: Largest accepted request body (1 MiB) — a backstop, not a quota.
+_MAX_BODY = 1 << 20
+
+
+def jsonable(value: Any) -> Any:
+    """``value`` with non-finite floats replaced by strings.
+
+    Strict JSON has no ``Infinity``/``NaN`` literals; ``min.+`` zeros
+    (+∞) and friends travel as ``"inf"``/``"-inf"``/``"nan"`` instead
+    so every client-side JSON parser accepts the body.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        if math.isnan(value):
+            return "nan"
+        return "inf" if value > 0 else "-inf"
+    if isinstance(value, dict):
+        return {_key(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    return value
+
+
+def _key(key: Any) -> Any:
+    """JSON object keys must be strings; non-string vertices stringify."""
+    return key if isinstance(key, str) else str(key)
+
+
+def _coerce_vertex(service: AdjacencyService, text: str) -> Any:
+    """Map a query-string vertex back into the snapshot's key domain.
+
+    TSV-sourced services have string vertices, so the text matches
+    directly; services over int/float vertex keys get a best-effort
+    numeric coercion (the string form is tried first, so a graph with
+    the *string* key ``"7"`` is never misrouted).
+    """
+    vertices = service.snapshot().vertices
+    if text in vertices:
+        return text
+    for cast in (int, float):
+        try:
+            value = cast(text)
+        except ValueError:
+            continue
+        if value in vertices:
+            return value
+    return text  # unknown either way; the service reports 404
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; the service rides on the handler class."""
+
+    service: AdjacencyService  # injected by build_server
+    quiet: bool = True
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, fmt: str, *args: Any) -> None:  # noqa: N802
+        if not self.quiet:  # pragma: no cover - opt-in logging
+            super().log_message(fmt, *args)
+
+    def _send(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(jsonable(payload)).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send(status, {"error": message, "status": status})
+
+    def _body(self) -> Optional[Dict[str, Any]]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._error(400, "malformed Content-Length")
+            return None
+        if length < 0 or length > _MAX_BODY:
+            self._error(400, f"body must be 0..{_MAX_BODY} bytes")
+            return None
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            doc = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._error(400, f"malformed JSON body: {exc}")
+            return None
+        if not isinstance(doc, dict):
+            self._error(400, "JSON body must be an object")
+            return None
+        return doc
+
+    def _route(self) -> Tuple[str, Dict[str, str]]:
+        split = urlsplit(self.path)
+        return split.path.rstrip("/") or "/", dict(parse_qsl(split.query))
+
+    # -- GET -----------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802
+        path, params = self._route()
+        try:
+            if path == "/health":
+                self._send(200, {"status": "ok",
+                                 "epoch": self.service.epoch})
+                return
+            if path == "/stats":
+                self._send(200, self.service.query("stats"))
+                return
+            if path.startswith("/query/"):
+                self._do_query(path[len("/query/"):], params)
+                return
+            self._error(404, f"unknown path {path!r}")
+        except UnknownVertexError as exc:
+            self._error(404, str(exc))
+        except ServeError as exc:
+            self._error(400, str(exc))
+
+    def _do_query(self, kind: str, params: Dict[str, str]) -> None:
+        kind = kind.replace("-", "_")
+        if kind not in QUERY_KINDS:
+            self._error(
+                404, f"unknown query kind {kind!r}; "
+                f"known: {', '.join(QUERY_KINDS)}")
+            return
+        query: Dict[str, Any] = dict(params)
+        if "vertex" in query:
+            query["vertex"] = _coerce_vertex(self.service,
+                                             query["vertex"])
+        self._send(200, self.service.query(kind, **query))
+
+    # -- POST ----------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802
+        path, _params = self._route()
+        doc = self._body()
+        if doc is None:
+            return
+        try:
+            if path == "/edges":
+                self._do_edges(doc)
+                return
+            if path == "/publish":
+                self._send(200, {"epoch": self.service.publish()})
+                return
+            self._error(404, f"unknown path {path!r}")
+        except (ServeError, ValueError) as exc:
+            # GraphError (duplicate keys, zero values) is a ValueError.
+            self._error(400, str(exc))
+
+    def _do_edges(self, doc: Dict[str, Any]) -> None:
+        edges = doc.get("edges")
+        if not isinstance(edges, list):
+            self._error(400, 'body must carry an "edges" list')
+            return
+        for edge in edges:
+            if not isinstance(edge, list) or len(edge) not in (3, 5):
+                self._error(
+                    400, "each edge must be [key, src, dst] or "
+                    "[key, src, dst, w_out, w_in]")
+                return
+        buffered = self.service.add_edges(tuple(e) for e in edges)
+        payload: Dict[str, Any] = {
+            "buffered": buffered,
+            "pending": self.service.pending_edges,
+            "epoch": self.service.epoch,
+        }
+        if doc.get("publish"):
+            payload["epoch"] = self.service.publish()
+            payload["pending"] = self.service.pending_edges
+        self._send(200, payload)
+
+
+def build_server(
+    service: AdjacencyService,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    *,
+    quiet: bool = True,
+) -> ThreadingHTTPServer:
+    """A ready-to-run ``ThreadingHTTPServer`` bound to ``host:port``.
+
+    ``port=0`` binds an ephemeral port (``server.server_address[1]``
+    reports it) — the test-friendly spelling.  The caller owns the
+    server lifecycle (``serve_forever()`` / ``shutdown()``).
+    """
+    handler = type("AdjacencyHandler", (_Handler,),
+                   {"service": service, "quiet": quiet})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server
+
+
+def serve_forever(
+    service: AdjacencyService,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    *,
+    quiet: bool = True,
+) -> None:
+    """Blocking convenience wrapper used by ``repro serve``."""
+    with build_server(service, host, port, quiet=quiet) as server:
+        server.serve_forever()

@@ -1,0 +1,519 @@
+"""``AdjacencyService`` — concurrent adjacency queries over epochs.
+
+The read path the paper implies but the library so far lacked: once
+``A = Eoutᵀ ⊕.⊗ Ein`` is constructed, downstream consumers ask it
+questions — neighbors, degrees, k-hop frontiers (semiring
+vector–matrix products, per GraphBLAS' foundations), path lengths,
+top-k edges.  This module packages those questions behind one object
+that is safe to share across reader threads while edges keep arriving:
+
+* **Sources** — an adjacency TSV-triple file (``repro build`` output),
+  an on-disk shard-manifest workdir (executed and ⊕-merged on load), a
+  live :class:`~repro.core.streaming.StreamingAdjacencyBuilder`, or any
+  in-memory :class:`~repro.arrays.associative.AssociativeArray`.
+* **Epoch-based snapshot isolation** — readers answer from an immutable
+  :class:`~repro.serve.snapshot.Snapshot`; a writer buffers streaming
+  edge deltas in a :class:`StreamingAdjacencyBuilder` and
+  :meth:`~AdjacencyService.publish` folds the delta into the next
+  epoch's array with the shard ⊕-merge machinery
+  (:func:`repro.shard.merge.oplus_union`), then atomically swaps the
+  snapshot reference.  Reads never block on ingest; the merge identity
+  is exactly the paper's edge-partition decomposition, so the published
+  array equals batch construction over all edges ever ingested (gated
+  by the same certification as the shard engine).
+* **Query caching** — results are memoised in an LRU keyed on
+  ``(epoch, query)`` (:class:`~repro.serve.cache.QueryCache`), so the
+  cache can never serve a stale epoch; publication invalidates
+  superseded entries.  Hit/miss/latency counters surface through the
+  ``stats`` query.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+from repro.arrays.associative import AssociativeArray
+from repro.arrays.io import iter_tsv_triples
+from repro.core.certify import Certification, certify
+from repro.core.streaming import StreamingAdjacencyBuilder
+from repro.graphs.algorithms import semiring_vecmat, shortest_path_lengths
+from repro.graphs.digraph import GraphError
+from repro.serve.cache import QueryCache
+from repro.serve.snapshot import ServeError, Snapshot, UnknownVertexError
+from repro.shard.executor import execute_shards
+from repro.shard.manifest import ShardError, ShardManifest
+from repro.shard.merge import check_merge_safety, merge_spilled, oplus_union
+from repro.values.semiring import OpPair, SemiringError, get_op_pair
+
+__all__ = ["QUERY_KINDS", "AdjacencyService"]
+
+#: The query vocabulary of the versioned read API (and the HTTP routes).
+QUERY_KINDS = ("neighbors", "degrees", "khop", "path_lengths", "top_k",
+               "stats")
+
+_DIRECTIONS = ("out", "in")
+
+
+class AdjacencyService:
+    """Thread-safe adjacency query service with epoch snapshots.
+
+    Parameters
+    ----------
+    op_pair:
+        The ``⊕.⊗`` algebra the adjacency array was (and deltas will
+        be) constructed over.  Certified at construction with the same
+        gate as the shard merge tree — publication re-associates and
+        reorders the edge-key fold, so ``⊕`` must be associative and
+        commutative on top of the Theorem II.1 criteria — unless
+        ``unsafe_ok``.
+    initial:
+        Optional initial adjacency array (epoch 0).  Default: empty.
+    cache_size:
+        LRU capacity of the query cache (0 disables caching).
+    max_khop:
+        Upper bound on the ``k`` of k-hop queries (default 256) — the
+        service answers unauthenticated HTTP traffic, and an unbounded
+        ``k`` would let one request pin a thread on ``k`` vector–matrix
+        products.
+    unsafe_ok:
+        Accept non-compliant pairs; epoch merges are then *not*
+        guaranteed to equal batch construction.
+    certification:
+        A precomputed certification for ``op_pair``, reused instead of
+        re-running the criteria search (the manifest loader certifies
+        once up front).
+
+    Examples
+    --------
+    >>> from repro.values.semiring import get_op_pair
+    >>> svc = AdjacencyService(get_op_pair("plus_times"))
+    >>> svc.add_edge("e1", "alice", "bob", 2.0)
+    >>> svc.publish()
+    1
+    >>> svc.query("neighbors", vertex="alice")["result"]
+    {'bob': 2.0}
+    """
+
+    def __init__(
+        self,
+        op_pair: OpPair,
+        *,
+        initial: Optional[AssociativeArray] = None,
+        cache_size: int = 1024,
+        max_khop: int = 256,
+        unsafe_ok: bool = False,
+        certification_seed: int = 0xD4,
+        certification: Optional[Certification] = None,
+    ) -> None:
+        if max_khop < 1:
+            raise ServeError(f"max_khop must be >= 1, got {max_khop}")
+        self._pair = op_pair
+        self._unsafe_ok = unsafe_ok
+        self.max_khop = max_khop
+        try:
+            self._certification = check_merge_safety(
+                op_pair, unsafe_ok=unsafe_ok,
+                certification=certification,
+                certification_seed=certification_seed)
+        except ShardError as exc:
+            raise ServeError(str(exc)) from None
+        if initial is None:
+            initial = AssociativeArray({}, zero=op_pair.zero)
+        self._snapshot = Snapshot.from_array(initial, epoch=0)
+        self._cache = QueryCache(cache_size)
+        self._write_lock = threading.RLock()
+        self._delta: Optional[StreamingAdjacencyBuilder] = None
+        self._counter_lock = threading.Lock()
+        self._queries = 0
+        self._publications = 0
+        self._started = time.time()
+        # Per-service memo of alternative-pair certifications for khop.
+        self._pair_certs: Dict[str, Certification] = {}
+        if self._certification is not None:
+            self._pair_certs[op_pair.name] = self._certification
+
+    # ------------------------------------------------------------------
+    # Sources
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tsv(cls, path: Union[str, Path], op_pair: OpPair,
+                 **options: Any) -> "AdjacencyService":
+        """Serve an adjacency TSV-triple file (``src  dst  value``).
+
+        The natural input is ``repro build`` output; duplicate
+        coordinates (e.g. a raw collapsed edge list) are folded through
+        the op-pair's ``⊕``, matching streaming semantics.  ``options``
+        are constructor keyword arguments.
+        """
+        array = AssociativeArray.from_triples(
+            iter_tsv_triples(path), zero=op_pair.zero,
+            combine=op_pair.add)
+        return cls(op_pair, initial=array, **options)
+
+    @classmethod
+    def from_manifest(
+        cls,
+        workdir: Union[str, Path],
+        op_pair: Optional[OpPair] = None,
+        *,
+        executor: str = "thread",
+        n_workers: int = 4,
+        kernel: str = "auto",
+        backend: str = "auto",
+        **options: Any,
+    ) -> "AdjacencyService":
+        """Serve a shard-manifest workdir (a kept ``repro build`` set).
+
+        Executes the per-shard construction and the spilled ⊕-merge on
+        load (the shard files are left untouched; spills go to a
+        temporary directory).  ``op_pair`` defaults to the pair recorded
+        in the manifest.
+        """
+        manifest = ShardManifest.load(workdir)
+        if op_pair is None:
+            if manifest.op_pair is None:
+                raise ServeError(
+                    f"manifest in {workdir} records no op-pair; pass one "
+                    "explicitly")
+            try:
+                op_pair = get_op_pair(manifest.op_pair)
+            except SemiringError as exc:
+                raise ServeError(str(exc)) from None
+        unsafe_ok = bool(options.get("unsafe_ok", False))
+        try:
+            cert = check_merge_safety(op_pair, unsafe_ok=unsafe_ok)
+        except ShardError as exc:
+            raise ServeError(str(exc)) from None
+        with tempfile.TemporaryDirectory(prefix="repro-serve-") as spill:
+            products = execute_shards(
+                manifest, op_pair, executor=executor, n_workers=n_workers,
+                kernel=kernel, backend=backend, workdir=spill)
+            adjacency = merge_spilled(
+                [p.path for p in products], op_pair, workdir=spill,
+                unsafe_ok=True)  # gated above
+        return cls(op_pair, initial=adjacency, certification=cert,
+                   **options)
+
+    @classmethod
+    def from_builder(cls, builder: StreamingAdjacencyBuilder,
+                     **options: Any) -> "AdjacencyService":
+        """Serve the current state of a live streaming builder.
+
+        The service snapshots ``builder.adjacency()`` (numeric-backed
+        when the values qualify) as epoch 0; later edges go through the
+        service's own delta/publish cycle.
+        """
+        return cls(builder.op_pair, initial=builder.adjacency(),
+                   **options)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def op_pair(self) -> OpPair:
+        """The algebra this service folds deltas over."""
+        return self._pair
+
+    @property
+    def epoch(self) -> int:
+        """The current published epoch."""
+        return self._snapshot.epoch
+
+    @property
+    def pending_edges(self) -> int:
+        """Buffered delta edges not yet published."""
+        delta = self._delta
+        return delta.num_edges if delta is not None else 0
+
+    def snapshot(self) -> Snapshot:
+        """The current immutable snapshot (safe to keep and read)."""
+        return self._snapshot
+
+    # ------------------------------------------------------------------
+    # Write path: buffer deltas, publish epochs
+    # ------------------------------------------------------------------
+    def add_edge(self, key: Any, src: Any, dst: Any,
+                 out_value: Optional[Any] = None,
+                 in_value: Optional[Any] = None) -> None:
+        """Buffer one streaming edge for the next epoch.
+
+        Semantics are exactly :meth:`StreamingAdjacencyBuilder.add_edge`
+        (``A(src, dst) ⊕= w_out ⊗ w_in``); edge keys must be unique
+        within a publication batch.  Readers see nothing until
+        :meth:`publish`.
+        """
+        with self._write_lock:
+            if self._delta is None:
+                # The service gate already certified the pair; the
+                # builder's own gate is skipped rather than re-run per
+                # epoch.
+                self._delta = StreamingAdjacencyBuilder(
+                    self._pair, unsafe_ok=True)
+            self._delta.add_edge(key, src, dst, out_value, in_value)
+
+    def add_edges(self, items: Any) -> int:
+        """Buffer ``(key, src, dst[, w_out, w_in])`` tuples; returns the
+        number buffered."""
+        n = 0
+        with self._write_lock:
+            for item in items:
+                if len(item) not in (3, 5):
+                    raise GraphError(
+                        f"expected 3- or 5-tuples, got {len(item)}-tuple")
+                self.add_edge(*item)
+                n += 1
+        return n
+
+    def publish(self) -> int:
+        """Fold the buffered delta into the next epoch and swap it in.
+
+        The delta builder's adjacency array (numeric-backed when values
+        qualify) is ⊕-merged with the current snapshot over the union
+        vertex set — the paper's edge-partition identity, via the shard
+        merge machinery — and the new :class:`Snapshot` is published by
+        a single reference assignment.  In-flight readers keep their
+        epoch; new queries see the new one.  Cache entries of
+        superseded epochs are reclaimed.  A publish with no buffered
+        edges is a no-op returning the current epoch.
+        """
+        with self._write_lock:
+            delta = self._delta
+            if delta is None or delta.num_edges == 0:
+                return self._snapshot.epoch
+            delta_adj = delta.adjacency()
+            base = self._snapshot
+            merged = oplus_union(base.adjacency, delta_adj, self._pair)
+            snapshot = Snapshot.from_array(merged, epoch=base.epoch + 1)
+            self._snapshot = snapshot  # the atomic publication point
+            self._delta = None
+            with self._counter_lock:
+                self._publications += 1
+        self._cache.invalidate_below(snapshot.epoch)
+        return snapshot.epoch
+
+    def discard_pending(self) -> int:
+        """Drop the buffered delta; returns the number of edges dropped."""
+        with self._write_lock:
+            n = self.pending_edges
+            self._delta = None
+            return n
+
+    # ------------------------------------------------------------------
+    # Read path: the versioned query API
+    # ------------------------------------------------------------------
+    def query(self, kind: str, **params: Any) -> Dict[str, Any]:
+        """Answer one query against the current snapshot.
+
+        Returns ``{"epoch": int, "kind": str, "cached": bool,
+        "result": ...}`` — the epoch stamps which snapshot answered, so
+        clients can reason about read versions.  ``stats`` bypasses the
+        cache (it reports on the cache).  Unknown kinds and malformed
+        parameters raise :class:`ServeError`; unknown vertices raise
+        :class:`UnknownVertexError`.
+        """
+        with self._counter_lock:
+            self._queries += 1
+        snapshot = self._snapshot  # one atomic read per query
+        if kind == "stats":
+            return {"epoch": snapshot.epoch, "kind": kind,
+                    "cached": False, "result": self._stats(snapshot)}
+        compute, key = self._plan_query(snapshot, kind, params)
+        result, cached = self._cache.get_or_compute(key, compute)
+        return {"epoch": snapshot.epoch, "kind": kind, "cached": cached,
+                "result": result}
+
+    # Convenience wrappers (the library-facing spelling of the API).
+    def neighbors(self, vertex: Any, *,
+                  direction: str = "out") -> Dict[Any, Any]:
+        """Stored neighbors of ``vertex`` as ``{neighbor: value}``."""
+        return self.query("neighbors", vertex=vertex,
+                          direction=direction)["result"]
+
+    def degrees(self, *, direction: str = "out",
+                vertex: Any = None) -> Any:
+        """Pattern degrees — all vertices, or one when ``vertex``."""
+        params = {"direction": direction}
+        if vertex is not None:
+            params["vertex"] = vertex
+        return self.query("degrees", **params)["result"]
+
+    def khop(self, vertex: Any, k: int, *,
+             pair: Optional[str] = None) -> Dict[Any, Any]:
+        """The ``k``-hop frontier ``x ⊕.⊗ Aᵏ`` from ``vertex``.
+
+        ``pair`` names an alternative certified op-pair to fold under
+        (default: the service's own); the seed vector is ``{vertex:
+        one}``.
+        """
+        params: Dict[str, Any] = {"vertex": vertex, "k": k}
+        if pair is not None:
+            params["pair"] = pair
+        return self.query("khop", **params)["result"]
+
+    def path_lengths(self, vertex: Any) -> Dict[Any, float]:
+        """Single-source shortest path lengths (``min.+`` relaxation)."""
+        return self.query("path_lengths", vertex=vertex)["result"]
+
+    def top_k(self, k: int = 10) -> Any:
+        """The ``k`` heaviest adjacency entries as ``[src, dst, value]``."""
+        return self.query("top_k", k=k)["result"]
+
+    def stats(self) -> Dict[str, Any]:
+        """Service counters (epoch, sizes, cache hit/miss/latency)."""
+        return self.query("stats")["result"]
+
+    # ------------------------------------------------------------------
+    # Query planning / dispatch
+    # ------------------------------------------------------------------
+    def _plan_query(
+        self, snapshot: Snapshot, kind: str, params: Dict[str, Any],
+    ) -> Tuple[Callable[[], Any], Tuple]:
+        """Validate ``params`` and return ``(compute, cache_key)``."""
+        if kind == "neighbors":
+            vertex = self._required(params, "vertex")
+            direction = self._direction(params)
+            self._no_extra(params, {"vertex", "direction"})
+            compute = (lambda: snapshot.neighbors_out(vertex)) \
+                if direction == "out" \
+                else (lambda: snapshot.neighbors_in(vertex))
+            return compute, (snapshot.epoch, kind, direction, vertex)
+        if kind == "degrees":
+            direction = self._direction(params)
+            vertex = params.get("vertex")
+            self._no_extra(params, {"vertex", "direction"})
+
+            def compute():
+                deg = snapshot.out_degrees() if direction == "out" \
+                    else snapshot.in_degrees()
+                if vertex is None:
+                    return deg
+                snapshot.require_vertex(vertex)
+                return deg.get(vertex, 0)
+            return compute, (snapshot.epoch, kind, direction, vertex)
+        if kind == "khop":
+            vertex = self._required(params, "vertex")
+            k = self._nonneg_int(params, "k")
+            if k > self.max_khop:
+                raise ServeError(
+                    f"k={k} exceeds this service's max_khop "
+                    f"({self.max_khop})")
+            pair = self._query_pair(params.get("pair"))
+            self._no_extra(params, {"vertex", "k", "pair"})
+
+            def compute():
+                snapshot.require_vertex(vertex)
+                frontier = {vertex: pair.one}
+                for _ in range(k):
+                    if not frontier:
+                        break  # every further product stays empty
+                    frontier = semiring_vecmat(
+                        frontier, snapshot.adjacency, pair)
+                return frontier
+            return compute, (snapshot.epoch, kind, vertex, k, pair.name)
+        if kind == "path_lengths":
+            vertex = self._required(params, "vertex")
+            self._no_extra(params, {"vertex"})
+
+            def compute():
+                snapshot.require_vertex(vertex)
+                return shortest_path_lengths(snapshot.adjacency, vertex)
+            return compute, (snapshot.epoch, kind, vertex)
+        if kind == "top_k":
+            k = self._nonneg_int(params, "k", default=10)
+            self._no_extra(params, {"k"})
+            return (lambda: snapshot.top_k(k)), (snapshot.epoch, kind, k)
+        raise ServeError(
+            f"unknown query kind {kind!r}; known: {', '.join(QUERY_KINDS)}")
+
+    def _stats(self, snapshot: Snapshot) -> Dict[str, Any]:
+        with self._counter_lock:
+            queries = self._queries
+            publications = self._publications
+        return {
+            "op_pair": self._pair.name,
+            "epoch": snapshot.epoch,
+            "vertices": len(snapshot.vertices),
+            "nnz": snapshot.nnz,
+            "pending_edges": self.pending_edges,
+            "publications": publications,
+            "queries": queries,
+            "uptime_seconds": time.time() - self._started,
+            "cache": self._cache.stats(),
+        }
+
+    # -- parameter validation helpers ----------------------------------
+    @staticmethod
+    def _required(params: Dict[str, Any], name: str) -> Any:
+        if params.get(name) is None:
+            raise ServeError(f"query parameter {name!r} is required")
+        return params[name]
+
+    @staticmethod
+    def _direction(params: Dict[str, Any]) -> str:
+        direction = params.get("direction", "out")
+        if direction not in _DIRECTIONS:
+            raise ServeError(
+                f"direction must be one of {_DIRECTIONS}, "
+                f"got {direction!r}")
+        return direction
+
+    @staticmethod
+    def _nonneg_int(params: Dict[str, Any], name: str,
+                    default: Optional[int] = None) -> int:
+        value = params.get(name, default)
+        if value is None:
+            raise ServeError(f"query parameter {name!r} is required")
+        if isinstance(value, bool) or not isinstance(value, int):
+            try:
+                value = int(str(value))
+            except ValueError:
+                raise ServeError(
+                    f"query parameter {name!r} must be an integer, "
+                    f"got {value!r}") from None
+        if value < 0:
+            raise ServeError(
+                f"query parameter {name!r} must be >= 0, got {value}")
+        return value
+
+    @staticmethod
+    def _no_extra(params: Dict[str, Any], allowed: set) -> None:
+        extra = set(params) - allowed
+        if extra:
+            raise ServeError(
+                f"unknown query parameter(s): {', '.join(sorted(extra))}")
+
+    def _query_pair(self, name: Optional[str]) -> OpPair:
+        """Resolve and certification-gate an alternative query pair.
+
+        The same gate as service construction — Theorem II.1 criteria
+        plus associative/commutative ``⊕`` — so a pair the service
+        would refuse to fold deltas under is also refused as a query
+        algebra (unless the service was created ``unsafe_ok``).
+        """
+        if name is None or name == self._pair.name:
+            return self._pair
+        try:
+            pair = get_op_pair(name)
+        except SemiringError as exc:
+            raise ServeError(str(exc)) from None
+        if self._unsafe_ok:
+            return pair
+        cert = self._pair_certs.get(name)
+        if cert is None:
+            cert = certify(pair, seed=0xD4, build_witness=False)
+            self._pair_certs[name] = cert
+        try:
+            check_merge_safety(pair, certification=cert)
+        except ShardError as exc:
+            raise ServeError(
+                f"refusing {name!r} as a query algebra: {exc}") from None
+        return pair
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"AdjacencyService({self._pair.name!r}, "
+                f"epoch={self.epoch}, vertices="
+                f"{len(self._snapshot.vertices)}, nnz={self._snapshot.nnz})")

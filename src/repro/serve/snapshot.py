@@ -1,0 +1,199 @@
+"""Immutable epoch-stamped read views for the query service.
+
+Snapshot isolation is the service's concurrency model: every published
+epoch is one :class:`Snapshot` — an immutable, square (vertex × vertex)
+adjacency array plus lazily built per-snapshot indexes.  Readers grab
+the service's current snapshot reference **once** per query and answer
+entirely from it; a writer publishing the next epoch swaps that single
+reference, so concurrent reads are never torn across epochs and never
+block on ingest.
+
+The snapshot leans on the storage-backend work of the rest of the
+library: numeric-backed adjacency arrays answer per-vertex neighbor
+queries from the cached CSR/CSC views in O(degree), and the degree
+queries ride the vectorised :func:`repro.graphs.algorithms.out_degrees`
+/ :func:`~repro.graphs.algorithms.in_degrees`.  Exotic value sets fall
+back to a lazily built adjacency-list index (built at most once per
+snapshot — immutability makes the memo safe).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.arrays.associative import AssociativeArray
+from repro.graphs.algorithms import in_degrees, out_degrees
+
+__all__ = ["ServeError", "UnknownVertexError", "Snapshot"]
+
+
+class ServeError(ValueError):
+    """Raised for malformed queries, sources, or service misuse."""
+
+
+class UnknownVertexError(ServeError):
+    """Raised when a query names a vertex the snapshot does not have.
+
+    A distinct subclass so the HTTP front end can map "you asked about
+    something that does not exist" (404) separately from "your request
+    is malformed" (400).
+    """
+
+
+class Snapshot:
+    """One published epoch: an immutable square adjacency array.
+
+    Parameters
+    ----------
+    adjacency:
+        The epoch's adjacency array.  Squared over the vertex union
+        (row ∪ column keys) by :meth:`from_array` so every vertex is
+        addressable on both sides — graph queries (k-hop, path lengths)
+        require a square array.
+    epoch:
+        Monotone publication counter, 0 for the initial load.
+    """
+
+    __slots__ = ("adjacency", "epoch", "published_at", "_lock",
+                 "_succ", "_pred", "_out_deg", "_in_deg")
+
+    def __init__(self, adjacency: AssociativeArray, epoch: int) -> None:
+        self.adjacency = adjacency
+        self.epoch = epoch
+        self.published_at = time.time()
+        self._lock = threading.Lock()
+        self._succ: Optional[Dict[Any, Dict[Any, Any]]] = None
+        self._pred: Optional[Dict[Any, Dict[Any, Any]]] = None
+        self._out_deg: Optional[Dict[Any, int]] = None
+        self._in_deg: Optional[Dict[Any, int]] = None
+
+    @classmethod
+    def from_array(cls, array: AssociativeArray, epoch: int) -> "Snapshot":
+        """Square ``array`` over its vertex union and stamp ``epoch``.
+
+        The numeric promotion is attempted eagerly (and memoised on the
+        array), so the snapshot's query fast paths — CSR neighbor
+        slices, vectorised degrees — are decided once at publication
+        instead of on a reader's critical path.
+        """
+        if array.row_keys != array.col_keys:
+            vertices = array.row_keys.union(array.col_keys)
+            array = array.with_keys(vertices, vertices)
+        array.numeric_backend()
+        return cls(array, epoch)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def vertices(self):
+        """The vertex key set (rows == columns)."""
+        return self.adjacency.row_keys
+
+    @property
+    def nnz(self) -> int:
+        """Stored adjacency entries."""
+        return self.adjacency.nnz
+
+    def require_vertex(self, vertex: Any) -> Any:
+        """``vertex`` if known, else :class:`UnknownVertexError`."""
+        if vertex not in self.vertices:
+            raise UnknownVertexError(
+                f"unknown vertex {vertex!r} (epoch {self.epoch})")
+        return vertex
+
+    # ------------------------------------------------------------------
+    # Per-vertex queries
+    # ------------------------------------------------------------------
+    def neighbors_out(self, vertex: Any) -> Dict[Any, Any]:
+        """Stored successors of ``vertex`` as ``{neighbor: value}``."""
+        self.require_vertex(vertex)
+        nb = self.adjacency.numeric_backend()
+        if nb is not None:
+            data, indices, indptr = nb.csr()
+            i = self.vertices.index(vertex)
+            lo, hi = int(indptr[i]), int(indptr[i + 1])
+            keys = self.vertices.keys()
+            return {keys[int(j)]: float(v)
+                    for j, v in zip(indices[lo:hi], data[lo:hi])}
+        return dict(self._succ_index().get(vertex, {}))
+
+    def neighbors_in(self, vertex: Any) -> Dict[Any, Any]:
+        """Stored predecessors of ``vertex`` as ``{neighbor: value}``."""
+        self.require_vertex(vertex)
+        nb = self.adjacency.numeric_backend()
+        if nb is not None:
+            data, rows, indptr, _perm = nb.csc()
+            j = self.vertices.index(vertex)
+            lo, hi = int(indptr[j]), int(indptr[j + 1])
+            keys = self.vertices.keys()
+            return {keys[int(i)]: float(v)
+                    for i, v in zip(rows[lo:hi], data[lo:hi])}
+        return dict(self._pred_index().get(vertex, {}))
+
+    # ------------------------------------------------------------------
+    # Whole-array queries (memoised per snapshot)
+    # ------------------------------------------------------------------
+    def out_degrees(self) -> Dict[Any, int]:
+        """Stored-entry count per row, memoised for the epoch."""
+        if self._out_deg is None:
+            deg = out_degrees(self.adjacency)
+            with self._lock:
+                if self._out_deg is None:
+                    self._out_deg = deg
+        return self._out_deg
+
+    def in_degrees(self) -> Dict[Any, int]:
+        """Stored-entry count per column, memoised for the epoch."""
+        if self._in_deg is None:
+            deg = in_degrees(self.adjacency)
+            with self._lock:
+                if self._in_deg is None:
+                    self._in_deg = deg
+        return self._in_deg
+
+    def top_k(self, k: int) -> List[List[Any]]:
+        """The ``k`` heaviest stored entries as ``[row, col, value]``.
+
+        Ordered by descending value, ties broken by (row, col) key
+        order.  Requires mutually orderable stored values (every
+        numeric op-pair qualifies; exotic carriers may not).
+        """
+        if k < 1:
+            raise ServeError(f"top-k requires k >= 1, got {k}")
+        try:
+            ranked = sorted(self.adjacency.entries(),
+                            key=lambda rcv: rcv[2], reverse=True)
+        except TypeError:
+            raise ServeError(
+                "top-k requires orderable stored values") from None
+        return [list(rcv) for rcv in ranked[:k]]
+
+    # ------------------------------------------------------------------
+    # Generic-path adjacency indexes (built at most once per snapshot)
+    # ------------------------------------------------------------------
+    def _succ_index(self) -> Dict[Any, Dict[Any, Any]]:
+        if self._succ is None:
+            succ: Dict[Any, Dict[Any, Any]] = {}
+            for r, c, v in self.adjacency.entries():
+                succ.setdefault(r, {})[c] = v
+            with self._lock:
+                if self._succ is None:
+                    self._succ = succ
+        return self._succ
+
+    def _pred_index(self) -> Dict[Any, Dict[Any, Any]]:
+        if self._pred is None:
+            pred: Dict[Any, Dict[Any, Any]] = {}
+            for r, c, v in self.adjacency.entries():
+                pred.setdefault(c, {})[r] = v
+            with self._lock:
+                if self._pred is None:
+                    self._pred = pred
+        return self._pred
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Snapshot(epoch={self.epoch}, "
+                f"vertices={len(self.vertices)}, nnz={self.nnz})")

@@ -39,6 +39,7 @@ from repro.shard.merge import (
     check_merge_safety,
     merge_adjacency,
     merge_spilled,
+    oplus_fold,
     oplus_union,
 )
 from repro.shard.plan import (
@@ -62,6 +63,7 @@ __all__ = [
     "check_merge_safety",
     "merge_adjacency",
     "merge_spilled",
+    "oplus_fold",
     "oplus_union",
     "ShardedAdjacencyPlan",
     "ShardedResult",

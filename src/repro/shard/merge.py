@@ -41,6 +41,7 @@ from repro.values.semiring import OpPair
 __all__ = [
     "check_merge_safety",
     "oplus_union",
+    "oplus_fold",
     "merge_adjacency",
     "merge_spilled",
 ]
@@ -150,6 +151,28 @@ def _oplus_union_vectorized(
         presorted=True, filtered=True)
 
 
+def oplus_fold(
+    arrays: Sequence[AssociativeArray],
+    op_pair: OpPair,
+) -> AssociativeArray:
+    """Balanced pairwise ``⊕``-fold of in-memory arrays over union keys.
+
+    The raw merge tree without the safety gate: callers that certified
+    the op-pair once up front (:func:`check_merge_safety` — the plan
+    front-end, :class:`~repro.serve.service.AdjacencyService` epoch
+    publication) fold deltas through this without re-running the
+    criteria search per merge.
+    """
+    if not arrays:
+        raise ShardError("no arrays to merge")
+    level = list(arrays)
+    while len(level) > 1:
+        level = [oplus_union(level[i], level[i + 1], op_pair)
+                 if i + 1 < len(level) else level[i]
+                 for i in range(0, len(level), 2)]
+    return level[0]
+
+
 def merge_adjacency(
     results: Sequence[AssociativeArray],
     op_pair: OpPair,
@@ -160,12 +183,7 @@ def merge_adjacency(
     check_merge_safety(op_pair, unsafe_ok=unsafe_ok)
     if not results:
         raise ShardError("no shard results to merge")
-    level = list(results)
-    while len(level) > 1:
-        level = [oplus_union(level[i], level[i + 1], op_pair)
-                 if i + 1 < len(level) else level[i]
-                 for i in range(0, len(level), 2)]
-    return level[0]
+    return oplus_fold(results, op_pair)
 
 
 def merge_spilled(

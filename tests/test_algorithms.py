@@ -3,10 +3,12 @@
 from __future__ import annotations
 
 import math
+import random
 
 import networkx as nx
 import pytest
 
+from repro.arrays.associative import AssociativeArray
 from repro.core.construction import adjacency_array
 from repro.graphs.algorithms import (
     bfs_levels,
@@ -188,3 +190,36 @@ class TestDegreesAndVecmat:
         adj = _square_adjacency(graph, "plus_times", {"e000": 2.0})
         y = semiring_vecmat({"c": 1.0}, adj, get_op_pair("plus_times"))
         assert y == {}
+
+
+class TestDegreesBackends:
+    """Degrees agree across storage backends (CSR/CSC fast path)."""
+
+    def test_numeric_matches_dict(self):
+        rng = random.Random(11)
+        data = {}
+        for _ in range(400):
+            data[(f"v{rng.randrange(40)}", f"v{rng.randrange(40)}")] = \
+                float(rng.randrange(1, 9))
+        keys = {r for r, _ in data} | {c for _, c in data}
+        arr = AssociativeArray(data, row_keys=keys, col_keys=keys)
+        numeric = arr.with_backend("numeric")
+        pinned = arr.with_backend("dict")
+        assert out_degrees(numeric) == out_degrees(pinned)
+        assert in_degrees(numeric) == in_degrees(pinned)
+        assert sum(out_degrees(numeric).values()) == arr.nnz
+
+    def test_counts_are_python_ints(self):
+        arr = AssociativeArray(
+            {("a", "b"): 1.0, ("a", "c"): 2.0},
+            row_keys="abc", col_keys="abc").with_backend("numeric")
+        outs = out_degrees(arr)
+        assert outs == {"a": 2, "b": 0, "c": 0}
+        assert all(type(v) is int for v in outs.values())
+
+    def test_empty_rows_and_cols_counted_as_zero(self):
+        arr = AssociativeArray(
+            {("a", "b"): 1.0}, row_keys="abcd",
+            col_keys="abcd").with_backend("numeric")
+        assert out_degrees(arr) == {"a": 1, "b": 0, "c": 0, "d": 0}
+        assert in_degrees(arr) == {"a": 0, "b": 1, "c": 0, "d": 0}

@@ -80,3 +80,71 @@ class TestFigures:
         assert main(["figures"]) == 0
         out = capsys.readouterr().out
         assert "ALL MATCHED" in out
+
+
+class TestServeParser:
+    def test_serve_args(self):
+        p = build_parser()
+        args = p.parse_args(["serve", "--source", "adj.tsv",
+                             "--port", "0", "--cache-size", "64"])
+        assert args.command == "serve"
+        assert args.source == "adj.tsv" and args.port == 0
+        assert args.cache_size == 64 and args.unsafe_ok is False
+
+    def test_query_args(self):
+        p = build_parser()
+        args = p.parse_args(["query", "khop", "alice", "-k", "2",
+                             "--query-pair", "min_plus"])
+        assert args.command == "query"
+        assert args.kind == "khop" and args.vertex == "alice"
+        assert args.k == 2 and args.query_pair == "min_plus"
+
+    def test_query_kinds_constrained(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "pagerank"])
+
+
+class TestServeCommand:
+    def test_missing_source_exit_two(self, capsys):
+        assert main(["serve", "--source", "/no/such/file.tsv"]) == 2
+        assert "no such source" in capsys.readouterr().err
+
+    def test_unsafe_pair_refused_exit_one(self, tmp_path, capsys):
+        p = tmp_path / "adj.tsv"
+        p.write_text("a\tb\t1\n", encoding="utf-8")
+        assert main(["serve", "--source", str(p),
+                     "--pair", "int_plus_times"]) == 1
+        assert "refused" in capsys.readouterr().err
+
+    def test_unknown_pair_exit_one(self, tmp_path, capsys):
+        p = tmp_path / "adj.tsv"
+        p.write_text("a\tb\t1\n", encoding="utf-8")
+        assert main(["serve", "--source", str(p),
+                     "--pair", "bogus"]) == 1
+        assert "unknown op-pair" in capsys.readouterr().err
+
+
+class TestLoadService:
+    def test_tsv_source(self, tmp_path):
+        from repro.cli import load_service
+        p = tmp_path / "adj.tsv"
+        p.write_text("a\tb\t2.5\n", encoding="utf-8")
+        svc = load_service(str(p), "plus_times")
+        assert svc.neighbors("a") == {"b": 2.5}
+
+    def test_manifest_source_uses_recorded_pair(self, tmp_path):
+        from repro.cli import load_service
+        from repro.shard import ShardedAdjacencyPlan
+        from repro.values.semiring import get_op_pair
+        wd = tmp_path / "shards"
+        plan = ShardedAdjacencyPlan(get_op_pair("max_min"), n_shards=2,
+                                    workdir=wd, keep_workdir=True)
+        plan.partition([("e1", "a", "b", 5.0, 9.0),
+                        ("e2", "a", "b", 2.0, 3.0)])
+        # --pair not passed → manifest's max_min wins.
+        svc = load_service(str(wd))
+        assert svc.op_pair.name == "max_min"
+        assert svc.neighbors("a") == {"b": 5.0}
+        # An explicit --pair overrides the manifest.
+        svc = load_service(str(wd), "plus_times")
+        assert svc.op_pair.name == "plus_times"

@@ -9,6 +9,7 @@ import pytest
 import repro
 import repro.core.pipeline
 import repro.core.streaming
+import repro.serve.service
 import repro.shard.plan
 
 
@@ -16,6 +17,7 @@ import repro.shard.plan
     repro,
     repro.core.pipeline,
     repro.core.streaming,
+    repro.serve.service,
     repro.shard.plan,
 ], ids=lambda m: m.__name__)
 def test_module_doctests(module):

@@ -24,6 +24,7 @@ def _run(script: str, *args: str) -> subprocess.CompletedProcess:
     ("document_words.py", "zero-divisor failure, live"),
     ("flight_network.py", "Section IV in action"),
     ("sharded_build.py", "sharded construction verified against batch"),
+    ("adjacency_service.py", "adjacency service demo complete"),
 ])
 def test_example_runs_and_reports(script, expect):
     proc = _run(script)

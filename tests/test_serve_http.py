@@ -1,0 +1,363 @@
+"""Tests for the HTTP JSON front end (repro.serve.http) and its CLI."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from urllib.parse import urlencode
+
+import pytest
+
+from repro.serve import AdjacencyService, build_server
+from repro.values.semiring import get_op_pair
+
+PAIR = get_op_pair("plus_times")
+
+
+@pytest.fixture()
+def server():
+    """A live threaded server over a small service; yields (url, service)."""
+    svc = AdjacencyService(PAIR)
+    svc.add_edges([("e1", "alice", "bob", 2.0, 1.0),
+                   ("e2", "bob", "carol", 3.0, 1.0),
+                   ("e3", "alice", "carol", 1.5, 1.0)])
+    svc.publish()
+    httpd = build_server(svc, "127.0.0.1", 0)
+    thread = threading.Thread(
+        target=lambda: httpd.serve_forever(poll_interval=0.05),
+        daemon=True)
+    thread.start()
+    host, port = httpd.server_address[:2]
+    try:
+        yield f"http://{host}:{port}", svc
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        thread.join(timeout=10)
+
+
+def get(url: str, path: str, **params):
+    """GET → (status, parsed JSON body), errors included."""
+    if params:
+        path += "?" + urlencode(params)
+    try:
+        with urllib.request.urlopen(url + path, timeout=30) as resp:
+            return resp.status, json.loads(resp.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode("utf-8"))
+
+
+def post(url: str, path: str, doc=None, raw: bytes = None):
+    body = raw if raw is not None else json.dumps(doc or {}).encode()
+    req = urllib.request.Request(url + path, data=body, method="POST")
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, json.loads(resp.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode("utf-8"))
+
+
+class TestEndpoints:
+    def test_health(self, server):
+        url, _svc = server
+        status, doc = get(url, "/health")
+        assert status == 200
+        assert doc == {"status": "ok", "epoch": 1}
+
+    def test_neighbors(self, server):
+        url, _svc = server
+        status, doc = get(url, "/query/neighbors", vertex="alice")
+        assert status == 200
+        assert doc["epoch"] == 1 and doc["kind"] == "neighbors"
+        assert doc["result"] == {"bob": 2.0, "carol": 1.5}
+
+    def test_neighbors_in(self, server):
+        url, _svc = server
+        _s, doc = get(url, "/query/neighbors", vertex="carol",
+                      direction="in")
+        assert doc["result"] == {"alice": 1.5, "bob": 3.0}
+
+    def test_degrees(self, server):
+        url, _svc = server
+        _s, doc = get(url, "/query/degrees")
+        assert doc["result"] == {"alice": 2, "bob": 1, "carol": 0}
+        _s, doc = get(url, "/query/degrees", vertex="bob",
+                      direction="in")
+        assert doc["result"] == 1
+
+    def test_khop_with_pair(self, server):
+        url, _svc = server
+        _s, doc = get(url, "/query/khop", vertex="alice", k=2)
+        assert doc["result"] == {"carol": 6.0}
+        _s, doc = get(url, "/query/khop", vertex="alice", k=2,
+                      pair="min_plus")
+        assert doc["result"] == {"carol": 5.0}
+
+    def test_path_lengths_dashed_route(self, server):
+        url, _svc = server
+        status, doc = get(url, "/query/path-lengths", vertex="alice")
+        assert status == 200
+        assert doc["result"] == {"alice": 0.0, "bob": 2.0, "carol": 1.5}
+
+    def test_top_k(self, server):
+        url, _svc = server
+        _s, doc = get(url, "/query/top-k", k=1)
+        assert doc["result"] == [["bob", "carol", 3.0]]
+
+    def test_stats(self, server):
+        url, _svc = server
+        get(url, "/query/neighbors", vertex="alice")
+        get(url, "/query/neighbors", vertex="alice")
+        status, doc = get(url, "/stats")
+        assert status == 200
+        result = doc["result"]
+        assert result["epoch"] == 1 and result["nnz"] == 3
+        assert result["cache"]["hits"] >= 1
+
+    def test_cached_flag_roundtrip(self, server):
+        url, _svc = server
+        _s, cold = get(url, "/query/khop", vertex="bob", k=1)
+        _s, warm = get(url, "/query/khop", vertex="bob", k=1)
+        assert cold["cached"] is False and warm["cached"] is True
+
+
+class TestErrors:
+    def test_unknown_path_404(self, server):
+        url, _svc = server
+        status, doc = get(url, "/nope")
+        assert status == 404
+        assert "unknown path" in doc["error"] and doc["status"] == 404
+
+    def test_unknown_kind_404(self, server):
+        url, _svc = server
+        status, doc = get(url, "/query/pagerank")
+        assert status == 404
+        assert "unknown query kind" in doc["error"]
+
+    def test_unknown_vertex_404(self, server):
+        url, _svc = server
+        status, doc = get(url, "/query/neighbors", vertex="nobody")
+        assert status == 404
+        assert "unknown vertex" in doc["error"]
+
+    def test_missing_vertex_400(self, server):
+        url, _svc = server
+        status, doc = get(url, "/query/neighbors")
+        assert status == 400
+        assert "required" in doc["error"]
+
+    def test_bad_direction_400(self, server):
+        url, _svc = server
+        status, doc = get(url, "/query/neighbors", vertex="alice",
+                          direction="up")
+        assert status == 400
+        assert "direction" in doc["error"]
+
+    def test_bad_k_400(self, server):
+        url, _svc = server
+        status, doc = get(url, "/query/khop", vertex="alice", k="two")
+        assert status == 400
+        assert "integer" in doc["error"]
+
+    def test_unknown_param_400(self, server):
+        url, _svc = server
+        status, doc = get(url, "/query/neighbors", vertex="alice",
+                          flavor="mild")
+        assert status == 400
+        assert "unknown query parameter" in doc["error"]
+
+    def test_malformed_json_body_400(self, server):
+        url, _svc = server
+        status, doc = post(url, "/edges", raw=b"{nope")
+        assert status == 400
+        assert "malformed JSON" in doc["error"]
+
+    def test_non_object_body_400(self, server):
+        url, _svc = server
+        status, doc = post(url, "/edges", raw=b"[1, 2]")
+        assert status == 400
+        assert "object" in doc["error"]
+
+    def test_edges_requires_list_400(self, server):
+        url, _svc = server
+        status, doc = post(url, "/edges", {"edges": "e1"})
+        assert status == 400
+        assert '"edges"' in doc["error"]
+
+    def test_edge_arity_400(self, server):
+        url, _svc = server
+        status, doc = post(url, "/edges", {"edges": [["e9", "a"]]})
+        assert status == 400
+        assert "each edge" in doc["error"]
+
+    def test_duplicate_edge_key_400(self, server):
+        url, _svc = server
+        status, doc = post(url, "/edges",
+                           {"edges": [["d1", "a", "b"], ["d1", "a", "c"]]})
+        assert status == 400
+        assert "duplicate" in doc["error"]
+
+    def test_post_unknown_path_404(self, server):
+        url, _svc = server
+        status, doc = post(url, "/query/neighbors", {})
+        assert status == 404
+
+
+class TestIngest:
+    def test_edges_then_publish(self, server):
+        url, svc = server
+        status, doc = post(url, "/edges",
+                           {"edges": [["d1", "carol", "dave", 4.0, 1.0]]})
+        assert status == 200
+        assert doc == {"buffered": 1, "pending": 1, "epoch": 1}
+        # Not visible yet: readers still see epoch 1.
+        status, doc = get(url, "/query/neighbors", vertex="carol")
+        assert doc["epoch"] == 1 and doc["result"] == {}
+        status, doc = post(url, "/publish")
+        assert status == 200 and doc == {"epoch": 2}
+        status, doc = get(url, "/query/neighbors", vertex="carol")
+        assert doc["epoch"] == 2 and doc["result"] == {"dave": 4.0}
+
+    def test_inline_publish(self, server):
+        url, _svc = server
+        status, doc = post(url, "/edges",
+                           {"edges": [["d1", "x", "y"]], "publish": True})
+        assert status == 200
+        assert doc["epoch"] == 2 and doc["pending"] == 0
+        _s, doc = get(url, "/query/neighbors", vertex="x")
+        assert doc["result"] == {"y": 1.0}
+
+    def test_empty_publish_is_noop(self, server):
+        url, _svc = server
+        status, doc = post(url, "/publish")
+        assert status == 200 and doc == {"epoch": 1}
+
+
+class TestJsonSafety:
+    def test_nonfinite_values_stringified(self):
+        """min.+ arrays carry ±∞; the JSON body must stay strict."""
+        from repro.arrays.associative import AssociativeArray
+        pair = get_op_pair("min_plus")
+        arr = AssociativeArray({("a", "b"): 2.0}, zero=pair.zero)
+        svc = AdjacencyService(pair, initial=arr)
+        httpd = build_server(svc, "127.0.0.1", 0)
+        thread = threading.Thread(
+            target=lambda: httpd.serve_forever(poll_interval=0.05),
+            daemon=True)
+        thread.start()
+        host, port = httpd.server_address[:2]
+        try:
+            status, doc = get(f"http://{host}:{port}",
+                              "/query/khop", vertex="a", k=0)
+            assert status == 200
+            # khop seed is the pair's one (0.0 for min.+): finite here,
+            # but the serializer must accept the widest case too.
+            from repro.serve.http import jsonable
+            assert jsonable(float("inf")) == "inf"
+            assert jsonable(float("-inf")) == "-inf"
+            assert jsonable({"x": float("nan")}) == {"x": "nan"}
+            assert jsonable([1.5, (2, float("inf"))]) == [1.5, [2, "inf"]]
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            thread.join(timeout=10)
+
+    def test_numeric_vertex_keys_coerced_and_stringified(self):
+        from repro.arrays.associative import AssociativeArray
+        arr = AssociativeArray({(1, 2): 5.0, (2, 3): 1.0})
+        svc = AdjacencyService(PAIR, initial=arr)
+        httpd = build_server(svc, "127.0.0.1", 0)
+        thread = threading.Thread(
+            target=lambda: httpd.serve_forever(poll_interval=0.05),
+            daemon=True)
+        thread.start()
+        host, port = httpd.server_address[:2]
+        try:
+            status, doc = get(f"http://{host}:{port}",
+                              "/query/neighbors", vertex="1")
+            assert status == 200
+            assert doc["result"] == {"2": 5.0}
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            thread.join(timeout=10)
+
+
+class TestConcurrentHTTP:
+    def test_readers_during_publication(self, server):
+        """HTTP readers across epoch publications: consistent envelopes."""
+        url, svc = server
+        errors = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    _s, doc = get(url, "/query/degrees", vertex="hub")
+                    if doc.get("status") == 404:
+                        continue  # hub not published yet
+                    if doc["result"] != doc["epoch"] - 1:
+                        errors.append(doc)
+                        return
+                except Exception as exc:  # pragma: no cover - failure
+                    errors.append(repr(exc))
+                    return
+                time.sleep(0.001)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            # Epoch e (≥2) has hub→spoke_2..e: degree e-1.
+            for e in range(2, 10):
+                post(url, "/edges",
+                     {"edges": [[f"h{e}", "hub", f"spoke_{e}"]],
+                      "publish": True})
+                time.sleep(0.002)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=30)
+        assert not any(t.is_alive() for t in threads)
+        assert not errors, errors[:3]
+        assert svc.epoch == 9
+        assert svc.degrees(vertex="hub") == 8
+
+
+class TestQueryCLI:
+    def test_query_cli_roundtrip(self, server, capsys):
+        from repro.cli import main
+        url, _svc = server
+        assert main(["query", "neighbors", "alice", "--url", url]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["result"] == {"bob": 2.0, "carol": 1.5}
+
+    def test_query_cli_khop_pair(self, server, capsys):
+        from repro.cli import main
+        url, _svc = server
+        assert main(["query", "khop", "alice", "-k", "2",
+                     "--query-pair", "min_plus", "--url", url]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["result"] == {"carol": 5.0}
+
+    def test_query_cli_stats(self, server, capsys):
+        from repro.cli import main
+        url, _svc = server
+        assert main(["query", "stats", "--url", url]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["result"]["op_pair"] == "plus_times"
+
+    def test_query_cli_error_body(self, server, capsys):
+        from repro.cli import main
+        url, _svc = server
+        assert main(["query", "neighbors", "nobody", "--url", url]) == 1
+        assert "unknown vertex" in capsys.readouterr().err
+
+    def test_query_cli_unreachable(self, capsys):
+        from repro.cli import main
+        assert main(["query", "stats",
+                     "--url", "http://127.0.0.1:1"]) == 1
+        assert "cannot reach" in capsys.readouterr().err

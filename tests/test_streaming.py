@@ -156,3 +156,52 @@ class TestOutputs:
         eout, ein = b.incidence_arrays()
         assert is_source_incidence_of(eout, small_graph)
         assert is_target_incidence_of(ein, small_graph)
+
+
+class TestAdjacencyBackend:
+    """adjacency() adopts the numeric backend when the values qualify."""
+
+    def test_large_numeric_accumulator_is_numeric_backed(self):
+        b = StreamingAdjacencyBuilder(get_op_pair("plus_times"))
+        for i in range(300):
+            b.add_edge(f"e{i}", f"s{i}", f"t{i}", float(i + 1))
+        adj = b.adjacency()
+        assert adj.backend == "numeric"
+        assert adj["s7", "t7"] == 8.0
+
+    def test_small_accumulator_stays_dict_with_exact_types(self):
+        b = StreamingAdjacencyBuilder(get_op_pair("plus_times"))
+        b.add_edge("e1", "a", "b", 120)
+        b.add_edge("e2", "a", "b", 30)
+        adj = b.adjacency()
+        assert adj.backend == "dict"
+        assert adj["a", "b"] == 150 and isinstance(adj["a", "b"], int)
+
+    def test_backend_numeric_forces_columnar(self):
+        b = StreamingAdjacencyBuilder(get_op_pair("plus_times"))
+        b.add_edge("e1", "a", "b", 2.0)
+        assert b.adjacency(backend="numeric").backend == "numeric"
+
+    def test_backend_dict_pins(self):
+        b = StreamingAdjacencyBuilder(get_op_pair("plus_times"))
+        for i in range(300):
+            b.add_edge(f"e{i}", f"s{i}", f"t{i}")
+        adj = b.adjacency(backend="dict")
+        assert adj.backend == "dict" and adj.pinned
+
+    def test_non_numeric_values_stay_dict(self):
+        pair = get_op_pair("max_concat")
+        b = StreamingAdjacencyBuilder(pair)
+        for i in range(300):
+            b.add_edge(f"e{i:03d}", f"s{i}", f"t{i}", "x", "y")
+        adj = b.adjacency()
+        assert adj.backend == "dict"
+        assert adj["s7", "t7"] == "xy"
+
+    def test_numeric_and_dict_results_agree(self):
+        pair = get_op_pair("plus_times")
+        b = StreamingAdjacencyBuilder(pair)
+        for i in range(280):
+            b.add_edge(f"e{i}", f"s{i % 17}", f"t{(i * 5) % 13}",
+                       float(1 + i % 4))
+        assert b.adjacency().allclose(b.adjacency(backend="dict"))
