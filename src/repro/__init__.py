@@ -11,8 +11,10 @@ algebras, a certification engine for the paper's Theorem II.1 criteria
 (with constructive Lemma II.2–II.4 witnesses), an edge-keyed multigraph
 substrate, semiring graph algorithms, an out-of-core sharded
 construction engine (:mod:`repro.shard`), a concurrent adjacency query
-service with snapshot isolation (:mod:`repro.serve`), and harnesses
-reproducing every figure of the paper.
+service with snapshot isolation (:mod:`repro.serve`), a lazy expression
+engine with certification-gated rewrites and cost-based execution
+(:mod:`repro.expr`), and harnesses reproducing every figure of the
+paper.
 
 Quickstart
 ----------
@@ -77,6 +79,7 @@ from repro.shard import (
     sharded_adjacency,
 )
 from repro.serve import AdjacencyService, Snapshot
+from repro.expr import LazyArray, evaluate, explain, lazy
 from repro.arrays.kron import kron, kron_power, kronecker_graph
 from repro.arrays.reductions import reduce_cols, reduce_rows
 
@@ -84,7 +87,7 @@ from repro.arrays.reductions import reduce_cols, reduce_rows
 from repro.values import exotic as _exotic  # noqa: F401
 from repro.values import extensions as _extensions  # noqa: F401
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -131,6 +134,11 @@ __all__ = [
     # serve (concurrent query service)
     "AdjacencyService",
     "Snapshot",
+    # expr (lazy expressions + optimizer)
+    "LazyArray",
+    "lazy",
+    "evaluate",
+    "explain",
     "kron",
     "kron_power",
     "kronecker_graph",

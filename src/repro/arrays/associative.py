@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.arrays.backend import (
     BACKEND_KINDS,
+    VECTORIZE_MIN_NNZ,
     DictBackend,
     NumericBackend,
     dict_to_numeric,
@@ -525,6 +526,22 @@ class AssociativeArray:
             # the transpose's CSR, so Aᵀ arrives pre-compiled.
             return AssociativeArray._adopt(be.transposed(), self._col_keys,
                                            self._row_keys, self._zero)
+        # Dict storage: reuse an already-promoted columnar form — or
+        # promote a large array — and transpose by index permutation
+        # instead of rebuilding (and re-validating) a transposed dict.
+        # The bailout matches the other kernels: small arrays stay on
+        # the generic path so exact Python value types are preserved
+        # for the paper-figure cases, and pins are honoured.
+        if not be.pinned:
+            cached = self._cache.get("numeric_backend", _NO_NUMERIC)
+            promoted = cached if cached is not _NO_NUMERIC else None
+            if promoted is None and cached is _NO_NUMERIC \
+                    and self.nnz >= VECTORIZE_MIN_NNZ:
+                promoted = self.numeric_backend()
+            if promoted is not None:
+                return AssociativeArray._adopt(
+                    promoted.transposed(), self._col_keys, self._row_keys,
+                    self._zero)
         data = {(c, r): v for (r, c), v in self._data.items()}
         return AssociativeArray(data, row_keys=self._col_keys,
                                 col_keys=self._row_keys, zero=self._zero,

@@ -50,7 +50,7 @@ class KeySet:
         duplicate-free list.
     """
 
-    __slots__ = ("_keys", "_index")
+    __slots__ = ("_keys", "_index", "_hash")
 
     def __init__(self, keys: Iterable[Any] = (), *, presorted: bool = False) -> None:
         if presorted:
@@ -66,6 +66,7 @@ class KeySet:
         self._index = {k: i for i, k in enumerate(self._keys)}
         if len(self._index) != len(self._keys):
             raise KeyError_("duplicate keys after sorting (unhashable mix?)")
+        self._hash: Optional[int] = None
 
     # -- basic container protocol -------------------------------------------
     def __len__(self) -> int:
@@ -91,7 +92,13 @@ class KeySet:
         return NotImplemented
 
     def __hash__(self) -> int:
-        return hash(self._keys)
+        # Memoised: key sets can hold 10⁵+ keys and serve as parts of
+        # expression-DAG signatures, which hash them repeatedly.
+        h = self._hash
+        if h is None:
+            h = hash(self._keys)
+            self._hash = h
+        return h
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         if len(self) <= 6:
@@ -195,8 +202,16 @@ class KeySet:
 
     # -- misc -----------------------------------------------------------------
     def position_map(self) -> dict:
-        """Mapping key → index (a fresh dict; used by vectorised kernels)."""
-        return dict(self._index)
+        """Mapping key → index, as a read-only view.
+
+        This is the key set's own index (not a copy — callers must not
+        mutate it, the same contract as :attr:`AssociativeArray._data`).
+        It sits on the promotion hot path: the vectorised kernels remap
+        every stored coordinate through it, and copying a large key
+        set's index per promotion measurably dominated cold-start
+        profiles.
+        """
+        return self._index
 
     @staticmethod
     def coerce(value: Union["KeySet", Iterable[Any], None]) -> "KeySet":

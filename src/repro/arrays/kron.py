@@ -16,13 +16,22 @@ product is exactly the Cartesian pattern product, which is what makes
 ``kron`` of adjacency arrays the adjacency array of the Kronecker product
 graph; :func:`kronecker_graph` builds that graph directly so the
 round-trip is testable.
+
+Numeric-backed operands take a vectorised path: the product's COO
+coordinates are gathered with one repeat/tile pass over the operands'
+columnar storage and the values with one ufunc call, so the operands'
+compiled form is *adopted* rather than round-tripped through Python
+dicts (and the result arrives numeric-backed for the next operation).
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Tuple
+from typing import Any, Callable, Optional, Tuple
+
+import numpy as np
 
 from repro.arrays.associative import AssociativeArray
+from repro.arrays.backend import VECTORIZE_MIN_NNZ, usable_numeric_zero
 from repro.arrays.keys import KeySet
 from repro.graphs.digraph import EdgeKeyedDigraph
 from repro.values.operations import BinaryOp
@@ -36,6 +45,92 @@ PAIR_SEP = "⊗"
 def pair_key(a: Any, b: Any) -> str:
     """Render a key pair as a single totally ordered string key."""
     return f"{a}{PAIR_SEP}{b}"
+
+
+def _pair_lookup(
+    a_keys: KeySet,
+    b_keys: KeySet,
+    paired: KeySet,
+    used_a: np.ndarray,
+    used_b: np.ndarray,
+) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Paired-key positions for the coordinate pairs that can occur.
+
+    Returns ``(table, compact_a, compact_b)`` where
+    ``table[compact_a[i], compact_b[j]]`` is the position of
+    ``pair_key(a_keys[i], b_keys[j])`` in the sorted paired key set —
+    built only over the *used* operand positions, so the work is
+    ``O(|used_a|·|used_b|)`` (never more than the product nnz), not a
+    dense sweep of the full key-set cross product.
+
+    Returns ``None`` when pairing is not injective (a separator
+    collision made two pairs render identically) — the generic path
+    then keeps today's last-wins semantics.
+    """
+    if len(paired) != len(a_keys) * len(b_keys):
+        return None
+    positions = paired.position_map()
+    ka, kb = a_keys.keys(), b_keys.keys()
+    compact_a = np.full(len(a_keys), -1, dtype=np.int64)
+    compact_a[used_a] = np.arange(used_a.size, dtype=np.int64)
+    compact_b = np.full(len(b_keys), -1, dtype=np.int64)
+    compact_b[used_b] = np.arange(used_b.size, dtype=np.int64)
+    table = np.empty((used_a.size, used_b.size), dtype=np.int64)
+    for i, ia in enumerate(used_a.tolist()):
+        key_a = ka[ia]
+        for j, ib in enumerate(used_b.tolist()):
+            table[i, j] = positions[pair_key(key_a, kb[ib])]
+    return table, compact_a, compact_b
+
+
+def _kron_vectorized(
+    a: AssociativeArray,
+    b: AssociativeArray,
+    mul: BinaryOp,
+    result_zero: Any,
+    rows: KeySet,
+    cols: KeySet,
+) -> Optional[AssociativeArray]:
+    """Columnar evaluation; ``None`` when the fast path does not apply.
+
+    Applies under the shared fast-path policy (ufunc ``⊗``, plain
+    numeric zero, operands native-numeric or large enough to be worth
+    promoting).  Lex order of the paired keys is *not* the product
+    order of the operand positions (string sort), so coordinates are
+    remapped through the paired-position table and re-sorted.
+    """
+    if mul.ufunc is None or not usable_numeric_zero(result_zero):
+        return None
+    native = a.backend == "numeric" or b.backend == "numeric"
+    if not native and a.nnz + b.nnz < VECTORIZE_MIN_NNZ:
+        return None
+    na = a.numeric_backend()
+    if na is None:
+        return None
+    nb = b.numeric_backend()
+    if nb is None:
+        return None
+    if na.nnz == 0 or nb.nnz == 0:
+        return AssociativeArray.empty(rows, cols, zero=result_zero)
+    row_lookup = _pair_lookup(a.row_keys, b.row_keys, rows,
+                              np.unique(na.rows), np.unique(nb.rows))
+    col_lookup = _pair_lookup(a.col_keys, b.col_keys, cols,
+                              np.unique(na.cols), np.unique(nb.cols))
+    if row_lookup is None or col_lookup is None:
+        return None
+    row_table, row_ca, row_cb = row_lookup
+    col_table, col_ca, col_cb = col_lookup
+    # Every (a-entry, b-entry) pair, a-major — the generic iteration
+    # order — via one repeat/tile gather.
+    ar = np.repeat(na.rows, nb.nnz)
+    ac = np.repeat(na.cols, nb.nnz)
+    br = np.tile(nb.rows, na.nnz)
+    bc = np.tile(nb.cols, na.nnz)
+    vals = mul.ufunc(np.repeat(na.vals, nb.nnz), np.tile(nb.vals, na.nnz))
+    return AssociativeArray._from_numeric(
+        row_table[row_ca[ar], row_cb[br]],
+        col_table[col_ca[ac], col_cb[bc]], vals,
+        row_keys=rows, col_keys=cols, zero=result_zero)
 
 
 def kron(
@@ -57,6 +152,9 @@ def kron(
                    for ra in a.row_keys for rb in b.row_keys])
     cols = KeySet([pair_key(ca, cb)
                    for ca in a.col_keys for cb in b.col_keys])
+    fast = _kron_vectorized(a, b, mul, result_zero, rows, cols)
+    if fast is not None:
+        return fast
     data = {}
     b_items = list(b.to_dict().items())
     for (ra, ca), va in a.to_dict().items():

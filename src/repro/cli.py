@@ -18,6 +18,11 @@
     Out-of-core construction: shard a TSV incidence pair on disk, build
     per-shard adjacency arrays in parallel, ⊕-merge, write the adjacency
     array back out as TSV triples (see :mod:`repro.shard`).
+``explain EOUT.tsv EIN.tsv``
+    Show the lazy expression engine's optimized plan for the adjacency
+    construction (applied rewrites with the algebraic properties that
+    licensed them, refusals, per-node cost estimates) without — or,
+    with ``--execute``, after — running it (see :mod:`repro.expr`).
 ``serve --source ADJ.tsv``
     Run the concurrent adjacency query service over HTTP: load an
     adjacency TSV (or a kept shard-manifest workdir), answer
@@ -116,6 +121,35 @@ def build_parser() -> argparse.ArgumentParser:
                               "criteria or have order-sensitive ⊕")
     p_build.add_argument("--quiet", action="store_true",
                          help="suppress the summary report")
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="print the optimizer's plan for an incidence-to-adjacency "
+             "expression (rewrites, licenses, cost estimates)")
+    p_explain.add_argument("eout", help="Eout TSV-triple file (edge, "
+                                        "vertex, value)")
+    p_explain.add_argument("ein", help="Ein TSV-triple file")
+    p_explain.add_argument("--pair", default="plus_times",
+                           help="op-pair registry name (default: "
+                                "plus_times)")
+    p_explain.add_argument("--khop", type=int, default=None, metavar="K",
+                           help="plan the K-hop power chain A·A·…·A over "
+                                "the squared adjacency (shows "
+                                "common-subexpression sharing)")
+    p_explain.add_argument("--reduce", default=None,
+                           choices=["rows", "cols"],
+                           help="plan a trailing ⊕-reduction (shows "
+                                "reduction-into-matmul fusion)")
+    p_explain.add_argument("--budget", type=int, default=None,
+                           metavar="BYTES",
+                           help="memory budget; fused products whose "
+                                "estimated working set exceeds it route "
+                                "through the out-of-core shard executor")
+    p_explain.add_argument("--no-optimize", action="store_true",
+                           help="plan the expression exactly as written "
+                                "(no rewrites)")
+    p_explain.add_argument("--execute", action="store_true",
+                           help="also run the plan and report the result")
 
     p_serve = sub.add_parser(
         "serve",
@@ -305,6 +339,62 @@ def _cmd_build(args) -> int:
     return 0
 
 
+def _cmd_explain(args) -> int:
+    import time
+    from repro.arrays.associative import AssociativeArray
+    from repro.arrays.io import iter_tsv_triples
+    from repro.expr import lazy, plan
+    from repro.values.semiring import SemiringError, get_op_pair
+    try:
+        pair = get_op_pair(args.pair)
+    except SemiringError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    try:
+        eout = AssociativeArray.from_triples(
+            iter_tsv_triples(args.eout), zero=pair.zero)
+        ein = AssociativeArray.from_triples(
+            iter_tsv_triples(args.ein), zero=pair.zero)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load incidence pair: {exc}", file=sys.stderr)
+        return 2
+    if eout.row_keys != ein.row_keys:
+        edges = eout.row_keys.union(ein.row_keys)
+        eout = eout.with_keys(edges)
+        ein = ein.with_keys(edges)
+    expr = lazy(eout, "Eout").T.matmul(lazy(ein, "Ein"), pair)
+    if args.khop is not None:
+        if args.khop < 1:
+            print("--khop must be >= 1", file=sys.stderr)
+            return 2
+        # Square the adjacency over the vertex union, then chain hops;
+        # CSE shares the squared-adjacency subtree across every hop.
+        vertices = eout.col_keys.union(ein.col_keys)
+        squared = expr.with_keys(vertices, vertices)
+        expr = squared
+        for _ in range(args.khop - 1):
+            expr = expr.matmul(squared, pair)
+    if args.reduce == "rows":
+        expr = expr.reduce_rows(pair.add)
+    elif args.reduce == "cols":
+        expr = expr.reduce_cols(pair.add)
+    try:
+        the_plan = plan(expr, optimize_plan=not args.no_optimize,
+                        memory_budget=args.budget)
+    except ValueError as exc:
+        print(f"planning failed: {exc}", file=sys.stderr)
+        return 1
+    print(the_plan.explain())
+    if args.execute:
+        t0 = time.perf_counter()
+        result = the_plan.execute()
+        elapsed = time.perf_counter() - t0
+        print(f"\nexecuted in {elapsed:.3f}s: "
+              f"{result.shape[0]}×{result.shape[1]} array, "
+              f"{result.nnz} stored entries ({result.backend} backend)")
+    return 0
+
+
 def load_service(source: str, pair_name: Optional[str] = None, *,
                  cache_size: int = 1024, unsafe_ok: bool = False):
     """Build an :class:`~repro.serve.AdjacencyService` from ``--source``.
@@ -419,6 +509,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_render(args.figure)
     if args.command == "build":
         return _cmd_build(args)
+    if args.command == "explain":
+        return _cmd_explain(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "query":

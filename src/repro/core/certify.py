@@ -46,7 +46,8 @@ from repro.graphs.digraph import EdgeKeyedDigraph
 from repro.values.properties import DEFAULT_SAMPLES, PropertyReport
 from repro.values.semiring import OpPair
 
-__all__ = ["Witness", "Certification", "certify", "witness_for_violation"]
+__all__ = ["Witness", "Certification", "certify", "certify_cached",
+           "witness_for_violation"]
 
 
 @dataclass(frozen=True)
@@ -136,6 +137,42 @@ def certify(
     if build_witness and not criteria.satisfied:
         witness = witness_for_violation(op_pair, criteria)
     return Certification(op_pair=op_pair, criteria=criteria, witness=witness)
+
+
+#: Process-wide memo for :func:`certify_cached`, keyed by op-pair
+#: *object identity* plus search parameters.  Each entry stores the
+#: pair alongside its certification, which pins the object alive so
+#: its ``id()`` can never be reused — a name-based key would let a
+#: re-registered (or ad hoc) pair of the same name inherit a stale
+#: verdict.  Certification is pure — an op-pair's operations and
+#: domain are frozen — so caching across callers is safe; witnesses
+#: are excluded (they carry arrays).
+_CERTIFY_CACHE: dict = {}
+
+
+def certify_cached(
+    op_pair: OpPair,
+    *,
+    samples: int = DEFAULT_SAMPLES,
+    seed: Optional[int] = 0xD4,
+) -> Certification:
+    """Memoised :func:`certify` without witness construction.
+
+    Repeated certification of the same pair is the common case for
+    consumers that gate many small decisions on the criteria — the
+    expression optimizer re-checks the algebra at every candidate
+    rewrite site, and the query service gates alternative query
+    algebras per request.  One criteria search per (pair object,
+    samples, seed) for the process lifetime.
+    """
+    key = (id(op_pair), samples, seed)
+    entry = _CERTIFY_CACHE.get(key)
+    if entry is not None and entry[0] is op_pair:
+        return entry[1]
+    cert = certify(op_pair, samples=samples, seed=seed,
+                   build_witness=False)
+    _CERTIFY_CACHE[key] = (op_pair, cert)
+    return cert
 
 
 def witness_for_violation(

@@ -1,0 +1,68 @@
+"""``repro.expr`` — lazy expressions, certified rewrites, cost-based
+execution.
+
+The subsystem the GraphBLAS nonblocking model calls for: ``lazy()``
+captures chains of array operations as a DAG
+(:mod:`repro.expr.ast`), an optimizer applies rewrite rules whose
+algebraic preconditions are *verified* through the certification
+machinery before each application (:mod:`repro.expr.rewrite`), a cost
+model sizes every intermediate and picks kernels
+(:mod:`repro.expr.cost`), and the executor runs the optimized plan —
+fusing ``Eoutᵀ ⊕.⊗ Ein`` into a single incidence-to-adjacency kernel,
+sharing common subexpressions, and spilling oversized products to the
+out-of-core shard engine (:mod:`repro.expr.execute`).
+
+>>> from repro.expr import lazy, evaluate
+>>> from repro.values.semiring import get_op_pair
+>>> pair = get_op_pair("plus_times")
+>>> adjacency = evaluate(
+...     lazy(eout, "Eout").T.matmul(lazy(ein, "Ein"), pair))
+... # doctest: +SKIP
+"""
+
+from repro.expr.ast import (
+    ExprError,
+    LazyArray,
+    Node,
+    REDUCE_KEY,
+    lazy,
+)
+from repro.expr.cost import CostEstimate, estimate_plan
+from repro.expr.execute import (
+    Plan,
+    evaluate,
+    explain,
+    khop_frontier,
+    plan,
+    vecmat,
+)
+from repro.expr.rewrite import (
+    AppliedRewrite,
+    DEFAULT_RULES,
+    PropertyGate,
+    RefusedRewrite,
+    RewriteRule,
+    optimize,
+)
+
+__all__ = [
+    "ExprError",
+    "LazyArray",
+    "Node",
+    "REDUCE_KEY",
+    "lazy",
+    "CostEstimate",
+    "estimate_plan",
+    "Plan",
+    "plan",
+    "evaluate",
+    "explain",
+    "vecmat",
+    "khop_frontier",
+    "AppliedRewrite",
+    "RefusedRewrite",
+    "RewriteRule",
+    "DEFAULT_RULES",
+    "PropertyGate",
+    "optimize",
+]

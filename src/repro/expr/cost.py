@@ -1,0 +1,207 @@
+"""Cost model: per-node nnz/backend/kernel estimates and memory sizing.
+
+Before the engine runs a plan it walks the DAG once, predicting for
+every node
+
+* how many entries the node will store (``nnz``) — leaves report their
+  exact count, operators propagate standard sparse estimates (the
+  uniform-distribution SpGEMM bound for products, union bounds for
+  element-wise ops, exact products for Kronecker);
+* which storage backend the result will live on (``numeric`` when the
+  operand chain stays on plain numbers and every operation has a ufunc
+  form, ``dict`` otherwise) and which multiply kernel applies
+  (mirroring :func:`repro.arrays.matmul._pick_kernel`'s policy,
+  including the small-operand bailout);
+* how many bytes the materialized result (plus any kernel expansion
+  buffer) will take.
+
+The estimates drive two real decisions: the executor passes the chosen
+kernel to :func:`repro.arrays.matmul.multiply` (validated against the
+actual operands at run time — predictions about *values* can be wrong,
+e.g. a numeric-zero array holding strings, and the engine then falls
+back to the generic path), and fused incidence-to-adjacency nodes whose
+estimated working set exceeds the plan's ``memory_budget`` are routed
+to the out-of-core :mod:`repro.shard` executor instead of in-memory
+evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.arrays.backend import VECTORIZE_MIN_NNZ, usable_numeric_zero
+from repro.expr.ast import (
+    Elementwise,
+    IncidenceToAdjacency,
+    Kron,
+    Leaf,
+    MatMul,
+    Node,
+    Reduce,
+    Select,
+    Transpose,
+    WithKeys,
+    topological_order,
+)
+
+__all__ = ["CostEstimate", "estimate_plan", "NUMERIC_ENTRY_BYTES",
+           "DICT_ENTRY_BYTES"]
+
+#: Bytes per stored entry on the columnar backend (int64 row + int64
+#: col + float64 value).
+NUMERIC_ENTRY_BYTES = 24
+
+#: Rough bytes per stored entry on the dict backend (key tuple, boxed
+#: value, hash-table overhead).
+DICT_ENTRY_BYTES = 160
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Predicted execution profile of one node."""
+
+    rows: int
+    cols: int
+    nnz: float
+    backend: str                 # "numeric" | "dict"
+    kernel: str = "-"            # multiply kernel, "-" for non-products
+    flops: float = 0.0           # multiplicative terms for products
+    exact: bool = False          # True only for leaves
+
+    @property
+    def bytes(self) -> float:
+        """Estimated bytes of the materialized result."""
+        per = NUMERIC_ENTRY_BYTES if self.backend == "numeric" \
+            else DICT_ENTRY_BYTES
+        return self.nnz * per
+
+    @property
+    def working_bytes(self) -> float:
+        """Result bytes plus any kernel expansion buffer.
+
+        The expansion-based ``reduceat`` kernel materializes every
+        multiplicative term before the group-reduce, so its working set
+        is proportional to the flop count, not the output size.
+        """
+        extra = 0.0
+        if self.kernel == "reduceat":
+            extra = self.flops * NUMERIC_ENTRY_BYTES
+        return self.bytes + extra
+
+
+def _leaf_numeric(leaf: Leaf) -> bool:
+    """Whether a leaf is predicted to drive the numeric fast paths.
+
+    Conservative on pins and exotic zeros; optimistic about stored
+    values (checking them would cost a full scan — the executor's
+    runtime validation catches the optimism).
+    """
+    array = leaf.array
+    if array.backend == "numeric":
+        return True
+    return not array.pinned and usable_numeric_zero(array.zero)
+
+
+def _product_kernel(node, a_est: CostEstimate, b_est: CostEstimate,
+                    numeric: bool) -> str:
+    """Mirror of the eager auto-kernel policy, on estimates."""
+    pair = node.op_pair
+    if not numeric or not (pair.has_ufuncs and pair.is_numeric):
+        return "generic"
+    native = a_est.backend == "numeric" and b_est.backend == "numeric"
+    small = (a_est.nnz + b_est.nnz < VECTORIZE_MIN_NNZ
+             and a_est.rows * b_est.cols < 4096)
+    if not native and small and a_est.exact and b_est.exact:
+        return "generic"
+    if node.mode == "dense":
+        return "dense_blocked"
+    if pair.name in ("plus_times", "nat_plus_times"):
+        return "scipy"
+    return "reduceat"
+
+
+def _estimate(node: Node, memo: Dict[int, CostEstimate]) -> CostEstimate:
+    if isinstance(node, Leaf):
+        rows, cols = node.shape
+        backend = "numeric" if _leaf_numeric(node) else "dict"
+        return CostEstimate(rows, cols, float(node.array.nnz), backend,
+                            exact=True)
+
+    child_ests = [memo[id(c)] for c in node.children]
+
+    if isinstance(node, Transpose):
+        (ce,) = child_ests
+        return CostEstimate(ce.cols, ce.rows, ce.nnz, ce.backend)
+
+    if isinstance(node, (MatMul, IncidenceToAdjacency)):
+        a, b = child_ests
+        if isinstance(node, IncidenceToAdjacency):
+            # Eᵀ·F: the contraction runs over E's *rows* (the edges).
+            inner = max(a.rows, 1)
+            rows, cols = a.cols, b.cols
+        else:
+            inner = max(a.cols, 1)
+            rows, cols = a.rows, b.cols
+        # Uniform-distribution SpGEMM estimate: each of a's entries
+        # meets nnz_b/inner partners on the shared inner key.
+        flops = a.nnz * b.nnz / inner
+        nnz = min(float(rows * cols), flops) if node.mode == "sparse" \
+            else min(float(rows * cols), max(flops, 1.0))
+        numeric = a.backend == "numeric" and b.backend == "numeric"
+        kernel = _product_kernel(node, a, b, numeric)
+        backend = "numeric" if kernel != "generic" else \
+            ("numeric" if numeric else "dict")
+        return CostEstimate(rows, cols, nnz, backend, kernel=kernel,
+                            flops=flops)
+
+    if isinstance(node, Elementwise):
+        a, b = child_ests
+        nnz = min(float(a.rows * a.cols), a.nnz + b.nnz)
+        numeric = (a.backend == "numeric" and b.backend == "numeric"
+                   and node.op.ufunc is not None
+                   and usable_numeric_zero(node.result_zero))
+        return CostEstimate(a.rows, a.cols, nnz,
+                            "numeric" if numeric else "dict")
+
+    if isinstance(node, Reduce):
+        (ce,) = child_ests
+        rows, cols = node.shape
+        nnz = min(ce.nnz, float(rows if node.axis == "rows" else cols))
+        numeric = (ce.backend == "numeric" and node.op.ufunc is not None
+                   and usable_numeric_zero(node.op.identity))
+        return CostEstimate(rows, cols, nnz,
+                            "numeric" if numeric else "dict")
+
+    if isinstance(node, Select):
+        (ce,) = child_ests
+        rows, cols = node.shape
+        frac = 1.0
+        if ce.rows and ce.cols:
+            frac = (rows / ce.rows) * (cols / ce.cols)
+        return CostEstimate(rows, cols, ce.nnz * frac, ce.backend)
+
+    if isinstance(node, WithKeys):
+        (ce,) = child_ests
+        rows, cols = node.shape
+        return CostEstimate(rows, cols, ce.nnz, ce.backend)
+
+    if isinstance(node, Kron):
+        a, b = child_ests
+        rows, cols = node.shape
+        numeric = (a.backend == "numeric" and b.backend == "numeric"
+                   and node.op.ufunc is not None
+                   and usable_numeric_zero(node.result_zero))
+        return CostEstimate(rows, cols, a.nnz * b.nnz,
+                            "numeric" if numeric else "dict")
+
+    raise AssertionError(f"unhandled node kind {node.kind!r}")
+
+
+def estimate_plan(root: Node) -> Dict[int, CostEstimate]:
+    """Cost estimates for every node of the DAG, keyed by ``id(node)``."""
+    memo: Dict[int, CostEstimate] = {}
+    for node in topological_order(root):
+        if id(node) not in memo:
+            memo[id(node)] = _estimate(node, memo)
+    return memo

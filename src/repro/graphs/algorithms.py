@@ -20,7 +20,7 @@ elided, matching the sparse-array philosophy.
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 import numpy as np
 
@@ -111,12 +111,19 @@ def bfs_levels(
 def shortest_path_lengths(
     adj: AssociativeArray,
     source: Any,
+    *,
+    vecmat: Callable[[Dict[Any, Any], AssociativeArray, Any],
+                     Dict[Any, Any]] = semiring_vecmat,
 ) -> Dict[Any, float]:
     """Single-source shortest path lengths by ``min.+`` relaxation.
 
     ``adj`` holds non-negative edge weights (parallel edges should already
     be collapsed, e.g. by constructing the adjacency array over ``min.+``).
     Runs Bellman–Ford-style rounds until fixpoint (≤ |V| rounds).
+    ``vecmat`` swaps the relaxation product implementation — the query
+    service passes :func:`repro.expr.vecmat` so each round runs on the
+    snapshot's compiled backend instead of this module's reference
+    Python fold.
     """
     _square_vertex_array(adj)
     if source not in adj.row_keys:
@@ -125,7 +132,7 @@ def shortest_path_lengths(
     min_plus = get_op_pair("min_plus")
     dist: Dict[Any, float] = {source: 0.0}
     for _ in range(len(adj.row_keys)):
-        relaxed = semiring_vecmat(dist, adj, min_plus)
+        relaxed = vecmat(dist, adj, min_plus)
         new = dict(dist)
         changed = False
         for v, d in relaxed.items():

@@ -40,7 +40,8 @@ from repro.arrays.associative import AssociativeArray
 from repro.arrays.io import iter_tsv_triples
 from repro.core.certify import Certification, certify
 from repro.core.streaming import StreamingAdjacencyBuilder
-from repro.graphs.algorithms import semiring_vecmat, shortest_path_lengths
+from repro.expr import khop_frontier, vecmat
+from repro.graphs.algorithms import shortest_path_lengths
 from repro.graphs.digraph import GraphError
 from repro.serve.cache import QueryCache
 from repro.serve.snapshot import ServeError, Snapshot, UnknownVertexError
@@ -406,13 +407,11 @@ class AdjacencyService:
 
             def compute():
                 snapshot.require_vertex(vertex)
-                frontier = {vertex: pair.one}
-                for _ in range(k):
-                    if not frontier:
-                        break  # every further product stays empty
-                    frontier = semiring_vecmat(
-                        frontier, snapshot.adjacency, pair)
-                return frontier
+                # One fused expression for the whole hop chain: after
+                # common-subexpression elimination every hop shares the
+                # snapshot's adjacency leaf (and its compiled backend)
+                # instead of re-indexing the array per Python vecmat.
+                return khop_frontier(snapshot.adjacency, vertex, k, pair)
             return compute, (snapshot.epoch, kind, vertex, k, pair.name)
         if kind == "path_lengths":
             vertex = self._required(params, "vertex")
@@ -420,7 +419,11 @@ class AdjacencyService:
 
             def compute():
                 snapshot.require_vertex(vertex)
-                return shortest_path_lengths(snapshot.adjacency, vertex)
+                # Each min.+ relaxation round runs through the engine
+                # on the snapshot's compiled backend instead of the
+                # reference Python fold.
+                return shortest_path_lengths(snapshot.adjacency, vertex,
+                                             vecmat=vecmat)
             return compute, (snapshot.epoch, kind, vertex)
         if kind == "top_k":
             k = self._nonneg_int(params, "k", default=10)

@@ -39,6 +39,8 @@ __all__ = [
     "check_zero_sum_free",
     "check_no_zero_divisors",
     "check_annihilator",
+    "PROPERTY_CHECKERS",
+    "check_named_property",
     "DEFAULT_SAMPLES",
 ]
 
@@ -102,6 +104,28 @@ def _eq(a: Any, b: Any) -> bool:
 
 def _rng(seed: Optional[int]) -> random.Random:
     return random.Random(0xA55 if seed is None else seed)
+
+
+def _eq_tol(a: Any, b: Any, rel_tol: float) -> bool:
+    """:func:`_eq`, optionally relaxed to float closeness.
+
+    ``rel_tol > 0`` treats two finite numbers within the relative
+    tolerance as equal — the reading the expression optimizer needs:
+    ``⊕ = +`` over ℝ *is* associative in the paper's algebra, and the
+    float64 rounding of one re-association is evaluation noise, not an
+    axiom violation.  Exact comparison (the default) stays the
+    arbiter everywhere correctness of a verdict is the point.
+    """
+    if _eq(a, b):
+        return True
+    if rel_tol > 0.0 and isinstance(a, (int, float)) \
+            and isinstance(b, (int, float)) \
+            and not isinstance(a, bool) and not isinstance(b, bool):
+        try:
+            return math.isclose(a, b, rel_tol=rel_tol, abs_tol=1e-12)
+        except TypeError:  # pragma: no cover - defensive
+            return False
+    return False
 
 
 # ---------------------------------------------------------------------------
@@ -169,8 +193,15 @@ def check_associativity(
     *,
     samples: int = DEFAULT_SAMPLES,
     seed: Optional[int] = None,
+    rel_tol: float = 0.0,
 ) -> PropertyReport:
-    """``(a op b) op c == a op (b op c)``."""
+    """``(a op b) op c == a op (b op c)``.
+
+    ``rel_tol`` relaxes the comparison to float closeness (see
+    :func:`_eq_tol`) — callers reasoning about real-number algebras
+    evaluated in float64 pass a small tolerance so rounding noise does
+    not masquerade as an axiom violation.
+    """
     rng = _rng(seed)
     cases = 0
     exhaustive = domain.is_finite
@@ -178,7 +209,7 @@ def check_associativity(
         cases += 1
         left = op(op(a, b), c)
         right = op(a, op(b, c))
-        if not _eq(left, right):
+        if not _eq_tol(left, right, rel_tol):
             return PropertyReport(
                 f"associativity of {op.name}", False, exhaustive, cases,
                 witness=(a, b, c),
@@ -193,15 +224,16 @@ def check_commutativity(
     *,
     samples: int = DEFAULT_SAMPLES,
     seed: Optional[int] = None,
+    rel_tol: float = 0.0,
 ) -> PropertyReport:
-    """``a op b == b op a``."""
+    """``a op b == b op a`` (``rel_tol`` as in :func:`check_associativity`)."""
     rng = _rng(seed)
     cases = 0
     exhaustive = domain.is_finite
     for a, b in domain.pairs(rng, samples):
         cases += 1
         left, right = op(a, b), op(b, a)
-        if not _eq(left, right):
+        if not _eq_tol(left, right, rel_tol):
             return PropertyReport(
                 f"commutativity of {op.name}", False, exhaustive, cases,
                 witness=(a, b),
@@ -216,8 +248,10 @@ def check_distributivity(
     *,
     samples: int = DEFAULT_SAMPLES,
     seed: Optional[int] = None,
+    rel_tol: float = 0.0,
 ) -> PropertyReport:
-    """``a ⊗ (b ⊕ c) == (a ⊗ b) ⊕ (a ⊗ c)`` and the right-handed dual."""
+    """``a ⊗ (b ⊕ c) == (a ⊗ b) ⊕ (a ⊗ c)`` and the right-handed dual
+    (``rel_tol`` as in :func:`check_associativity`)."""
     rng = _rng(seed)
     cases = 0
     exhaustive = domain.is_finite
@@ -225,14 +259,14 @@ def check_distributivity(
         cases += 1
         left = mul(a, add(b, c))
         right = add(mul(a, b), mul(a, c))
-        if not _eq(left, right):
+        if not _eq_tol(left, right, rel_tol):
             return PropertyReport(
                 "left distributivity", False, exhaustive, cases,
                 witness=(a, b, c),
                 detail=f"{a!r} ⊗ ({b!r} ⊕ {c!r}) = {left!r} ≠ {right!r}")
         left = mul(add(b, c), a)
         right = add(mul(b, a), mul(c, a))
-        if not _eq(left, right):
+        if not _eq_tol(left, right, rel_tol):
             return PropertyReport(
                 "right distributivity", False, exhaustive, cases,
                 witness=(a, b, c),
@@ -335,3 +369,40 @@ def check_annihilator(
                 "0 annihilates ⊗", False, exhaustive, cases, witness=(a,),
                 detail=f"0 ⊗ {a!r} = {right!r} ≠ 0")
     return PropertyReport("0 annihilates ⊗", True, exhaustive, cases)
+
+
+# ---------------------------------------------------------------------------
+# By-name dispatch (rewrite rules declare the properties they require)
+# ---------------------------------------------------------------------------
+
+#: Axiom checkers addressable by name.  Consumers that *declare* property
+#: requirements — most prominently the certified rewrite rules of
+#: :mod:`repro.expr.rewrite` — resolve the declaration through this
+#: table, so "the properties a rule requires" and "the checks that ran"
+#: can never drift apart.  Single-operation checkers take ``(op, domain)``;
+#: ``"distributivity"`` takes ``(add, mul, domain)``.
+PROPERTY_CHECKERS = {
+    "closure": check_closure,
+    "identity": check_identity,
+    "associativity": check_associativity,
+    "commutativity": check_commutativity,
+    "distributivity": check_distributivity,
+    "zero-sum-free": check_zero_sum_free,
+    "no-zero-divisors": check_no_zero_divisors,
+    "annihilator": check_annihilator,
+}
+
+
+def check_named_property(name: str, *args: Any, **kwargs: Any) -> PropertyReport:
+    """Run the checker registered under ``name``; unknown names raise.
+
+    Positional/keyword arguments are forwarded to the checker verbatim
+    (see :data:`PROPERTY_CHECKERS` for the per-checker signatures).
+    """
+    try:
+        checker = PROPERTY_CHECKERS[name]
+    except KeyError:
+        known = ", ".join(sorted(PROPERTY_CHECKERS))
+        raise KeyError(
+            f"unknown property {name!r}; known: {known}") from None
+    return checker(*args, **kwargs)

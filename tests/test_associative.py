@@ -227,3 +227,59 @@ class TestConversion:
 
     def test_repr(self, tiny_array):
         assert "shape=(2, 3)" in repr(tiny_array)
+
+
+class TestTransposeFastPath:
+    """The dict-backend transpose rides a cached (or freshly promoted)
+    columnar form for large arrays instead of rebuilding a dict."""
+
+    def _large(self, zero=0.0, n=400):
+        rows = [f"r{i:04d}" for i in range(n)]
+        cols = [f"c{i:04d}" for i in range(n // 2)]
+        data = {(rows[i], cols[(i * 3) % (n // 2)]): float(i % 9 + 1)
+                for i in range(n)}
+        return AssociativeArray(data, row_keys=rows, col_keys=cols,
+                                zero=zero)
+
+    def test_large_dict_array_transposes_to_numeric(self):
+        a = self._large()
+        t = a.transpose()
+        assert t.backend == "numeric"
+        assert t == AssociativeArray(
+            {(c, r): v for (r, c), v in a.to_dict().items()},
+            row_keys=a.col_keys, col_keys=a.row_keys, zero=a.zero)
+
+    def test_cached_promotion_is_reused_even_when_small(self):
+        a = AssociativeArray({("r1", "c1"): 1.0, ("r2", "c2"): 2.0},
+                             row_keys=["r1", "r2"], col_keys=["c1", "c2"],
+                             zero=0.0)
+        assert a.numeric_backend() is not None   # warm the cache
+        t = a.transpose()
+        assert t.backend == "numeric"
+        assert t.get("c2", "r2") == 2.0
+
+    def test_small_dict_array_stays_dict(self):
+        a = AssociativeArray({("r1", "c1"): 1}, row_keys=["r1"],
+                             col_keys=["c1"], zero=0)
+        t = a.transpose()
+        assert t.backend == "dict"
+        assert isinstance(t.get("c1", "r1"), int)   # exact type kept
+
+    def test_pinned_array_never_promotes(self):
+        a = self._large().with_backend("dict")
+        t = a.transpose()
+        assert t.backend == "dict"
+        assert t.pinned        # the pin is inherited, as documented
+
+    def test_exotic_values_fall_back(self):
+        n = 300
+        rows = [f"r{i:04d}" for i in range(n)]
+        data = {(rows[i], "c"): f"s{i}" for i in range(n)}
+        a = AssociativeArray(data, row_keys=rows, col_keys=["c"], zero="")
+        t = a.transpose()       # promotion fails; generic path serves
+        assert t.backend == "dict"
+        assert t.get("c", rows[7]) == "s7"
+
+    def test_fast_transpose_round_trips(self):
+        a = self._large(zero=math.inf)   # infinity zero is promotable
+        assert a.transpose().transpose() == a

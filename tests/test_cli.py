@@ -148,3 +148,61 @@ class TestLoadService:
         # An explicit --pair overrides the manifest.
         svc = load_service(str(wd), "plus_times")
         assert svc.op_pair.name == "plus_times"
+
+
+class TestExplain:
+    @staticmethod
+    def _incidence_pair(tmp_path):
+        from repro.arrays.io import write_tsv_triples
+        from repro.graphs.generators import rmat_multigraph
+        from repro.graphs.incidence import incidence_arrays
+        graph = rmat_multigraph(6, 80, seed=4)
+        eout, ein = incidence_arrays(graph)
+        po, pi = tmp_path / "eout.tsv", tmp_path / "ein.tsv"
+        write_tsv_triples(eout, po)
+        write_tsv_triples(ein, pi)
+        return str(po), str(pi)
+
+    def test_explain_names_rewrites_and_licenses(self, tmp_path, capsys):
+        po, pi = self._incidence_pair(tmp_path)
+        assert main(["explain", po, pi]) == 0
+        out = capsys.readouterr().out
+        assert "fuse_incidence_adjacency" in out
+        assert "licensed by:" in out
+        assert "zero-sum-free" in out
+        assert "incidence_to_adjacency[+.×]" in out
+
+    def test_explain_khop_shares_subtree_and_executes(self, tmp_path,
+                                                      capsys):
+        po, pi = self._incidence_pair(tmp_path)
+        assert main(["explain", po, pi, "--khop", "3", "--execute"]) == 0
+        out = capsys.readouterr().out
+        assert "(shared node" in out      # CSE across the hop chain
+        assert "executed in" in out
+
+    def test_explain_reduce_fusion(self, tmp_path, capsys):
+        po, pi = self._incidence_pair(tmp_path)
+        assert main(["explain", po, pi, "--reduce", "rows"]) == 0
+        assert "reduce_into_matmul" in capsys.readouterr().out
+
+    def test_explain_budget_routes_to_shard(self, tmp_path, capsys):
+        po, pi = self._incidence_pair(tmp_path)
+        assert main(["explain", po, pi, "--budget", "1"]) == 0
+        assert "shard executor" in capsys.readouterr().out
+
+    def test_explain_no_optimize_keeps_shape(self, tmp_path, capsys):
+        po, pi = self._incidence_pair(tmp_path)
+        assert main(["explain", po, pi, "--no-optimize"]) == 0
+        out = capsys.readouterr().out
+        assert "applied rewrites: none" in out
+        assert "transpose" in out
+
+    def test_explain_unknown_pair_exit_two(self, tmp_path, capsys):
+        po, pi = self._incidence_pair(tmp_path)
+        assert main(["explain", po, pi, "--pair", "bogus"]) == 2
+        assert "unknown op-pair" in capsys.readouterr().err
+
+    def test_explain_missing_file_exit_two(self, tmp_path, capsys):
+        assert main(["explain", str(tmp_path / "nope.tsv"),
+                     str(tmp_path / "nada.tsv")]) == 2
+        assert "cannot load" in capsys.readouterr().err

@@ -25,6 +25,7 @@ def _run(script: str, *args: str) -> subprocess.CompletedProcess:
     ("flight_network.py", "Section IV in action"),
     ("sharded_build.py", "sharded construction verified against batch"),
     ("adjacency_service.py", "adjacency service demo complete"),
+    ("lazy_pipeline.py", "lazy pipeline demo complete"),
 ])
 def test_example_runs_and_reports(script, expect):
     proc = _run(script)

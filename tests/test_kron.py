@@ -10,7 +10,7 @@ from repro.core.construction import adjacency_array
 from repro.graphs.digraph import EdgeKeyedDigraph
 from repro.graphs.generators import cycle_graph, path_graph
 from repro.graphs.incidence import incidence_arrays
-from repro.values.operations import AND, TIMES
+from repro.values.operations import AND, TIMES, BinaryOp
 from repro.values.semiring import get_op_pair
 
 
@@ -99,3 +99,87 @@ class TestKroneckerGraphs:
         k = kron(ag, ah, TIMES)
         # A_G(a,b) = 3; A_H(p,q) = 12 → paired entry 36.
         assert k.get(pair_key("a", "p"), pair_key("b", "q")) == 36.0
+
+
+class TestKronBackends:
+    """The numeric-operand fast path adopts columnar values instead of
+    round-tripping through Python dicts."""
+
+    def _operands(self, m=3, p=4):
+        rows_a = [f"r{i}" for i in range(m)]
+        a = AssociativeArray(
+            {(rows_a[i], rows_a[(i + 1) % m]): float(i + 2)
+             for i in range(m)},
+            row_keys=rows_a, col_keys=rows_a, zero=0.0)
+        rows_b = [f"s{i}" for i in range(p)]
+        b = AssociativeArray(
+            {(rows_b[i], rows_b[(i * 2 + 1) % p]): float(i + 1)
+             for i in range(p)},
+            row_keys=rows_b, col_keys=rows_b, zero=0.0)
+        return a, b
+
+    def test_numeric_operands_match_dict_operands(self):
+        a, b = self._operands()
+        ref = kron(a.with_backend("dict"), b.with_backend("dict"), TIMES)
+        got = kron(a.with_backend("numeric"), b.with_backend("numeric"),
+                   TIMES)
+        assert got == ref
+        # The fast path's result is itself numeric-backed.
+        assert got.backend == "numeric"
+
+    def test_numeric_operands_infinity_zero(self):
+        from repro.values.operations import PLUS
+        pair = get_op_pair("min_plus")     # zero is +∞
+        a, b = self._operands()
+        a = AssociativeArray(a.to_dict(), row_keys=a.row_keys,
+                             col_keys=a.col_keys, zero=pair.zero)
+        b = AssociativeArray(b.to_dict(), row_keys=b.row_keys,
+                             col_keys=b.col_keys, zero=pair.zero)
+        ref = kron(a.with_backend("dict"), b.with_backend("dict"), PLUS,
+                   zero=pair.zero)
+        got = kron(a.with_backend("numeric"), b.with_backend("numeric"),
+                   PLUS, zero=pair.zero)
+        assert got == ref
+
+    def test_large_dict_operands_promote(self):
+        """Above the vectorisation threshold even dict-backed operands
+        take the columnar path; below it, exact value types survive."""
+        rows = [f"r{i:03d}" for i in range(40)]
+        big = AssociativeArray(
+            {(rows[i], rows[j]): float((i * 7 + j) % 5 + 1)
+             for i in range(40) for j in range(8)},
+            row_keys=rows, col_keys=rows, zero=0.0)
+        small = AssociativeArray({("x", "y"): 2.0}, row_keys=["x", "y"],
+                                 col_keys=["x", "y"], zero=0.0)
+        got = kron(big, small, TIMES)
+        ref = kron(big.with_backend("dict"), small.with_backend("dict"),
+                   TIMES)
+        assert got == ref
+        assert got.backend == "numeric"
+
+    def test_tiny_dict_operands_stay_generic(self):
+        a, b = self._operands()
+        assert kron(a, b, TIMES).backend == "dict"
+
+    def test_zero_divisor_drops_match(self):
+        """Products equal to the zero are dropped identically on both
+        paths (the criterion-(b) effect the docstring mentions)."""
+        mod5 = BinaryOp("times_mod5", lambda x, y: (x * y) % 5, 1,
+                        ufunc=None)
+        a = AssociativeArray({("r0", "r1"): 5.0}, row_keys=["r0", "r1"],
+                             col_keys=["r0", "r1"], zero=0.0)
+        b = AssociativeArray({("s0", "s1"): 2.0}, row_keys=["s0", "s1"],
+                             col_keys=["s0", "s1"], zero=0.0)
+        # ufunc-less op takes the generic path; (5 ⊗ 2) mod 5 = 0 is a
+        # zero-divisor product and must vanish from the pattern.
+        assert kron(a, b, mod5).nnz == 0
+        # The vectorised path applies the same drop rule: 5 × 2 = 10
+        # survives, but scaling b to produce a true zero vanishes.
+        got = kron(a.with_backend("numeric"), b.with_backend("numeric"),
+                   TIMES)
+        assert got.values_list() == [10.0]
+        zero_hit = AssociativeArray({("s0", "s1"): 0.5}, row_keys=["s0", "s1"],
+                                    col_keys=["s0", "s1"], zero=5.0)
+        dropped = kron(a.with_backend("numeric"), zero_hit, TIMES,
+                       zero=2.5)
+        assert dropped.nnz == 0    # 5.0 × 0.5 = 2.5 equals the zero
