@@ -181,6 +181,24 @@ def run(quick: bool) -> dict:
     }
 
 
+def headline(report: dict) -> dict:
+    """Gateable metrics for the ``repro bench`` harness."""
+    return {
+        "fused_khop_seconds": {
+            "value": min(r["seconds"]["fused_chain"]
+                         for r in report["khop"]),
+            "direction": "lower", "unit": "s"},
+        "speedup_fused_vs_eager": {
+            "value": max(r["speedup_fused_vs_eager"]
+                         for r in report["incidence_to_adjacency"]),
+            "direction": "higher", "unit": "x"},
+        "speedup_khop_fused_vs_looped": {
+            "value": max(r["speedup_fused_vs_looped"]
+                         for r in report["khop"]),
+            "direction": "higher", "unit": "x"},
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",

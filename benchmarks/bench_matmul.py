@@ -132,6 +132,21 @@ def run(quick: bool) -> dict:
     }
 
 
+def headline(report: dict) -> dict:
+    """Gateable metrics for the ``repro bench`` harness."""
+    rows = report["workloads"]
+    return {
+        "matmul_chain_seconds": {
+            "value": min(r["seconds"]["persistent_backend"]
+                         for r in rows),
+            "direction": "lower", "unit": "s"},
+        "speedup_persistent_vs_conversion": {
+            "value": max(r["speedup_persistent_vs_conversion"]
+                         for r in rows),
+            "direction": "higher", "unit": "x"},
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",

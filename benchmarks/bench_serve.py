@@ -115,6 +115,21 @@ def run(quick: bool) -> dict:
     }
 
 
+def headline(report: dict) -> dict:
+    """Gateable metrics for the ``repro bench`` harness."""
+    return {
+        "khop_cold_ms": {
+            "value": report["khop"]["cold_ms"],
+            "direction": "lower", "unit": "ms"},
+        "khop_cached_speedup": {
+            "value": report["khop"]["speedup"],
+            "direction": "higher", "unit": "x"},
+        "publication_mean_seconds": {
+            "value": report["publication"]["mean_seconds"],
+            "direction": "lower", "unit": "s"},
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",

@@ -76,6 +76,19 @@ def run(quick: bool) -> dict:
     }
 
 
+def headline(report: dict) -> dict:
+    """Gateable metrics for the ``repro bench`` harness."""
+    return {
+        "batch_seconds": {
+            "value": report["batch_seconds"],
+            "direction": "lower", "unit": "s"},
+        "best_sharded_speedup": {
+            "value": max(r["speedup_vs_batch"]
+                         for r in report["sharded"]),
+            "direction": "higher", "unit": "x"},
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",

@@ -4,12 +4,32 @@ Every benchmark doubles as a regeneration harness: it times the operation
 *and* asserts (or prints) the same rows the paper reports, so
 ``pytest benchmarks/ --benchmark-only`` both measures and re-verifies.
 
-Run with ``-s`` to see the regenerated figure tables inline.
+Run with ``-s`` to see the regenerated figure tables inline.  Each
+emitted artifact carries the session's run metadata (git sha,
+python/numpy/scipy versions — :func:`repro.obs.bench.run_metadata`), so
+a pasted banner is attributable to a commit and numeric stack.
 """
 
 from __future__ import annotations
 
-import pytest
+from typing import Optional
+
+import pytest  # noqa: F401 - conftest module; fixtures may hang off it
+
+_METADATA_LINE: Optional[str] = None
+
+
+def _metadata_line() -> str:
+    """One attribution line, computed once per pytest session."""
+    global _METADATA_LINE
+    if _METADATA_LINE is None:
+        from repro.obs.bench import run_metadata
+        meta = run_metadata()
+        sha = meta.get("git_sha") or "unknown"
+        _METADATA_LINE = (
+            f"-- commit {sha[:12]} · python {meta.get('python')} "
+            f"· numpy {meta.get('numpy')} · scipy {meta.get('scipy')} --")
+    return _METADATA_LINE
 
 
 def emit(title: str, text: str) -> None:
@@ -17,4 +37,5 @@ def emit(title: str, text: str) -> None:
     banner = f"== {title} =="
     print()
     print(banner)
+    print(_metadata_line())
     print(text)

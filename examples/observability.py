@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Observability: metrics, span traces, and the benchmark harness.
+
+Every subsystem is instrumented through one dependency-free layer,
+:mod:`repro.obs` — counters/gauges/histograms on thread-safe
+registries, and ``contextvars``-propagated span traces that nest
+automatically through however many layers a request crosses.  This
+example walks the surface without starting an HTTP server:
+
+1. drive an :class:`~repro.serve.AdjacencyService` and read its
+   per-instance registry — the exact families ``GET /metrics`` renders
+   (cache hit ratio, per-kind latency percentiles, snapshot age);
+2. inspect the trace tree the service recorded for one k-hop query:
+   planner, executor nodes, and the kernels they dispatched to
+   (``repro trace`` prints the same tree from the command line);
+3. instrument *your own* pipeline: open a root span on a
+   :class:`~repro.obs.Tracer` and every instrumented library call —
+   expression planning, kernel execution — attaches itself beneath it;
+4. read the measured per-kernel rates that the library instruments
+   feed back into the expression engine's cost model;
+5. fabricate two benchmark-harness runs and diff them with the same
+   regression gate CI applies (``repro bench --compare``).
+
+Run:  python examples/observability.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.expr import evaluate, lazy
+from repro.graphs.generators import rmat_multigraph
+from repro.obs import Tracer, get_registry, render_prometheus, render_trace
+from repro.obs.bench import compare
+from repro.serve import AdjacencyService
+
+
+def main() -> None:
+    pair = repro.get_op_pair("plus_times")
+
+    # ------------------------------------------------------------------
+    # 1. Service metrics: every query and publication is measured.
+    # ------------------------------------------------------------------
+    graph = rmat_multigraph(7, 600, seed=42)
+    service = AdjacencyService(pair)
+    service.add_edges((k, s, t, 1.0, 1.0) for k, s, t in graph.edges())
+    service.publish()
+
+    snap = service.snapshot()
+    source = next(iter(snap.adjacency.rows_nonempty()))
+    for _ in range(3):                       # one miss, then cache hits
+        service.query("khop", vertex=source, k=3)
+
+    print("— service registry (what GET /metrics renders) —")
+    exposition = render_prometheus(service.metrics, get_registry())
+    wanted = ("serve_queries_total", "serve_cache_hits", "serve_epoch")
+    for line in exposition.splitlines():
+        if line.startswith(wanted):
+            print(f"  {line}")
+
+    stats = service.stats()
+    print(f"\ncache hit ratio: {stats['cache']['hits']}/"
+          f"{stats['cache']['hits'] + stats['cache']['misses']}, "
+          f"cold-path p50 "
+          f"{stats['cache']['cold_latency']['p50'] * 1e3:.3f} ms\n")
+
+    # ------------------------------------------------------------------
+    # 2. The trace the service recorded for that query.
+    # ------------------------------------------------------------------
+    print("— span tree of the cold k-hop query (GET /trace/<id>) —")
+    queries = [t for t in service.tracer.traces()     # newest first,
+               if t["name"] == "service.query"]       # so the cold
+    cold_root = queries[-1]["trace_id"]               # query is last
+    print(render_trace(service.tracer.get(cold_root)))
+
+    # ------------------------------------------------------------------
+    # 3. Tracing your own pipeline: library spans nest automatically.
+    # ------------------------------------------------------------------
+    weights = {k: float(1 + (i % 9))
+               for i, k in enumerate(graph.edge_keys)}
+    eout, ein = repro.incidence_arrays(graph, zero=pair.zero,
+                                      out_values=weights,
+                                      in_values=weights)
+    tracer = Tracer()
+    with tracer.span("my_pipeline", edges=graph.num_edges):
+        adjacency = evaluate(
+            lazy(eout, "Eout").T.matmul(lazy(ein, "Ein"), pair))
+    print("\n— the same propagation through your own root span —")
+    print(render_trace(tracer.latest()))
+    assert adjacency.nnz > 0
+
+    # ------------------------------------------------------------------
+    # 4. Measured kernel rates feeding the cost model.
+    # ------------------------------------------------------------------
+    from repro.expr.cost import measured_seconds_per_term
+    print("\n— measured kernel rates (cost-model calibration) —")
+    for family in get_registry().families():
+        if family.name != "expr_kernel_terms_total":
+            continue
+        for labels, _inst in sorted(family.children.items()):
+            kernel = dict(labels).get("kernel", "?")
+            rate = measured_seconds_per_term(kernel)
+            if rate is not None:
+                print(f"  {kernel}: {rate * 1e9:.2f} ns/term")
+
+    # ------------------------------------------------------------------
+    # 5. The regression gate, on two fabricated harness runs.
+    # ------------------------------------------------------------------
+    def run_doc(run_id, cold_ms):
+        return {"run_id": run_id, "headline": {"serve": {
+            "khop_cold_ms": {"value": cold_ms, "direction": "lower",
+                             "unit": "ms"}}}}
+
+    result = compare(run_doc("baseline", 10.0),
+                     run_doc("candidate", 15.0), threshold=0.20)
+    print("\n— repro bench --compare, the CI gate —")
+    print(result.describe())
+    assert not result.ok                      # +50% > 20%: gated
+
+    print("\nobservability demo complete")
+
+
+if __name__ == "__main__":
+    main()

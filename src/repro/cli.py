@@ -33,6 +33,16 @@
     Ask a running server one question (``neighbors``, ``degrees``,
     ``khop``, ``path-lengths``, ``top-k``, ``stats``) and print the
     JSON answer.
+``trace --source ADJ.tsv``
+    Run one traced k-hop query against a local source and print the
+    span tree (handler → cache → expr plan → kernels) — the
+    observability layer's smoke test (see :mod:`repro.obs.trace`).
+``bench [NAMES...] [--compare A B]``
+    The versioned benchmark harness: run the smoke benchmarks under a
+    locked manifest (git sha, machine, config hash), writing
+    ``BENCH_<runid>.json`` + ``report.md``; or diff two runs' headline
+    metrics against a regression threshold, exiting non-zero on any
+    regression (see :mod:`repro.obs.bench`).
 """
 
 from __future__ import annotations
@@ -191,6 +201,53 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fold khop under this certified op-pair")
     p_query.add_argument("--url", default="http://127.0.0.1:8631",
                          help="server base URL")
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run one traced k-hop query against a local source and "
+             "print its span tree")
+    p_trace.add_argument("--source", required=True,
+                         help="adjacency TSV-triple file or kept shard "
+                              "workdir (as in `repro serve`)")
+    p_trace.add_argument("--pair", default=None,
+                         help="op-pair registry name (default: the "
+                              "source's recorded pair, else plus_times)")
+    p_trace.add_argument("--vertex", default=None,
+                         help="query source vertex (default: the "
+                              "snapshot's first vertex)")
+    p_trace.add_argument("-k", type=int, default=2, dest="k",
+                         help="hop count of the traced query (default: 2)")
+    p_trace.add_argument("--unsafe-ok", action="store_true",
+                         help="accept op-pairs that fail the Theorem "
+                              "II.1 criteria or have order-sensitive ⊕")
+    p_trace.add_argument("--json", action="store_true",
+                         help="print the trace as JSON instead of a tree")
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the versioned benchmark harness, or --compare two "
+             "runs with a regression gate")
+    p_bench.add_argument("names", nargs="*",
+                         help="benchmarks to run (default: the smoke "
+                              "set; see --list)")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="small problem sizes (CI smoke mode)")
+    p_bench.add_argument("--outdir", default=None,
+                         help="write BENCH_<runid>.json and report.md "
+                              "here")
+    p_bench.add_argument("--bench-dir", default=None,
+                         help="directory holding bench_*.py scripts "
+                              "(default: the repo's benchmarks/)")
+    p_bench.add_argument("--list", action="store_true", dest="list_only",
+                         help="list runnable benchmarks and exit")
+    p_bench.add_argument("--compare", nargs=2, default=None,
+                         metavar=("BASELINE", "CANDIDATE"),
+                         help="diff two runs (BENCH_*.json files or "
+                              "directories holding them) instead of "
+                              "running; exits 1 on any regression")
+    p_bench.add_argument("--threshold", type=float, default=None,
+                         help="relative regression threshold for "
+                              "--compare (default: 0.20)")
     return parser
 
 
@@ -444,7 +501,8 @@ def _cmd_serve(args) -> int:
     print(f"serving {args.source} on http://{host}:{port}  "
           f"(epoch {snap.epoch}, {len(snap.vertices)} vertices, "
           f"{snap.nnz} entries, op-pair {service.op_pair.name})")
-    print("  GET  /health  /stats  /query/<kind>?vertex=...&k=...")
+    print("  GET  /health  /healthz  /stats  /metrics  /trace")
+    print("  GET  /query/<kind>?vertex=...&k=...")
     print("  POST /edges   /publish")
     try:
         server.serve_forever()
@@ -494,6 +552,96 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    import json
+    from repro.obs.trace import render_trace
+    from repro.values.semiring import SemiringError
+    try:
+        service = load_service(
+            args.source, args.pair, unsafe_ok=args.unsafe_ok)
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    except (SemiringError, ValueError) as exc:
+        msg = str(exc).replace("unsafe_ok=True", "--unsafe-ok")
+        print(f"refused: {msg}", file=sys.stderr)
+        return 1
+    snapshot = service.snapshot()
+    vertex = args.vertex
+    if vertex is None:
+        if not len(snapshot.vertices):
+            print("source has no vertices to query", file=sys.stderr)
+            return 1
+        vertex = snapshot.vertices[0]
+    elif vertex not in snapshot.vertices:
+        for cast in (int, float):
+            try:
+                if cast(vertex) in snapshot.vertices:
+                    vertex = cast(vertex)
+                    break
+            except ValueError:
+                continue
+    try:
+        frontier = service.khop(vertex, args.k)
+    except ValueError as exc:
+        print(f"query failed: {exc}", file=sys.stderr)
+        return 1
+    root = service.tracer.latest()
+    if root is None:  # pragma: no cover - query() always traces
+        print("no trace was recorded", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(root.to_dict(), indent=2, default=str))
+    else:
+        print(f"khop(vertex={vertex!r}, k={args.k}): "
+              f"{len(frontier)} frontier entries, epoch {service.epoch}")
+        print(render_trace(root))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.obs.bench import (
+        BenchError,
+        DEFAULT_THRESHOLD,
+        compare,
+        discover_benchmarks,
+        load_run,
+        render_markdown,
+        run_benchmarks,
+    )
+    if args.list_only:
+        for name in discover_benchmarks(args.bench_dir):
+            print(name)
+        return 0
+    if args.compare is not None:
+        threshold = args.threshold if args.threshold is not None \
+            else DEFAULT_THRESHOLD
+        try:
+            baseline = load_run(args.compare[0])
+            candidate = load_run(args.compare[1])
+            result = compare(baseline, candidate, threshold=threshold)
+        except BenchError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        print(result.describe())
+        return 0 if result.ok else 1
+    if args.threshold is not None:
+        print("--threshold only applies with --compare", file=sys.stderr)
+        return 2
+    try:
+        doc = run_benchmarks(args.names or None, quick=args.quick,
+                             outdir=args.outdir,
+                             bench_dir=args.bench_dir, progress=True)
+    except BenchError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(render_markdown(doc))
+    if "artifacts" in doc:
+        print(f"wrote {doc['artifacts']['json']} and "
+              f"{doc['artifacts']['markdown']}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -515,6 +663,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "query":
         return _cmd_query(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

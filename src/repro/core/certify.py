@@ -165,10 +165,17 @@ def certify_cached(
     algebras per request.  One criteria search per (pair object,
     samples, seed) for the process lifetime.
     """
+    from repro.obs.metrics import get_registry
     key = (id(op_pair), samples, seed)
     entry = _CERTIFY_CACHE.get(key)
     if entry is not None and entry[0] is op_pair:
+        get_registry().counter(
+            "certify_cache_hits_total",
+            "Certification-cache hits (criteria searches avoided)").inc()
         return entry[1]
+    get_registry().counter(
+        "certify_cache_misses_total",
+        "Certification-cache misses (criteria searches run)").inc()
     cert = certify(op_pair, samples=samples, seed=seed,
                    build_witness=False)
     _CERTIFY_CACHE[key] = (op_pair, cert)

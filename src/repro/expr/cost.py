@@ -23,6 +23,15 @@ back to the generic path), and fused incidence-to-adjacency nodes whose
 estimated working set exceeds the plan's ``memory_budget`` are routed
 to the out-of-core :mod:`repro.shard` executor instead of in-memory
 evaluation.
+
+The model also *learns*: every product the executor runs reports its
+(kernel, multiplicative terms, wall seconds) back through
+:func:`record_kernel_sample`, which feeds both the process-global
+metrics registry (``expr_kernel_seconds{kernel=...}`` and friends on
+``/metrics``) and a measured seconds-per-term rate.  Later plans then
+carry an estimated wall time (:attr:`CostEstimate.seconds`) computed
+from *this process's observed kernel throughput*, not a hardcoded
+constant — shown in ``explain()`` once at least one sample exists.
 """
 
 from __future__ import annotations
@@ -44,8 +53,10 @@ from repro.expr.ast import (
     WithKeys,
     topological_order,
 )
+from repro.obs.metrics import get_registry
 
-__all__ = ["CostEstimate", "estimate_plan", "NUMERIC_ENTRY_BYTES",
+__all__ = ["CostEstimate", "estimate_plan", "record_kernel_sample",
+           "measured_seconds_per_term", "NUMERIC_ENTRY_BYTES",
            "DICT_ENTRY_BYTES"]
 
 #: Bytes per stored entry on the columnar backend (int64 row + int64
@@ -55,6 +66,49 @@ NUMERIC_ENTRY_BYTES = 24
 #: Rough bytes per stored entry on the dict backend (key tuple, boxed
 #: value, hash-table overhead).
 DICT_ENTRY_BYTES = 160
+
+
+def record_kernel_sample(kernel: str, terms: float, seconds: float) -> None:
+    """Feed one executed product back into the measured cost model.
+
+    Called by the executor after every product it runs.  The sample
+    lands on the process-global registry — ``expr_kernel_seconds``
+    (latency histogram), ``expr_kernel_seconds_total`` and
+    ``expr_kernel_terms_total`` (the running rate numerator and
+    denominator) — so ``/metrics`` and the seconds-per-term estimate
+    read the same numbers.
+    """
+    registry = get_registry()
+    registry.histogram(
+        "expr_kernel_seconds", "Wall time of one product kernel call",
+        kernel=kernel).observe(seconds)
+    registry.counter(
+        "expr_kernel_seconds_total",
+        "Cumulative product-kernel wall seconds", kernel=kernel
+    ).inc(seconds)
+    registry.counter(
+        "expr_kernel_terms_total",
+        "Cumulative multiplicative terms executed per kernel",
+        kernel=kernel).inc(max(terms, 1.0))
+
+
+def measured_seconds_per_term(kernel: str) -> Optional[float]:
+    """Observed seconds per multiplicative term for ``kernel``.
+
+    ``None`` until :func:`record_kernel_sample` has seen that kernel in
+    this process — the cost model never invents a throughput.
+    """
+    registry = get_registry()
+    seconds = registry.counter(
+        "expr_kernel_seconds_total",
+        "Cumulative product-kernel wall seconds", kernel=kernel).value
+    terms = registry.counter(
+        "expr_kernel_terms_total",
+        "Cumulative multiplicative terms executed per kernel",
+        kernel=kernel).value
+    if terms <= 0 or seconds <= 0:
+        return None
+    return seconds / terms
 
 
 @dataclass(frozen=True)
@@ -68,6 +122,9 @@ class CostEstimate:
     kernel: str = "-"            # multiply kernel, "-" for non-products
     flops: float = 0.0           # multiplicative terms for products
     exact: bool = False          # True only for leaves
+    #: Predicted wall seconds from this process's measured kernel
+    #: throughput; ``None`` until the kernel has run at least once.
+    seconds: Optional[float] = None
 
     @property
     def bytes(self) -> float:
@@ -152,8 +209,10 @@ def _estimate(node: Node, memo: Dict[int, CostEstimate]) -> CostEstimate:
         kernel = _product_kernel(node, a, b, numeric)
         backend = "numeric" if kernel != "generic" else \
             ("numeric" if numeric else "dict")
+        rate = measured_seconds_per_term(kernel)
         return CostEstimate(rows, cols, nnz, backend, kernel=kernel,
-                            flops=flops)
+                            flops=flops,
+                            seconds=None if rate is None else flops * rate)
 
     if isinstance(node, Elementwise):
         a, b = child_ests

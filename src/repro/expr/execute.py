@@ -22,6 +22,7 @@ budget.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -47,7 +48,13 @@ from repro.expr.ast import (
     lazy,
     topological_order,
 )
-from repro.expr.cost import CostEstimate, estimate_plan
+from repro.expr.cost import (
+    CostEstimate,
+    estimate_plan,
+    record_kernel_sample,
+)
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
 from repro.expr.rewrite import (
     AppliedRewrite,
     DEFAULT_RULES,
@@ -160,6 +167,8 @@ class Plan:
                 if est.kernel != "-":
                     parts.append(f"kernel={est.kernel}")
                 parts.append(f"~{_fmt_bytes(est.working_bytes)}")
+                if est.seconds is not None:
+                    parts.append(f"~{est.seconds * 1e3:.2f} ms measured")
             if id(node) in self.shard_nodes:
                 parts.append("→ shard executor (over budget)")
             return "  ".join(parts)
@@ -222,6 +231,7 @@ def plan(
     :class:`~repro.shard.plan.ShardedAdjacencyPlan` keywords for that
     path.
     """
+    started = time.perf_counter()
     source = lazy(expr).node
     root = source
     # Force key-set derivation bottom-up (it is lazy and recursive per
@@ -235,9 +245,18 @@ def plan(
     gate = PropertyGate(samples=samples, seed=seed)
     applied: List[AppliedRewrite] = []
     refused: List[RefusedRewrite] = []
-    if optimize_plan:
-        root, applied, refused = optimize(root, gate, rules=DEFAULT_RULES)
-    estimates = estimate_plan(root)
+    with span("expr.plan", optimize=optimize_plan) as sp:
+        if optimize_plan:
+            root, applied, refused = optimize(root, gate,
+                                              rules=DEFAULT_RULES)
+        estimates = estimate_plan(root)
+        sp.set_attr("applied", len(applied))
+        sp.set_attr("refused", len(refused))
+    registry = get_registry()
+    registry.counter("expr_plans_total", "Expression plans built").inc()
+    registry.histogram(
+        "expr_plan_seconds", "Wall time of plan() (rewrites + costing)"
+    ).observe(time.perf_counter() - started)
     shard_nodes: List[int] = []
     if memory_budget is not None:
         for node in topological_order(root):
@@ -288,16 +307,29 @@ class _Executor:
     def __init__(self, the_plan: Plan) -> None:
         self.plan = the_plan
         self.results: Dict[int, AssociativeArray] = {}
+        self._node_seconds = get_registry().histogram(
+            "expr_node_seconds", "Wall time of one operator-node "
+            "evaluation (memoised nodes run once)")
 
     def run(self) -> AssociativeArray:
-        for node in topological_order(self.plan.root):
-            if id(node) not in self.results:
-                self.results[id(node)] = self._execute(node)
+        order = topological_order(self.plan.root)
+        with span("expr.execute", nodes=len(order)):
+            for node in order:
+                if id(node) not in self.results:
+                    self.results[id(node)] = self._execute(node)
         return self.results[id(self.plan.root)]
 
     def _execute(self, node: Node) -> AssociativeArray:
         if isinstance(node, Leaf):
             return node.array
+        with span(f"node.{node.kind}") as sp:
+            started = time.perf_counter()
+            result = self._execute_operator(node)
+            self._node_seconds.observe(time.perf_counter() - started)
+            sp.set_attr("nnz", result.nnz)
+        return result
+
+    def _execute_operator(self, node: Node) -> AssociativeArray:
         children = [self.results[id(c)] for c in node.children]
         if isinstance(node, Transpose):
             return children[0].transpose()
@@ -346,13 +378,28 @@ class _Executor:
                                           zero=node.zero)
         return None
 
+    def _timed_product(self, node: Node, kernel: str, fn):
+        """Run one product; feed (kernel, terms, seconds) back into the
+        measured cost model and the active trace."""
+        est = self.plan.estimates.get(id(node))
+        terms = est.flops if est is not None else 0.0
+        with span("kernel", kernel=kernel):
+            started = time.perf_counter()
+            result = fn()
+            elapsed = time.perf_counter() - started
+        record_kernel_sample(kernel, terms, elapsed)
+        return result
+
     def _matmul(self, node: MatMul, a: AssociativeArray,
                 b: AssociativeArray) -> AssociativeArray:
         empty = self._empty_product(node, a, b)
         if empty is not None:
             return empty
-        return multiply(a, b, node.op_pair, mode=node.mode,
-                        kernel=self._kernel_for(node, a, b))
+        kernel = self._kernel_for(node, a, b)
+        return self._timed_product(
+            node, kernel,
+            lambda: multiply(a, b, node.op_pair, mode=node.mode,
+                             kernel=kernel))
 
     def _incidence_to_adjacency(
         self, node: IncidenceToAdjacency,
@@ -372,16 +419,24 @@ class _Executor:
                     # ⊕.⊗ = +.×: hand both CSR forms to scipy and let
                     # its O(nnz) counting transpose contract ``saᵀ·sb``
                     # — no transposed array, no comparison sort.
-                    return _fused_scipy(node, ne, nf, e, f)
+                    return self._timed_product(
+                        node, "scipy",
+                        lambda: _fused_scipy(node, ne, nf, e, f))
                 # E's cached CSC *is* Eᵀ's CSR: adopt it directly —
                 # the fused kernel never builds a transposed array.
                 et = AssociativeArray._adopt(
                     ne.transposed(), e.col_keys, e.row_keys, e.zero)
-                return multiply(et, f, node.op_pair, mode="sparse",
-                                kernel=kernel)
-            return _fused_generic(e, f, node.op_pair)
-        return multiply(e.transpose(), f, node.op_pair, mode="dense",
-                        kernel="auto")
+                return self._timed_product(
+                    node, kernel,
+                    lambda: multiply(et, f, node.op_pair, mode="sparse",
+                                     kernel=kernel))
+            return self._timed_product(
+                node, "generic",
+                lambda: _fused_generic(e, f, node.op_pair))
+        return self._timed_product(
+            node, "dense_blocked",
+            lambda: multiply(e.transpose(), f, node.op_pair,
+                             mode="dense", kernel="auto"))
 
     def _sharded(self, node: IncidenceToAdjacency, e: AssociativeArray,
                  f: AssociativeArray) -> AssociativeArray:
@@ -393,7 +448,9 @@ class _Executor:
         # insensitive ⊕); re-certifying per shard run would be waste.
         options["unsafe_ok"] = True
         shard_plan = ShardedAdjacencyPlan(node.op_pair, **options)
-        return shard_plan.run((e, f)).adjacency
+        with span("shard.offload", n_shards=options["n_shards"],
+                  executor=options["executor"]):
+            return shard_plan.run((e, f)).adjacency
 
     # -- reductions ----------------------------------------------------------
     @staticmethod

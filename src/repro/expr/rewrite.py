@@ -54,6 +54,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.arrays.associative import AssociativeArray
 from repro.core.certify import certify_cached
+from repro.obs.metrics import get_registry
 from repro.expr.ast import (
     Elementwise,
     ExprError,
@@ -151,7 +152,14 @@ class PropertyGate:
         key = (prop, which, id(pair), self.samples, self.seed)
         cached = _REPORT_CACHE.get(key)
         if cached is not None and cached[0] is pair:
+            get_registry().counter(
+                "expr_property_cache_hits_total",
+                "Property-report cache hits (sampling sweeps avoided)"
+            ).inc()
             return cached[1], cached[2]
+        get_registry().counter(
+            "expr_property_cache_misses_total",
+            "Property-report cache misses (sampling sweeps run)").inc()
         if prop == "distributivity":
             report = check_named_property(
                 prop, pair.add, pair.mul, pair.domain,
@@ -481,9 +489,16 @@ def optimize(
                             rule.name, current.label(),
                             "; ".join(failing or evidence)
                             or "properties not certified"))
+                        get_registry().counter(
+                            "expr_rewrites_refused_total",
+                            "Rewrites refused per rule (properties "
+                            "not certified)", rule=rule.name).inc()
                     continue
                 site = current.label()
                 current = rule.apply(current)
+                get_registry().counter(
+                    "expr_rewrites_applied_total",
+                    "Rewrites applied per rule", rule=rule.name).inc()
                 # The rewritten form may itself contain unvisited
                 # structure (e.g. fresh Transpose wrappers).
                 rewritten_children = tuple(visit(c)
@@ -510,6 +525,9 @@ def optimize(
             "structurally identical subtrees share one node "
             "(evaluated once)",
             f"{shared} duplicate subtree(s) merged", ()))
+        get_registry().counter(
+            "expr_rewrites_applied_total", "Rewrites applied per rule",
+            rule="common_subexpression_elimination").inc()
     return new_root, applied, refused
 
 

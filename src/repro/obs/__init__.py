@@ -1,0 +1,70 @@
+"""``repro.obs`` — unified observability: metrics, tracing, benchmarks.
+
+The measurement substrate the ROADMAP's scaling items gate on.  Three
+dependency-free pieces, threaded through every hot layer:
+
+* :mod:`repro.obs.metrics` — a thread-safe registry of counters,
+  gauges, and fixed-bucket histograms (with percentile estimation),
+  rendered as JSON (``/stats``) or Prometheus text (``/metrics``).
+  Library-level instruments (expression rewrites, kernel timings,
+  shard build/merge/spill) live on the process-global registry
+  (:func:`~repro.obs.metrics.get_registry`); per-service instruments
+  (cache hit ratio, per-endpoint latency) live on each service's own.
+* :mod:`repro.obs.trace` — span tracing with ``contextvars``
+  propagation: one HTTP k-hop query produces one trace tree (handler →
+  cache → snapshot → expr plan → kernel), dumpable as JSON
+  (``GET /trace/<id>``) and renderable by ``repro trace``.
+* :mod:`repro.obs.bench` — the versioned benchmark harness behind
+  ``repro bench``: run-id'd runs with locked manifests (git sha,
+  machine info, config hash), ``BENCH_<runid>.json`` + ``report.md``
+  artifacts, and ``--compare`` regression gates consumed by CI against
+  the committed ``BENCH_baseline.json``.
+"""
+
+from repro.obs.bench import (
+    BenchError,
+    CompareResult,
+    DEFAULT_THRESHOLD,
+    MetricDelta,
+    compare,
+    config_hash,
+    discover_benchmarks,
+    load_run,
+    render_markdown,
+    run_benchmarks,
+    run_metadata,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    render_prometheus,
+)
+from repro.obs.trace import Span, Tracer, current_span, render_trace, span
+
+__all__ = [
+    "BenchError",
+    "CompareResult",
+    "Counter",
+    "DEFAULT_THRESHOLD",
+    "Gauge",
+    "Histogram",
+    "MetricDelta",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "compare",
+    "config_hash",
+    "current_span",
+    "discover_benchmarks",
+    "get_registry",
+    "load_run",
+    "render_markdown",
+    "render_prometheus",
+    "render_trace",
+    "run_benchmarks",
+    "run_metadata",
+    "span",
+]

@@ -1,0 +1,243 @@
+"""Span tracing with ``contextvars`` propagation.
+
+One traced request produces one **trace tree**: a root span (opened by
+a :class:`Tracer`) with nested child spans opened anywhere downstream
+— the HTTP handler, the service's cache lookup, the expression
+planner, each kernel execution.  Propagation rides a single
+:mod:`contextvars` context variable, so
+
+* nesting is automatic — any code that calls :func:`span` while a
+  trace is active attaches to the innermost open span, however many
+  call frames (or memoised executor nodes) sit in between;
+* threads are isolated — two concurrent HTTP requests each build their
+  own tree (``ThreadingHTTPServer`` gives each request a thread, and
+  contextvars are per-thread by default);
+* untraced execution is almost free — :func:`span` returns a shared
+  no-op context manager when no trace is active, so instrumented hot
+  paths (per-node kernel execution) cost one contextvar read when
+  tracing is off.
+
+Completed traces land in the owning tracer's bounded ring
+(:meth:`Tracer.get` / :meth:`Tracer.traces`), dumpable as JSON for
+``GET /trace/<id>`` and renderable as a text tree for ``repro trace``
+(:func:`render_trace`).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["Span", "Tracer", "span", "current_span", "render_trace"]
+
+#: The innermost open span of the current execution context.
+_CURRENT: "contextvars.ContextVar[Optional[Span]]" = \
+    contextvars.ContextVar("repro_obs_current_span", default=None)
+
+_ids = itertools.count(1)
+_id_lock = threading.Lock()
+
+
+def _next_id(prefix: str) -> str:
+    with _id_lock:
+        n = next(_ids)
+    return f"{prefix}{n:08x}"
+
+
+class Span:
+    """One timed operation inside a trace tree.
+
+    Spans are context managers; entering pushes the span onto the
+    context, exiting pops it, stamps the duration, and (for roots)
+    hands the finished tree to the owning tracer.  Exceptions mark the
+    span ``error`` with the exception text and propagate.
+    """
+
+    __slots__ = ("name", "attrs", "trace_id", "span_id", "parent",
+                 "children", "started_at", "duration", "error",
+                 "_tracer", "_token", "_t0")
+
+    def __init__(self, name: str, attrs: Dict[str, Any],
+                 parent: "Optional[Span]",
+                 tracer: "Optional[Tracer]") -> None:
+        self.name = name
+        self.attrs = dict(attrs)
+        self.parent = parent
+        self.children: List[Span] = []
+        self.trace_id = parent.trace_id if parent is not None \
+            else _next_id("t")
+        self.span_id = _next_id("s")
+        self.started_at = time.time()
+        self.duration: Optional[float] = None
+        self.error: Optional[str] = None
+        self._tracer = tracer if parent is None else None
+        self._token: Optional[contextvars.Token] = None
+
+    # -- context-manager protocol --------------------------------------
+    def __enter__(self) -> "Span":
+        if self.parent is not None:
+            self.parent.children.append(self)
+        self._token = _CURRENT.set(self)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.duration = time.perf_counter() - self._t0
+        if exc is not None:
+            self.error = f"{type(exc).__name__}: {exc}"
+        if self._token is not None:
+            _CURRENT.reset(self._token)
+            self._token = None
+        if self.parent is None and self._tracer is not None:
+            self._tracer._record(self)
+
+    # -- enrichment -----------------------------------------------------
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    # -- export ---------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict of the subtree rooted here."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "started_at": self.started_at,
+            "duration_ms": (round(self.duration * 1e3, 4)
+                            if self.duration is not None else None),
+            "attrs": dict(self.attrs),
+            "error": self.error,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def walk(self) -> Iterator["Span"]:
+        """Pre-order iteration over the subtree (iterative — hop chains
+        make deep trees)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def __repr__(self) -> str:   # pragma: no cover - cosmetic
+        return (f"Span({self.name!r}, trace={self.trace_id}, "
+                f"children={len(self.children)})")
+
+
+class _NullSpan:
+    """Shared no-op: what :func:`span` returns when no trace is active."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        pass
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+
+_NULL = _NullSpan()
+
+
+class Tracer:
+    """Starts root spans and keeps the last ``max_traces`` finished trees.
+
+    Each service owns one tracer, so the trace ring of one service is
+    not polluted by another's traffic (and tests stay deterministic).
+    """
+
+    def __init__(self, max_traces: int = 64) -> None:
+        if max_traces < 1:
+            raise ValueError("max_traces must be >= 1")
+        self.max_traces = max_traces
+        self._lock = threading.Lock()
+        self._done: "OrderedDict[str, Span]" = OrderedDict()
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a span: a child of the current span if a trace is
+        active, otherwise a new root recorded here on completion."""
+        return Span(name, attrs, parent=_CURRENT.get(), tracer=self)
+
+    def _record(self, root: Span) -> None:
+        with self._lock:
+            self._done[root.trace_id] = root
+            while len(self._done) > self.max_traces:
+                self._done.popitem(last=False)
+
+    # -- retrieval ------------------------------------------------------
+    def get(self, trace_id: str) -> Optional[Span]:
+        with self._lock:
+            return self._done.get(trace_id)
+
+    def latest(self) -> Optional[Span]:
+        with self._lock:
+            if not self._done:
+                return None
+            return next(reversed(self._done.values()))
+
+    def traces(self) -> List[Dict[str, Any]]:
+        """Newest-first index of finished traces (id, root name, ms)."""
+        with self._lock:
+            roots = list(self._done.values())
+        return [{
+            "trace_id": r.trace_id,
+            "name": r.name,
+            "started_at": r.started_at,
+            "duration_ms": (round(r.duration * 1e3, 4)
+                            if r.duration is not None else None),
+            "spans": sum(1 for _ in r.walk()),
+        } for r in reversed(roots)]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._done.clear()
+
+
+def span(name: str, **attrs: Any):
+    """A child span of the active trace, or a no-op outside any trace.
+
+    The instrumentation call for library code that does not own a
+    tracer: inside a traced request it nests under the caller's span;
+    on an untraced path it costs one contextvar read and allocates
+    nothing.
+    """
+    parent = _CURRENT.get()
+    if parent is None:
+        return _NULL
+    return Span(name, attrs, parent=parent, tracer=None)
+
+
+def current_span():
+    """The innermost open span, or a no-op stand-in (always safe to
+    call ``set_attr`` on the result)."""
+    return _CURRENT.get() or _NULL
+
+
+def render_trace(root: Span) -> str:
+    """The span tree as indented text (the ``repro trace`` rendering)."""
+    lines: List[str] = [f"trace {root.trace_id}"]
+    stack: List[Any] = [(root, "", True, True)]
+    while stack:
+        node, prefix, tail, top = stack.pop()
+        connector = "" if top else ("└─ " if tail else "├─ ")
+        ms = f"{node.duration * 1e3:.3f} ms" \
+            if node.duration is not None else "…"
+        attrs = " ".join(f"{k}={v}" for k, v in sorted(node.attrs.items()))
+        line = f"{prefix}{connector}{node.name}  [{ms}]"
+        if attrs:
+            line += f"  {attrs}"
+        if node.error:
+            line += f"  !! {node.error}"
+        lines.append(line)
+        child_prefix = prefix + ("" if top else ("   " if tail else "│  "))
+        for i, child in reversed(list(enumerate(node.children))):
+            stack.append((child, child_prefix,
+                          i == len(node.children) - 1, False))
+    return "\n".join(lines)

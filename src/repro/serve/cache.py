@@ -1,4 +1,4 @@
-"""LRU query cache keyed on ``(epoch, query)`` with hit/miss counters.
+"""LRU query cache keyed on ``(epoch, query)``, metered via ``repro.obs``.
 
 Correctness under concurrent publication comes from the key shape, not
 from eviction timing: the epoch is the first component of every cache
@@ -8,6 +8,15 @@ incapable of serving a stale epoch.  Publication-time invalidation
 (:meth:`QueryCache.invalidate_below`) merely reclaims memory held by
 entries no reader can ask for again.
 
+Counters live on a :class:`~repro.obs.metrics.MetricsRegistry`
+(``serve_cache_*`` instruments) rather than ad-hoc integers, so the
+same numbers surface identically in the service's ``/stats`` JSON and
+the Prometheus ``/metrics`` exposition; the pre-observability integer
+attributes (``hits``, ``misses``, ``evictions``, ``invalidations``)
+remain available as read-only properties.  Cold (miss) compute time
+feeds a latency histogram, so ``/stats`` reports p50/p99 of cache-fill
+work, not just totals.
+
 Values are cached by reference and must be treated as immutable by
 callers (the service returns them verbatim to many readers).
 """
@@ -15,9 +24,10 @@ callers (the service returns them verbatim to many readers).
 from __future__ import annotations
 
 import threading
-import time
 from collections import OrderedDict
-from typing import Any, Callable, Dict, Hashable, Tuple
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["QueryCache"]
 
@@ -31,19 +41,59 @@ class QueryCache:
         Entry capacity; least-recently-used entries are evicted beyond
         it.  ``0`` disables caching (every lookup misses, nothing is
         stored) — the escape hatch for measuring cold latency.
+    registry:
+        The metrics registry the cache's instruments live on.  Default:
+        a private registry, so independent caches never pool their
+        counts; the service passes its own per-instance registry so
+        cache metrics surface through ``/metrics`` and ``/stats``.
     """
 
-    def __init__(self, maxsize: int = 1024) -> None:
+    def __init__(self, maxsize: int = 1024, *,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         if maxsize < 0:
             raise ValueError(f"maxsize must be >= 0, got {maxsize}")
         self.maxsize = maxsize
         self._lock = threading.Lock()
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.invalidations = 0
-        self._cold_seconds = 0.0
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        self._hits = self.registry.counter(
+            "serve_cache_hits_total", "Query-cache lookup hits")
+        self._misses = self.registry.counter(
+            "serve_cache_misses_total", "Query-cache lookup misses")
+        self._evictions = self.registry.counter(
+            "serve_cache_evictions_total", "LRU evictions")
+        self._invalidations = self.registry.counter(
+            "serve_cache_invalidations_total",
+            "Entries reclaimed at epoch publication")
+        self._cold = self.registry.histogram(
+            "serve_cache_cold_seconds",
+            "Compute time of cache misses (cache-fill work)")
+        self.registry.gauge("serve_cache_size", "Live cache entries",
+                            fn=self.__len__)
+
+    # ------------------------------------------------------------------
+    # Backward-compatible counter attributes (pre-obs API)
+    # ------------------------------------------------------------------
+    @property
+    def hits(self) -> int:
+        """Lookup hits (reads the ``serve_cache_hits_total`` counter)."""
+        return int(self._hits.value)
+
+    @property
+    def misses(self) -> int:
+        """Lookup misses (reads ``serve_cache_misses_total``)."""
+        return int(self._misses.value)
+
+    @property
+    def evictions(self) -> int:
+        """LRU evictions (reads ``serve_cache_evictions_total``)."""
+        return int(self._evictions.value)
+
+    @property
+    def invalidations(self) -> int:
+        """Publication-time reclaims (``serve_cache_invalidations_total``)."""
+        return int(self._invalidations.value)
 
     # ------------------------------------------------------------------
     # Core protocol
@@ -53,21 +103,26 @@ class QueryCache:
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
-                self.hits += 1
-                return True, self._entries[key]
-            self.misses += 1
-            return False, None
+                value = self._entries[key]
+                hit = True
+            else:
+                value, hit = None, False
+        (self._hits if hit else self._misses).inc()
+        return hit, value
 
     def store(self, key: Hashable, value: Any) -> None:
         """Insert ``value`` under ``key``, evicting LRU entries."""
         if self.maxsize == 0:
             return
+        evicted = 0
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
-                self.evictions += 1
+                evicted += 1
+        if evicted:
+            self._evictions.inc(evicted)
 
     def get_or_compute(self, key: Hashable,
                        compute: Callable[[], Any]) -> Tuple[Any, bool]:
@@ -76,17 +131,14 @@ class QueryCache:
         ``compute`` runs outside the lock, so two readers racing on the
         same cold key may both compute it; both results are equal (the
         computation is a pure function of the immutable snapshot), the
-        second store simply wins.  Cold compute time feeds the latency
-        counters surfaced by :meth:`stats`.
+        second store simply wins.  Cold compute time feeds the
+        ``serve_cache_cold_seconds`` histogram surfaced by :meth:`stats`.
         """
         hit, value = self.lookup(key)
         if hit:
             return value, True
-        t0 = time.perf_counter()
-        value = compute()
-        elapsed = time.perf_counter() - t0
-        with self._lock:
-            self._cold_seconds += elapsed
+        with self._cold.time():
+            value = compute()
         self.store(key, value)
         return value, False
 
@@ -104,8 +156,9 @@ class QueryCache:
                      if isinstance(k, tuple) and k and k[0] < epoch]
             for k in stale:
                 del self._entries[k]
-            self.invalidations += len(stale)
-            return len(stale)
+        if stale:
+            self._invalidations.inc(len(stale))
+        return len(stale)
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
@@ -120,18 +173,23 @@ class QueryCache:
             return len(self._entries)
 
     def stats(self) -> Dict[str, Any]:
-        """Counters for the service's ``stats`` query."""
-        with self._lock:
-            lookups = self.hits + self.misses
-            return {
-                "size": len(self._entries),
-                "maxsize": self.maxsize,
-                "hits": self.hits,
-                "misses": self.misses,
-                "evictions": self.evictions,
-                "invalidations": self.invalidations,
-                "hit_rate": (self.hits / lookups) if lookups else 0.0,
-                "cold_seconds_total": self._cold_seconds,
-                "cold_seconds_avg": (self._cold_seconds / self.misses
-                                     if self.misses else 0.0),
-            }
+        """Counters for the service's ``stats`` query.
+
+        The historical flat shape, now read from the instruments, plus
+        a ``cold_latency`` histogram summary (count/mean/p50/p90/p99).
+        """
+        hits, misses = self.hits, self.misses
+        lookups = hits + misses
+        cold = self._cold.snapshot()
+        return {
+            "size": len(self),
+            "maxsize": self.maxsize,
+            "hits": hits,
+            "misses": misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": (hits / lookups) if lookups else 0.0,
+            "cold_seconds_total": cold["sum"],
+            "cold_seconds_avg": cold["mean"],
+            "cold_latency": cold,
+        }

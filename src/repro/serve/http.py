@@ -3,7 +3,15 @@
 The golden path for serving without importing library internals:
 
 * ``GET /health`` — liveness plus the current epoch;
-* ``GET /stats`` — the service's ``stats`` query (cache counters etc.);
+* ``GET /healthz`` — readiness for load balancers: current epoch,
+  snapshot age, uptime, pending delta edges;
+* ``GET /stats`` — the service's ``stats`` query (cache counters,
+  per-kind latency histograms etc.);
+* ``GET /metrics`` — Prometheus text exposition of the service's
+  per-instance registry *plus* the process-global library registry
+  (expression-engine and shard instruments);
+* ``GET /trace`` / ``GET /trace/<id>`` — recent trace index / one
+  trace tree as JSON (see :mod:`repro.obs.trace`);
 * ``GET /query/<kind>?vertex=...&direction=...&k=...&pair=...`` — the
   versioned read API (``kind`` as in
   :data:`repro.serve.service.QUERY_KINDS`);
@@ -15,6 +23,9 @@ The golden path for serving without importing library internals:
 ``ThreadingHTTPServer`` handles each request on its own thread, which
 is exactly what the snapshot-isolation design is for: every request
 reads one immutable snapshot reference and never blocks on ingest.
+Each query request opens a root span on the service's tracer, so the
+whole handler → cache → expr-plan → kernel path of one HTTP request is
+a single trace tree.
 
 Errors come back as JSON bodies ``{"error": ..., "status": ...}`` —
 400 for malformed requests, 404 for unknown routes/kinds/vertices.
@@ -24,10 +35,12 @@ from __future__ import annotations
 
 import json
 import math
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qsl, urlsplit
 
+from repro.obs.metrics import get_registry, render_prometheus
 from repro.serve.service import QUERY_KINDS, AdjacencyService
 from repro.serve.snapshot import ServeError, UnknownVertexError
 
@@ -98,8 +111,16 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send(self, status: int, payload: Dict[str, Any]) -> None:
         body = json.dumps(jsonable(payload)).encode("utf-8")
+        self._send_bytes(status, body, "application/json")
+
+    def _send_text(self, status: int, text: str,
+                   content_type: str = "text/plain; version=0.0.4") -> None:
+        self._send_bytes(status, text.encode("utf-8"), content_type)
+
+    def _send_bytes(self, status: int, body: bytes,
+                    content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -133,13 +154,39 @@ class _Handler(BaseHTTPRequestHandler):
         split = urlsplit(self.path)
         return split.path.rstrip("/") or "/", dict(parse_qsl(split.query))
 
+    def _observe(self, path: str, method: str, started: float) -> None:
+        """Per-route HTTP instruments on the service registry.
+
+        The route label is the first path segment only (``/query/khop``
+        → ``query``) — query kinds, trace ids, and vertices never leak
+        into label cardinality.
+        """
+        route = path.lstrip("/").split("/", 1)[0] or "root"
+        metrics = self.service.metrics
+        metrics.counter("http_requests_total", "HTTP requests served",
+                        route=route, method=method).inc()
+        metrics.histogram("http_request_seconds",
+                          "Wall time spent in HTTP handlers",
+                          route=route).observe(time.perf_counter() - started)
+
     # -- GET -----------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802
         path, params = self._route()
+        started = time.perf_counter()
         try:
             if path == "/health":
                 self._send(200, {"status": "ok",
                                  "epoch": self.service.epoch})
+                return
+            if path == "/healthz":
+                self._send(200, self._healthz())
+                return
+            if path == "/metrics":
+                self._send_text(200, render_prometheus(
+                    self.service.metrics, get_registry()))
+                return
+            if path == "/trace" or path.startswith("/trace/"):
+                self._do_trace(path[len("/trace"):].lstrip("/"))
                 return
             if path == "/stats":
                 self._send(200, self.service.query("stats"))
@@ -152,6 +199,30 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(404, str(exc))
         except ServeError as exc:
             self._error(400, str(exc))
+        finally:
+            self._observe(path, "GET", started)
+
+    def _healthz(self) -> Dict[str, Any]:
+        """Readiness payload: freshness, uptime, ingest backlog."""
+        service = self.service
+        return {
+            "status": "ok",
+            "epoch": service.epoch,
+            "snapshot_age_seconds": service.snapshot_age_seconds,
+            "uptime_seconds": service.uptime_seconds,
+            "pending_edges": service.pending_edges,
+        }
+
+    def _do_trace(self, trace_id: str) -> None:
+        tracer = self.service.tracer
+        if not trace_id:
+            self._send(200, {"traces": tracer.traces()})
+            return
+        root = tracer.get(trace_id)
+        if root is None:
+            self._error(404, f"unknown trace {trace_id!r}")
+            return
+        self._send(200, root.to_dict())
 
     def _do_query(self, kind: str, params: Dict[str, str]) -> None:
         kind = kind.replace("-", "_")
@@ -169,6 +240,7 @@ class _Handler(BaseHTTPRequestHandler):
     # -- POST ----------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802
         path, _params = self._route()
+        started = time.perf_counter()
         doc = self._body()
         if doc is None:
             return
@@ -183,6 +255,8 @@ class _Handler(BaseHTTPRequestHandler):
         except (ServeError, ValueError) as exc:
             # GraphError (duplicate keys, zero values) is a ValueError.
             self._error(400, str(exc))
+        finally:
+            self._observe(path, "POST", started)
 
     def _do_edges(self, doc: Dict[str, Any]) -> None:
         edges = doc.get("edges")

@@ -43,6 +43,8 @@ from repro.core.streaming import StreamingAdjacencyBuilder
 from repro.expr import khop_frontier, vecmat
 from repro.graphs.algorithms import shortest_path_lengths
 from repro.graphs.digraph import GraphError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, span
 from repro.serve.cache import QueryCache
 from repro.serve.snapshot import ServeError, Snapshot, UnknownVertexError
 from repro.shard.executor import execute_shards
@@ -87,6 +89,17 @@ class AdjacencyService:
         A precomputed certification for ``op_pair``, reused instead of
         re-running the criteria search (the manifest loader certifies
         once up front).
+    registry:
+        The :class:`~repro.obs.metrics.MetricsRegistry` this service's
+        instruments (request counts/latency per kind, publication
+        timings, epoch/snapshot-age gauges, cache counters) live on.
+        Default: a fresh per-service registry — counts never bleed
+        across service instances; ``GET /metrics`` renders it together
+        with the process-global registry.
+    tracer:
+        The :class:`~repro.obs.trace.Tracer` that records this
+        service's query traces (``GET /trace/<id>``, ``repro trace``).
+        Default: a fresh per-service tracer.
 
     Examples
     --------
@@ -109,6 +122,8 @@ class AdjacencyService:
         unsafe_ok: bool = False,
         certification_seed: int = 0xD4,
         certification: Optional[Certification] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if max_khop < 1:
             raise ServeError(f"max_khop must be >= 1, got {max_khop}")
@@ -125,17 +140,38 @@ class AdjacencyService:
         if initial is None:
             initial = AssociativeArray({}, zero=op_pair.zero)
         self._snapshot = Snapshot.from_array(initial, epoch=0)
-        self._cache = QueryCache(cache_size)
+        self.metrics = registry if registry is not None \
+            else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self._cache = QueryCache(cache_size, registry=self.metrics)
         self._write_lock = threading.RLock()
         self._delta: Optional[StreamingAdjacencyBuilder] = None
-        self._counter_lock = threading.Lock()
-        self._queries = 0
-        self._publications = 0
         self._started = time.time()
         # Per-service memo of alternative-pair certifications for khop.
         self._pair_certs: Dict[str, Certification] = {}
         if self._certification is not None:
             self._pair_certs[op_pair.name] = self._certification
+        # -- named instruments (the serve metrics catalog) -------------
+        self._queries_total = self.metrics.counter(
+            "serve_queries_total", "Queries answered (all kinds)")
+        self._publications_total = self.metrics.counter(
+            "serve_publications_total", "Epoch publications")
+        self._publish_seconds = self.metrics.histogram(
+            "serve_publish_seconds",
+            "Epoch publication latency (delta fold + snapshot swap)")
+        self._epoch_gauge = self.metrics.gauge(
+            "serve_epoch", "Current published epoch")
+        self._epoch_gauge.set(0)
+        self.metrics.gauge(
+            "serve_snapshot_age_seconds",
+            "Seconds since the current snapshot was published",
+            fn=lambda: time.time() - self._snapshot.published_at)
+        self.metrics.gauge(
+            "serve_pending_edges", "Buffered delta edges not yet published",
+            fn=lambda: self.pending_edges)
+        self.metrics.gauge(
+            "serve_uptime_seconds", "Seconds since service construction",
+            fn=lambda: time.time() - self._started)
 
     # ------------------------------------------------------------------
     # Sources
@@ -230,6 +266,16 @@ class AdjacencyService:
         delta = self._delta
         return delta.num_edges if delta is not None else 0
 
+    @property
+    def uptime_seconds(self) -> float:
+        """Seconds since the service was constructed."""
+        return time.time() - self._started
+
+    @property
+    def snapshot_age_seconds(self) -> float:
+        """Seconds since the current snapshot was published."""
+        return time.time() - self._snapshot.published_at
+
     def snapshot(self) -> Snapshot:
         """The current immutable snapshot (safe to keep and read)."""
         return self._snapshot
@@ -285,14 +331,18 @@ class AdjacencyService:
             delta = self._delta
             if delta is None or delta.num_edges == 0:
                 return self._snapshot.epoch
-            delta_adj = delta.adjacency()
-            base = self._snapshot
-            merged = oplus_union(base.adjacency, delta_adj, self._pair)
-            snapshot = Snapshot.from_array(merged, epoch=base.epoch + 1)
-            self._snapshot = snapshot  # the atomic publication point
-            self._delta = None
-            with self._counter_lock:
-                self._publications += 1
+            with self.tracer.span("service.publish",
+                                  pending=delta.num_edges) as sp, \
+                    self._publish_seconds.time():
+                delta_adj = delta.adjacency()
+                base = self._snapshot
+                merged = oplus_union(base.adjacency, delta_adj, self._pair)
+                snapshot = Snapshot.from_array(merged, epoch=base.epoch + 1)
+                self._snapshot = snapshot  # the atomic publication point
+                self._delta = None
+                sp.set_attr("epoch", snapshot.epoch)
+            self._publications_total.inc()
+            self._epoch_gauge.set(snapshot.epoch)
         self._cache.invalidate_below(snapshot.epoch)
         return snapshot.epoch
 
@@ -316,16 +366,28 @@ class AdjacencyService:
         parameters raise :class:`ServeError`; unknown vertices raise
         :class:`UnknownVertexError`.
         """
-        with self._counter_lock:
-            self._queries += 1
+        self._queries_total.inc()
+        self.metrics.counter("serve_requests_total",
+                             "Queries answered, by kind",
+                             kind=kind).inc()
         snapshot = self._snapshot  # one atomic read per query
-        if kind == "stats":
+        with self.metrics.histogram("serve_request_seconds",
+                                    "Query latency, by kind",
+                                    kind=kind).time(), \
+                self.tracer.span("service.query", kind=kind,
+                                 epoch=snapshot.epoch) as sp:
+            if kind == "stats":
+                return {"epoch": snapshot.epoch, "kind": kind,
+                        "cached": False, "result": self._stats(snapshot)}
+            compute, key = self._plan_query(snapshot, kind, params)
+
+            def traced_compute():
+                with span("compute", kind=kind):
+                    return compute()
+            result, cached = self._cache.get_or_compute(key, traced_compute)
+            sp.set_attr("cached", cached)
             return {"epoch": snapshot.epoch, "kind": kind,
-                    "cached": False, "result": self._stats(snapshot)}
-        compute, key = self._plan_query(snapshot, kind, params)
-        result, cached = self._cache.get_or_compute(key, compute)
-        return {"epoch": snapshot.epoch, "kind": kind, "cached": cached,
-                "result": result}
+                    "cached": cached, "result": result}
 
     # Convenience wrappers (the library-facing spelling of the API).
     def neighbors(self, vertex: Any, *,
@@ -433,20 +495,31 @@ class AdjacencyService:
             f"unknown query kind {kind!r}; known: {', '.join(QUERY_KINDS)}")
 
     def _stats(self, snapshot: Snapshot) -> Dict[str, Any]:
-        with self._counter_lock:
-            queries = self._queries
-            publications = self._publications
         return {
             "op_pair": self._pair.name,
             "epoch": snapshot.epoch,
             "vertices": len(snapshot.vertices),
             "nnz": snapshot.nnz,
             "pending_edges": self.pending_edges,
-            "publications": publications,
-            "queries": queries,
+            "publications": int(self._publications_total.value),
+            "queries": int(self._queries_total.value),
             "uptime_seconds": time.time() - self._started,
+            "snapshot_age_seconds": time.time() - snapshot.published_at,
+            "publication_latency": self._publish_seconds.snapshot(),
+            "latency": self._latency_stats(),
             "cache": self._cache.stats(),
         }
+
+    def _latency_stats(self) -> Dict[str, Any]:
+        """Per-kind request-latency histogram summaries for ``stats``."""
+        out: Dict[str, Any] = {}
+        for family in self.metrics.families():
+            if family.name != "serve_request_seconds":
+                continue
+            for labels, hist in sorted(family.children.items()):
+                kind = dict(labels).get("kind", "")
+                out[kind] = hist.snapshot()
+        return out
 
     # -- parameter validation helpers ----------------------------------
     @staticmethod

@@ -20,7 +20,9 @@ files pairwise.
 
 from __future__ import annotations
 
+import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
@@ -31,6 +33,8 @@ from repro.arrays.backend import BACKEND_KINDS
 from repro.arrays.io import iter_tsv_triples
 from repro.arrays.keys import KeySet
 from repro.arrays.matmul import multiply
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
 from repro.shard.manifest import ShardError, ShardInfo, ShardManifest
 from repro.values.semiring import OpPair, SemiringError
 from repro.values.shipping import registered_name, resolve_registered_pair
@@ -44,11 +48,18 @@ EXECUTORS = ("serial", "thread", "process")
 
 @dataclass(frozen=True)
 class ShardProduct:
-    """One shard's spilled adjacency result."""
+    """One shard's spilled adjacency result.
+
+    ``seconds`` (worker build wall time) and ``bytes`` (spill file
+    size) default to zero so pre-observability constructions keep
+    working.
+    """
 
     index: int
     path: Path
     nnz: int
+    seconds: float = 0.0
+    bytes: int = 0
 
 
 def _iter_entries(path: Path, fmt: str):
@@ -103,12 +114,16 @@ def _shard_task(
     kernel: str,
     backend: str,
     out_path: str,
-) -> Tuple[int, str, int]:
+) -> Tuple[int, str, int, float, int]:
     """Worker body (module-level so process pools can pickle it).
 
     ``pair`` is a registry *name* when crossing a process boundary
     (op-pairs may not pickle) and the in-memory object otherwise.
+    Returns ``(index, path, nnz, build_seconds, spilled_bytes)`` — the
+    timing travels back as plain data because process workers cannot
+    share the coordinator's metrics registry.
     """
+    started = time.perf_counter()
     if isinstance(pair, str):
         pair = resolve_registered_pair(pair)
     eout, ein = load_shard(manifest, info, zero=pair.zero, backend=backend)
@@ -119,7 +134,8 @@ def _shard_task(
         adj = adj.with_backend(backend)
     with open(out_path, "wb") as fh:
         pickle.dump(adj, fh, protocol=pickle.HIGHEST_PROTOCOL)
-    return info.index, out_path, adj.nnz
+    return (info.index, out_path, adj.nnz,
+            time.perf_counter() - started, os.path.getsize(out_path))
 
 
 def execute_shards(
@@ -162,19 +178,41 @@ def execute_shards(
     root.mkdir(parents=True, exist_ok=True)
     tasks = [(info, str(root / f"adj_{info.index:05d}.pkl"))
              for info in manifest.shards]
-    if executor == "serial" or n_workers == 1 or len(tasks) <= 1:
-        raw = [_shard_task(manifest, info, op_pair, mode, kernel, backend,
-                           out)
-               for info, out in tasks]
-    else:
-        pool_cls = ThreadPoolExecutor if executor == "thread" \
-            else ProcessPoolExecutor
-        with pool_cls(max_workers=min(n_workers, len(tasks))) as pool:
-            futures = [
-                pool.submit(_shard_task, manifest, info,
-                            shipped if executor == "process" else op_pair,
-                            mode, kernel, backend, out)
-                for info, out in tasks]
-            raw = [f.result() for f in futures]
-    return [ShardProduct(index=i, path=Path(p), nnz=nnz)
-            for i, p, nnz in sorted(raw)]
+    registry = get_registry()
+    queue_depth = registry.gauge(
+        "shard_executor_queue_depth",
+        "Shard build tasks submitted but not yet finished")
+    with span("shard.execute", shards=len(tasks), executor=executor):
+        if executor == "serial" or n_workers == 1 or len(tasks) <= 1:
+            raw = []
+            for info, out in tasks:
+                queue_depth.inc()
+                try:
+                    raw.append(_shard_task(manifest, info, op_pair, mode,
+                                           kernel, backend, out))
+                finally:
+                    queue_depth.dec()
+        else:
+            pool_cls = ThreadPoolExecutor if executor == "thread" \
+                else ProcessPoolExecutor
+            with pool_cls(max_workers=min(n_workers, len(tasks))) as pool:
+                futures = []
+                for info, out in tasks:
+                    queue_depth.inc()
+                    fut = pool.submit(
+                        _shard_task, manifest, info,
+                        shipped if executor == "process" else op_pair,
+                        mode, kernel, backend, out)
+                    fut.add_done_callback(lambda _f: queue_depth.dec())
+                    futures.append(fut)
+                raw = [f.result() for f in futures]
+    build_seconds = registry.histogram(
+        "shard_build_seconds", "Per-shard adjacency build wall time")
+    spilled = registry.counter(
+        "shard_spill_bytes_total", "Bytes spilled by shard builds")
+    for _i, _p, _nnz, seconds, nbytes in raw:
+        build_seconds.observe(seconds)
+        spilled.inc(nbytes)
+    return [ShardProduct(index=i, path=Path(p), nnz=nnz, seconds=secs,
+                         bytes=nbytes)
+            for i, p, nnz, secs, nbytes in sorted(raw)]

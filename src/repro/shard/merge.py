@@ -23,10 +23,13 @@ O(result × shards).
 from __future__ import annotations
 
 import pickle
+import time
 from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
 from repro.arrays.associative import AssociativeArray
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
 from repro.arrays.backend import (
     embed_lookup,
     union_apply,
@@ -97,14 +100,23 @@ def oplus_union(
     entry-at-a-time; exotic value sets fall back to the generic
     re-embed + element-wise evaluation.
     """
+    registry = get_registry()
+    started = time.perf_counter()
     merged = _oplus_union_vectorized(a, b, op_pair)
-    if merged is not None:
-        return merged
-    if a.row_keys != b.row_keys or a.col_keys != b.col_keys:
-        a = a.with_keys(a.row_keys.union(b.row_keys),
-                        a.col_keys.union(b.col_keys))
-        b = b.with_keys(a.row_keys, a.col_keys)
-    return elementwise_add(a, b, op_pair.add)
+    path = "vectorized"
+    if merged is None:
+        path = "generic"
+        if a.row_keys != b.row_keys or a.col_keys != b.col_keys:
+            a = a.with_keys(a.row_keys.union(b.row_keys),
+                            a.col_keys.union(b.col_keys))
+            b = b.with_keys(a.row_keys, a.col_keys)
+        merged = elementwise_add(a, b, op_pair.add)
+    registry.counter("shard_merges_total", "Pairwise ⊕-merges performed",
+                     path=path).inc()
+    registry.histogram(
+        "shard_merge_seconds", "Wall time of one pairwise ⊕-merge"
+    ).observe(time.perf_counter() - started)
+    return merged
 
 
 def _oplus_union_vectorized(
@@ -204,41 +216,46 @@ def merge_spilled(
     check_merge_safety(op_pair, unsafe_ok=unsafe_ok)
     if not paths:
         raise ShardError("no shard results to merge")
+    spilled = get_registry().counter(
+        "shard_spill_bytes_total", "Bytes spilled by shard builds")
     level: List[Path] = [Path(p) for p in paths]
     root = Path(workdir) if workdir is not None else level[0].parent
     root.mkdir(parents=True, exist_ok=True)
     generation = 0
-    while len(level) > 1:
-        generation += 1
-        if len(level) == 2:
-            # Final merge: its product is the answer — return it without
-            # the spill/reload round-trip (it is the largest array of
-            # the whole run).
-            merged = oplus_union(_load(level[0]), _load(level[1]),
-                                 op_pair)
-            if cleanup:
-                level[0].unlink(missing_ok=True)
-                level[1].unlink(missing_ok=True)
-            return merged
-        nxt: List[Path] = []
-        for i in range(0, len(level), 2):
-            if i + 1 >= len(level):
-                nxt.append(level[i])  # odd one out rides up a level
-                continue
-            merged = oplus_union(_load(level[i]), _load(level[i + 1]),
-                                 op_pair)
-            out = root / f"merge_{generation:03d}_{i // 2:05d}.pkl"
-            with out.open("wb") as fh:
-                pickle.dump(merged, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            if cleanup:
-                level[i].unlink(missing_ok=True)
-                level[i + 1].unlink(missing_ok=True)
-            nxt.append(out)
-        level = nxt
-    result = _load(level[0])
-    if cleanup:
-        level[0].unlink(missing_ok=True)
-    return result
+    with span("shard.merge_spilled", inputs=len(level)):
+        while len(level) > 1:
+            generation += 1
+            if len(level) == 2:
+                # Final merge: its product is the answer — return it
+                # without the spill/reload round-trip (it is the largest
+                # array of the whole run).
+                merged = oplus_union(_load(level[0]), _load(level[1]),
+                                     op_pair)
+                if cleanup:
+                    level[0].unlink(missing_ok=True)
+                    level[1].unlink(missing_ok=True)
+                return merged
+            nxt: List[Path] = []
+            for i in range(0, len(level), 2):
+                if i + 1 >= len(level):
+                    nxt.append(level[i])  # odd one out rides up a level
+                    continue
+                merged = oplus_union(_load(level[i]), _load(level[i + 1]),
+                                     op_pair)
+                out = root / f"merge_{generation:03d}_{i // 2:05d}.pkl"
+                with out.open("wb") as fh:
+                    pickle.dump(merged, fh,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                spilled.inc(out.stat().st_size)
+                if cleanup:
+                    level[i].unlink(missing_ok=True)
+                    level[i + 1].unlink(missing_ok=True)
+                nxt.append(out)
+            level = nxt
+        result = _load(level[0])
+        if cleanup:
+            level[0].unlink(missing_ok=True)
+        return result
 
 
 def _load(path: Path) -> AssociativeArray:

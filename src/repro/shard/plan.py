@@ -45,6 +45,8 @@ from repro.arrays.backend import BACKEND_KINDS
 from repro.arrays.keys import KeySet
 from repro.core.certify import Certification, certify
 from repro.graphs.incidence import ValueSpec
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
 from repro.shard.executor import EXECUTORS, execute_shards
 from repro.shard.manifest import MANIFEST_NAME, ShardError, ShardManifest
 from repro.shard.merge import check_merge_safety, merge_spilled
@@ -247,6 +249,26 @@ class ShardedAdjacencyPlan:
         # adjacency from the mix).
         self._final_keys = None
         self._manifest = None
+        with span("shard.partition", n_shards=self.n_shards), \
+                self._stage_timer("partition"):
+            return self._partition(source, out_values=out_values,
+                                   in_values=in_values, start=start)
+
+    def _stage_timer(self, stage: str):
+        """Timer feeding the ``shard_stage_seconds{stage=...}`` histogram."""
+        return get_registry().histogram(
+            "shard_stage_seconds",
+            "Wall time per sharded-construction stage",
+            stage=stage).time()
+
+    def _partition(
+        self,
+        source: Any,
+        *,
+        out_values: ValueSpec,
+        in_values: ValueSpec,
+        start: float,
+    ) -> ShardManifest:
         try:
             shard_dir = self.workdir
             existing = shard_dir / MANIFEST_NAME
@@ -317,16 +339,19 @@ class ShardedAdjacencyPlan:
             spill_dir = self.workdir / _SPILL_DIR
             if not spill_dir.exists():
                 self._spill_created = True  # cleanup may remove it
-            products = execute_shards(
-                self._manifest, self._pair, executor=self.executor,
-                n_workers=self.n_workers, mode=self.mode,
-                kernel=self.kernel, backend=self.backend,
-                workdir=spill_dir)
+            with self._stage_timer("execute"):
+                products = execute_shards(
+                    self._manifest, self._pair, executor=self.executor,
+                    n_workers=self.n_workers, mode=self.mode,
+                    kernel=self.kernel, backend=self.backend,
+                    workdir=spill_dir)
             t1 = time.perf_counter()
-            adjacency = merge_spilled(
-                [p.path for p in products], self._pair,
-                workdir=spill_dir, unsafe_ok=True,  # gated in __init__
-                cleanup=not self.keep_workdir)
+            with span("shard.merge", shards=len(products)), \
+                    self._stage_timer("merge"):
+                adjacency = merge_spilled(
+                    [p.path for p in products], self._pair,
+                    workdir=spill_dir, unsafe_ok=True,  # gated in __init__
+                    cleanup=not self.keep_workdir)
             t2 = time.perf_counter()
         except Exception:
             self._cleanup()

@@ -206,3 +206,113 @@ class TestExplain:
         assert main(["explain", str(tmp_path / "nope.tsv"),
                      str(tmp_path / "nada.tsv")]) == 2
         assert "cannot load" in capsys.readouterr().err
+
+
+class TestTraceCLI:
+    def _adjacency_tsv(self, tmp_path):
+        path = tmp_path / "adj.tsv"
+        path.write_text("a\tb\t1.0\nb\tc\t1.0\nc\td\t1.0\na\tc\t1.0\n",
+                        encoding="utf-8")
+        return str(path)
+
+    def test_trace_prints_span_tree(self, tmp_path, capsys):
+        src = self._adjacency_tsv(tmp_path)
+        assert main(["trace", "--source", src, "--vertex", "a",
+                     "-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "khop(vertex='a', k=3)" in out
+        assert "trace t" in out
+        assert "service.query" in out
+        assert "expr.plan" in out and "expr.execute" in out
+        assert "kernel" in out
+
+    def test_trace_default_vertex_and_json(self, tmp_path, capsys):
+        import json as _json
+        src = self._adjacency_tsv(tmp_path)
+        assert main(["trace", "--source", src, "--json"]) == 0
+        doc = _json.loads(capsys.readouterr().out)
+        assert doc["name"] == "service.query"
+        assert doc["attrs"]["kind"] == "khop"
+        assert doc["children"]
+
+    def test_trace_missing_source_exit_two(self, tmp_path, capsys):
+        assert main(["trace", "--source",
+                     str(tmp_path / "nope.tsv")]) == 2
+        assert "no such source" in capsys.readouterr().err
+
+    def test_trace_unsafe_pair_refused(self, tmp_path, capsys):
+        src = self._adjacency_tsv(tmp_path)
+        assert main(["trace", "--source", src,
+                     "--pair", "gf2_xor_and"]) == 1
+        err = capsys.readouterr().err
+        assert "refused" in err and "--unsafe-ok" in err
+
+
+class TestBenchCLI:
+    def _run_doc(self, tmp_path, name, cold_ms):
+        import json as _json
+        doc = {"run_id": name, "manifest": {}, "results": {},
+               "headline": {"serve": {"khop_cold_ms": {
+                   "value": cold_ms, "direction": "lower",
+                   "unit": "ms"}}}}
+        path = tmp_path / f"BENCH_{name}.json"
+        path.write_text(_json.dumps(doc), encoding="utf-8")
+        return str(path)
+
+    def test_bench_list(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "bench_shard" in out and "bench_serve" in out
+
+    def test_compare_ok_exit_zero(self, tmp_path, capsys):
+        a = self._run_doc(tmp_path, "base", 10.0)
+        b = self._run_doc(tmp_path, "cand", 11.0)   # +10% < 20%
+        assert main(["bench", "--compare", a, b]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: OK" in out
+
+    def test_compare_regression_exit_one(self, tmp_path, capsys):
+        a = self._run_doc(tmp_path, "base", 10.0)
+        b = self._run_doc(tmp_path, "cand", 15.0)   # +50% > 20%
+        assert main(["bench", "--compare", a, b]) == 1
+        out = capsys.readouterr().out
+        assert "verdict: REGRESSION" in out
+        assert "khop_cold_ms" in out
+
+    def test_compare_threshold_widens_gate(self, tmp_path, capsys):
+        a = self._run_doc(tmp_path, "base", 10.0)
+        b = self._run_doc(tmp_path, "cand", 15.0)
+        assert main(["bench", "--compare", a, b,
+                     "--threshold", "0.6"]) == 0
+        assert "threshold 60%" in capsys.readouterr().out
+
+    def test_compare_unreadable_run_exit_two(self, tmp_path, capsys):
+        a = self._run_doc(tmp_path, "base", 10.0)
+        assert main(["bench", "--compare", a,
+                     str(tmp_path / "missing.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_threshold_without_compare_exit_two(self, capsys):
+        assert main(["bench", "--threshold", "0.2"]) == 2
+        assert "--compare" in capsys.readouterr().err
+
+    def test_bench_runs_dummy_dir(self, tmp_path, capsys):
+        bench_dir = tmp_path / "benchmarks"
+        bench_dir.mkdir()
+        (bench_dir / "bench_tiny.py").write_text(
+            "def run(quick):\n"
+            "    return {'v': 1.0}\n"
+            "def headline(report):\n"
+            "    return {'v': {'value': report['v'],\n"
+            "                  'direction': 'lower', 'unit': 's'}}\n"
+            "def main(argv=None):\n"
+            "    return 0\n", encoding="utf-8")
+        out = tmp_path / "runs"
+        assert main(["bench", "bench_tiny", "--quick",
+                     "--outdir", str(out),
+                     "--bench-dir", str(bench_dir)]) == 0
+        printed = capsys.readouterr().out
+        assert "Headline metrics" in printed
+        assert "wrote" in printed
+        assert list(out.glob("BENCH_*.json"))
+        assert (out / "report.md").exists()

@@ -26,6 +26,7 @@ def _run(script: str, *args: str) -> subprocess.CompletedProcess:
     ("sharded_build.py", "sharded construction verified against batch"),
     ("adjacency_service.py", "adjacency service demo complete"),
     ("lazy_pipeline.py", "lazy pipeline demo complete"),
+    ("observability.py", "observability demo complete"),
 ])
 def test_example_runs_and_reports(script, expect):
     proc = _run(script)

@@ -1,0 +1,215 @@
+"""Tests for span tracing (repro.obs.trace) and its propagation."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.trace import Tracer, current_span, render_trace, span
+
+
+class TestSpanBasics:
+    def test_root_span_records_into_tracer(self):
+        tracer = Tracer()
+        with tracer.span("request", kind="khop") as root:
+            pass
+        assert root.duration is not None and root.duration >= 0.0
+        assert tracer.get(root.trace_id) is root
+        assert tracer.latest() is root
+        assert root.attrs == {"kind": "khop"}
+
+    def test_children_nest_automatically(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with span("plan"):
+                with span("kernel", kernel="scipy"):
+                    pass
+            with span("execute"):
+                pass
+        names = [s.name for s in root.walk()]
+        assert names == ["root", "plan", "kernel", "execute"]
+        plan = root.children[0]
+        assert plan.children[0].name == "kernel"
+        assert plan.children[0].trace_id == root.trace_id
+
+    def test_span_is_noop_outside_any_trace(self):
+        ctx = span("orphan")
+        with ctx as s:
+            s.set_attr("ignored", 1)   # must be safe
+        # The shared no-op has no tree, and a second call reuses it.
+        assert span("another") is ctx
+
+    def test_current_span_always_safe(self):
+        current_span().set_attr("outside", True)   # no active trace
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            assert current_span() is root
+            with span("inner") as inner:
+                assert current_span() is inner
+            assert current_span() is root
+
+    def test_exception_marks_error_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("root"):
+                with span("bad"):
+                    raise RuntimeError("boom")
+        root = tracer.latest()
+        assert root is not None
+        bad = root.children[0]
+        assert bad.error == "RuntimeError: boom"
+        assert root.error == "RuntimeError: boom"
+
+    def test_to_dict_is_json_ready(self):
+        tracer = Tracer()
+        with tracer.span("root", n=3):
+            with span("child"):
+                pass
+        doc = tracer.latest().to_dict()
+        text = json.dumps(doc)   # must not raise
+        assert "child" in text
+        assert doc["attrs"] == {"n": 3}
+        assert doc["children"][0]["trace_id"] == doc["trace_id"]
+        assert doc["duration_ms"] is not None
+
+
+class TestTracerRing:
+    def test_bounded_ring_evicts_oldest(self):
+        tracer = Tracer(max_traces=2)
+        ids = []
+        for i in range(3):
+            with tracer.span(f"r{i}") as root:
+                pass
+            ids.append(root.trace_id)
+        assert tracer.get(ids[0]) is None       # evicted
+        assert tracer.get(ids[1]) is not None
+        assert tracer.get(ids[2]) is not None
+
+    def test_traces_index_newest_first(self):
+        tracer = Tracer()
+        for i in range(3):
+            with tracer.span(f"r{i}"):
+                with span("inner"):
+                    pass
+        index = tracer.traces()
+        assert [t["name"] for t in index] == ["r2", "r1", "r0"]
+        assert index[0]["spans"] == 2
+        assert index[0]["duration_ms"] is not None
+
+    def test_clear_and_validation(self):
+        tracer = Tracer()
+        with tracer.span("r"):
+            pass
+        tracer.clear()
+        assert tracer.latest() is None
+        with pytest.raises(ValueError):
+            Tracer(max_traces=0)
+
+    def test_threads_build_isolated_trees(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(2, timeout=30)
+
+        def request(name: str) -> None:
+            with tracer.span(name):
+                barrier.wait()          # both roots open concurrently
+                with span(f"{name}.child"):
+                    pass
+
+        threads = [threading.Thread(target=request, args=(n,))
+                   for n in ("req_a", "req_b")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        roots = {t["name"]: t for t in tracer.traces()}
+        assert set(roots) == {"req_a", "req_b"}
+        # Each tree holds exactly its own child, never the sibling's.
+        for name in roots:
+            root = tracer.get(roots[name]["trace_id"])
+            assert [c.name for c in root.children] == [f"{name}.child"]
+
+
+class TestRenderTrace:
+    def test_tree_rendering(self):
+        tracer = Tracer()
+        with tracer.span("service.query", kind="khop"):
+            with span("plan"):
+                pass
+            with span("execute"):
+                with span("kernel", kernel="scipy"):
+                    pass
+        text = render_trace(tracer.latest())
+        lines = text.splitlines()
+        assert lines[0].startswith("trace t")
+        assert "service.query" in lines[1] and "kind=khop" in lines[1]
+        assert any("├─ plan" in ln for ln in lines)
+        assert any("└─ execute" in ln for ln in lines)
+        assert any("kernel=scipy" in ln for ln in lines)
+        assert all("ms]" in ln for ln in lines[1:])
+
+
+class TestExprPropagation:
+    """A traced evaluation shows planner and kernel spans in one tree."""
+
+    @pytest.fixture()
+    def operands(self):
+        from repro.arrays.associative import AssociativeArray
+        from repro.values.semiring import get_op_pair
+        pair = get_op_pair("plus_times")
+        eout = AssociativeArray({("e1", "a"): 1.0, ("e2", "b"): 1.0})
+        ein = AssociativeArray({("e1", "b"): 1.0, ("e2", "c"): 1.0})
+        return pair, eout, ein
+
+    def test_evaluate_nests_under_request_span(self, operands):
+        from repro.expr import evaluate, lazy
+        pair, eout, ein = operands
+        tracer = Tracer()
+        with tracer.span("request"):
+            result = evaluate(
+                lazy(eout, "Eout").T.matmul(lazy(ein, "Ein"), pair))
+        assert result.nnz > 0
+        root = tracer.latest()
+        names = [s.name for s in root.walk()]
+        assert "expr.plan" in names
+        assert "expr.execute" in names
+        # At least one executed node span, under the execute span.
+        execute = next(s for s in root.walk() if s.name == "expr.execute")
+        assert any(c.name.startswith("node.") for c in execute.walk())
+
+    def test_kernel_span_carries_kernel_attr(self, operands):
+        from repro.expr import evaluate, lazy
+        pair, eout, ein = operands
+        tracer = Tracer()
+        with tracer.span("request"):
+            evaluate(lazy(eout, "Eout").T.matmul(lazy(ein, "Ein"), pair))
+        root = tracer.latest()
+        kernels = [s for s in root.walk() if s.name == "kernel"]
+        assert kernels, [s.name for s in root.walk()]
+        assert all("kernel" in s.attrs for s in kernels)
+        assert all(s.trace_id == root.trace_id for s in kernels)
+
+    def test_untraced_evaluate_records_nothing(self, operands):
+        from repro.expr import evaluate, lazy
+        pair, eout, ein = operands
+        tracer = Tracer()
+        evaluate(lazy(eout, "Eout").T.matmul(lazy(ein, "Ein"), pair))
+        assert tracer.latest() is None
+
+
+class TestServiceTracing:
+    def test_query_produces_one_trace_tree(self):
+        from repro.serve import AdjacencyService
+        from repro.values.semiring import get_op_pair
+        svc = AdjacencyService(get_op_pair("plus_times"))
+        svc.add_edges([("e1", "a", "b", 1.0, 1.0),
+                       ("e2", "b", "c", 1.0, 1.0)])
+        svc.publish()
+        before = len(svc.tracer.traces())
+        svc.query("khop", vertex="a", k=2)
+        traces = svc.tracer.traces()
+        assert len(traces) == before + 1
+        root = svc.tracer.get(traces[0]["trace_id"])
+        assert root.name == "service.query"
+        assert root.attrs.get("kind") == "khop"

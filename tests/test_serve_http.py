@@ -50,6 +50,17 @@ def get(url: str, path: str, **params):
         return exc.code, json.loads(exc.read().decode("utf-8"))
 
 
+def get_text(url: str, path: str):
+    """GET → (status, content-type, raw text body) for non-JSON routes."""
+    try:
+        with urllib.request.urlopen(url + path, timeout=30) as resp:
+            return (resp.status, resp.headers.get("Content-Type", ""),
+                    resp.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        return (exc.code, exc.headers.get("Content-Type", ""),
+                exc.read().decode("utf-8"))
+
+
 def post(url: str, path: str, doc=None, raw: bytes = None):
     body = raw if raw is not None else json.dumps(doc or {}).encode()
     req = urllib.request.Request(url + path, data=body, method="POST")
@@ -325,6 +336,68 @@ class TestConcurrentHTTP:
         assert not errors, errors[:3]
         assert svc.epoch == 9
         assert svc.degrees(vertex="hub") == 8
+
+
+class TestObservabilityEndpoints:
+    def test_healthz(self, server):
+        url, svc = server
+        status, doc = get(url, "/healthz")
+        assert status == 200
+        assert doc["status"] == "ok" and doc["epoch"] == 1
+        assert doc["pending_edges"] == 0
+        assert doc["uptime_seconds"] >= 0.0
+        assert doc["snapshot_age_seconds"] >= 0.0
+        post(url, "/edges", {"edges": [["e9", "dave", "alice"]]})
+        _s, doc = get(url, "/healthz")
+        assert doc["pending_edges"] == 1 and doc["epoch"] == 1
+
+    def test_metrics_prometheus_text(self, server):
+        url, _svc = server
+        get(url, "/query/neighbors", vertex="alice")   # generate traffic
+        status, ctype, text = get_text(url, "/metrics")
+        assert status == 200
+        assert ctype.startswith("text/plain")
+        # Per-service instruments and HTTP middleware counters.
+        assert "# TYPE serve_queries_total counter" in text
+        assert "serve_epoch 1" in text
+        assert 'http_requests_total{method="GET",route="query"}' in text
+        assert "http_request_seconds_bucket" in text
+        # The process-global registry renders in the same exposition.
+        assert "serve_cache_hits_total" in text
+
+    def test_metrics_counts_advance_with_traffic(self, server):
+        url, _svc = server
+        for _ in range(3):
+            get(url, "/query/degrees")
+        _s, _c, text = get_text(url, "/metrics")
+        line = next(ln for ln in text.splitlines()
+                    if ln.startswith("serve_queries_total"))
+        assert float(line.split()[-1]) >= 3
+
+    def test_trace_index_and_tree(self, server):
+        url, svc = server
+        get(url, "/query/khop", vertex="alice", k=2)
+        status, doc = get(url, "/trace")
+        assert status == 200
+        assert doc["traces"], doc
+        newest = doc["traces"][0]
+        assert newest["name"] == "service.query"
+        status, tree = get(url, f"/trace/{newest['trace_id']}")
+        assert status == 200
+        assert tree["trace_id"] == newest["trace_id"]
+        names = set()
+        stack = [tree]
+        while stack:
+            node = stack.pop()
+            names.add(node["name"])
+            stack.extend(node["children"])
+        assert "service.query" in names and "compute" in names
+
+    def test_trace_unknown_id_404(self, server):
+        url, _svc = server
+        status, doc = get(url, "/trace/t_does_not_exist")
+        assert status == 404
+        assert "error" in doc
 
 
 class TestQueryCLI:
