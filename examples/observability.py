@@ -19,7 +19,12 @@ example walks the surface without starting an HTTP server:
 4. read the measured per-kernel rates that the library instruments
    feed back into the expression engine's cost model;
 5. fabricate two benchmark-harness runs and diff them with the same
-   regression gate CI applies (``repro bench --compare``).
+   regression gate CI applies (``repro bench --compare``);
+6. find the OpenMetrics exemplars that link slow histogram buckets
+   back to trace ids on the exposition ``GET /metrics`` renders;
+7. read the structured event log — the same ring ``GET /events`` and
+   ``repro events --follow`` expose — and see the publication events
+   the service emitted above, stamped with their trace ids.
 
 Run:  python examples/observability.py
 """
@@ -115,6 +120,40 @@ def main() -> None:
     print("\n— repro bench --compare, the CI gate —")
     print(result.describe())
     assert not result.ok                      # +50% > 20%: gated
+
+    # ------------------------------------------------------------------
+    # 6. Exemplars: histogram buckets link back to trace ids.
+    # ------------------------------------------------------------------
+    print("\n— exemplar-bearing bucket lines on /metrics —")
+    exposition = render_prometheus(service.metrics, get_registry())
+    shown = 0
+    for line in exposition.splitlines():
+        if " # {" in line and shown < 3:
+            print(f"  {line}")
+            shown += 1
+    # The same links, harvested as a dict (what bench runs embed).
+    from repro.obs import harvest_exemplars
+    for key, ex in sorted(harvest_exemplars(service.metrics).items()):
+        print(f"  {key}: trace {ex['trace_id']} "
+              f"value {ex['value'] * 1e3:.3f} ms")
+
+    # ------------------------------------------------------------------
+    # 7. The event log: lifecycle moments, stamped with trace ids.
+    # ------------------------------------------------------------------
+    from repro.obs import get_event_log
+    log = get_event_log()
+    print("\n— structured event log (GET /events) —")
+    for event in log.events(limit=5):
+        trace = event.get("trace_id", "-")
+        print(f"  #{event['seq']} {event['kind']} trace={trace}")
+    retention = log.retention()
+    print(f"  retention: {retention['stored']}/{retention['capacity']} "
+          f"stored, {retention['dropped']} dropped")
+    published = log.events(kind="epoch_published")
+    assert published, "the publish() above should have logged an event"
+    # The event's trace id resolves to the publication's span tree.
+    tree = service.tracer.get(published[-1]["trace_id"])
+    assert tree is not None and tree.name == "service.publish"
 
     print("\nobservability demo complete")
 

@@ -33,16 +33,26 @@
     Ask a running server one question (``neighbors``, ``degrees``,
     ``khop``, ``path-lengths``, ``top-k``, ``stats``) and print the
     JSON answer.
-``trace --source ADJ.tsv``
+``trace --source ADJ.tsv`` / ``trace --id TRACE_ID [--url URL]``
     Run one traced k-hop query against a local source and print the
-    span tree (handler → cache → expr plan → kernels) — the
-    observability layer's smoke test (see :mod:`repro.obs.trace`).
-``bench [NAMES...] [--compare A B]``
+    span tree (handler → cache → expr plan → kernels) — or fetch one
+    finished trace from a running server by id; a miss prints the
+    structured "no such trace (ring evicted?)" error with the ring's
+    retention bounds (see :mod:`repro.obs.trace`).
+``events [--follow] [--since SEQ] [--kind KIND]``
+    Print a running server's structured event log (epoch publications,
+    rewrite refusals, shard spills, cache invalidations, bench runs)
+    as JSON Lines; ``--follow`` tails it with a seq cursor (see
+    :mod:`repro.obs.events`).
+``bench [NAMES...] [--compare A B] [--baseline-refresh --reason WHY]``
     The versioned benchmark harness: run the smoke benchmarks under a
     locked manifest (git sha, machine, config hash), writing
-    ``BENCH_<runid>.json`` + ``report.md``; or diff two runs' headline
-    metrics against a regression threshold, exiting non-zero on any
-    regression (see :mod:`repro.obs.bench`).
+    ``BENCH_<runid>.json`` + ``report.md`` + the kernel-calibration
+    snapshot; diff two runs' headline metrics against a regression
+    threshold (exiting non-zero on any regression, with exemplar trace
+    links); or re-lock ``BENCH_baseline.json`` with provenance — the
+    reason and git sha land in the baseline's manifest (see
+    :mod:`repro.obs.bench`).
 """
 
 from __future__ import annotations
@@ -205,10 +215,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace = sub.add_parser(
         "trace",
         help="run one traced k-hop query against a local source and "
-             "print its span tree")
-    p_trace.add_argument("--source", required=True,
+             "print its span tree, or fetch a finished trace by id "
+             "from a running server")
+    p_trace.add_argument("--source", default=None,
                          help="adjacency TSV-triple file or kept shard "
-                              "workdir (as in `repro serve`)")
+                              "workdir (as in `repro serve`); required "
+                              "unless --id is given")
+    p_trace.add_argument("--id", default=None, dest="trace_id",
+                         metavar="TRACE_ID",
+                         help="fetch this finished trace from a running "
+                              "server (GET /trace/<id>) instead of "
+                              "running a local query; a miss reports "
+                              "the trace ring's retention bounds")
+    p_trace.add_argument("--url", default="http://127.0.0.1:8631",
+                         help="server base URL for --id")
     p_trace.add_argument("--pair", default=None,
                          help="op-pair registry name (default: the "
                               "source's recorded pair, else plus_times)")
@@ -222,6 +242,26 @@ def build_parser() -> argparse.ArgumentParser:
                               "II.1 criteria or have order-sensitive ⊕")
     p_trace.add_argument("--json", action="store_true",
                          help="print the trace as JSON instead of a tree")
+
+    p_events = sub.add_parser(
+        "events",
+        help="print a running server's structured event log as JSONL")
+    p_events.add_argument("--url", default="http://127.0.0.1:8631",
+                          help="server base URL")
+    p_events.add_argument("--since", type=int, default=None,
+                          help="only events with seq > SINCE")
+    p_events.add_argument("--kind", default=None,
+                          help="filter by event kind (epoch_published, "
+                               "rewrite_refused, shard_spill, "
+                               "cache_invalidation, bench_run, ...)")
+    p_events.add_argument("--limit", type=int, default=None,
+                          help="keep only the newest LIMIT events")
+    p_events.add_argument("--follow", action="store_true",
+                          help="poll for new events (seq cursor) until "
+                               "interrupted")
+    p_events.add_argument("--interval", type=float, default=1.0,
+                          help="poll interval seconds for --follow "
+                               "(default: 1.0)")
 
     p_bench = sub.add_parser(
         "bench",
@@ -248,6 +288,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--threshold", type=float, default=None,
                          help="relative regression threshold for "
                               "--compare (default: 0.20)")
+    p_bench.add_argument("--baseline-refresh", action="store_true",
+                         dest="baseline_refresh",
+                         help="re-lock the baseline file to a fresh run "
+                              "(or --from-run), recording --reason, the "
+                              "git sha, and the superseded run id in "
+                              "the baseline's manifest")
+    p_bench.add_argument("--reason", default=None,
+                         help="why the baseline moved (required by "
+                              "--baseline-refresh)")
+    p_bench.add_argument("--baseline-path", default="BENCH_baseline.json",
+                         dest="baseline_path",
+                         help="baseline file for --baseline-refresh "
+                              "(default: BENCH_baseline.json)")
+    p_bench.add_argument("--from-run", default=None, dest="from_run",
+                         metavar="RUN",
+                         help="with --baseline-refresh: promote this "
+                              "existing BENCH_*.json (or a directory "
+                              "holding one) instead of running the "
+                              "benchmarks again")
     return parser
 
 
@@ -501,7 +560,7 @@ def _cmd_serve(args) -> int:
     print(f"serving {args.source} on http://{host}:{port}  "
           f"(epoch {snap.epoch}, {len(snap.vertices)} vertices, "
           f"{snap.nnz} entries, op-pair {service.op_pair.name})")
-    print("  GET  /health  /healthz  /stats  /metrics  /trace")
+    print("  GET  /health  /healthz  /stats  /metrics  /trace  /events")
     print("  GET  /query/<kind>?vertex=...&k=...")
     print("  POST /edges   /publish")
     try:
@@ -552,10 +611,56 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _fetch_json(url: str, timeout: float = 30.0):
+    """``(status, doc)`` for one GET; HTTP errors still parse the JSON
+    body (the server's structured errors are the interesting part)."""
+    import json
+    from urllib import error as urlerror
+    from urllib import request as urlrequest
+    try:
+        with urlrequest.urlopen(url, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read().decode("utf-8"))
+    except urlerror.HTTPError as exc:
+        try:
+            return exc.code, json.loads(exc.read().decode("utf-8"))
+        except Exception:
+            return exc.code, {"error": str(exc), "status": exc.code}
+
+
+def _cmd_trace_fetch(args) -> int:
+    """``repro trace --id``: one finished trace from a running server."""
+    import json
+    from urllib import error as urlerror
+    url = f"{args.url.rstrip('/')}/trace/{args.trace_id}"
+    try:
+        status, doc = _fetch_json(url)
+    except urlerror.URLError as exc:
+        print(f"cannot reach {args.url}: {exc.reason}", file=sys.stderr)
+        return 1
+    if status != 200:
+        print(f"trace lookup failed: {doc.get('error', status)}",
+              file=sys.stderr)
+        retention = doc.get("retention")
+        if isinstance(retention, dict):
+            print("  ring retention: "
+                  + ", ".join(f"{k}={v}"
+                              for k, v in sorted(retention.items())),
+                  file=sys.stderr)
+        return 1
+    print(json.dumps(doc, indent=2, sort_keys=True, default=str))
+    return 0
+
+
 def _cmd_trace(args) -> int:
     import json
     from repro.obs.trace import render_trace
     from repro.values.semiring import SemiringError
+    if args.trace_id is not None:
+        return _cmd_trace_fetch(args)
+    if args.source is None:
+        print("--source is required unless --id is given",
+              file=sys.stderr)
+        return 2
     try:
         service = load_service(
             args.source, args.pair, unsafe_ok=args.unsafe_ok)
@@ -599,13 +704,73 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_events(args) -> int:
+    import json
+    import time as time_mod
+    from urllib import error as urlerror
+    from urllib.parse import urlencode
+    base = f"{args.url.rstrip('/')}/events"
+    cursor = args.since
+
+    def fetch(since):
+        params = {}
+        if since is not None:
+            params["since"] = since
+        if args.kind is not None:
+            params["kind"] = args.kind
+        if args.limit is not None:
+            params["limit"] = args.limit
+        url = base + ("?" + urlencode(params) if params else "")
+        return _fetch_json(url)
+
+    try:
+        status, doc = fetch(cursor)
+    except urlerror.URLError as exc:
+        print(f"cannot reach {args.url}: {exc.reason}", file=sys.stderr)
+        return 1
+    if status != 200:
+        print(f"events fetch failed: {doc.get('error', status)}",
+              file=sys.stderr)
+        return 1
+    for event in doc.get("events", []):
+        print(json.dumps(event, sort_keys=True, default=str))
+        cursor = event.get("seq", cursor)
+    if not args.follow:
+        retention = doc.get("retention", {})
+        print("retention: "
+              + ", ".join(f"{k}={v}"
+                          for k, v in sorted(retention.items())),
+              file=sys.stderr)
+        return 0
+    try:
+        while True:   # pragma: no cover - interactive tail
+            time_mod.sleep(max(args.interval, 0.05))
+            try:
+                status, doc = fetch(cursor)
+            except urlerror.URLError as exc:
+                print(f"lost {args.url}: {exc.reason}", file=sys.stderr)
+                return 1
+            if status != 200:
+                print(f"events fetch failed: {doc.get('error', status)}",
+                      file=sys.stderr)
+                return 1
+            for event in doc.get("events", []):
+                print(json.dumps(event, sort_keys=True, default=str),
+                      flush=True)
+                cursor = event.get("seq", cursor)
+    except KeyboardInterrupt:   # pragma: no cover - interactive
+        return 0
+
+
 def _cmd_bench(args) -> int:
     from repro.obs.bench import (
         BenchError,
         DEFAULT_THRESHOLD,
         compare,
+        describe_with_exemplars,
         discover_benchmarks,
         load_run,
+        refresh_baseline,
         render_markdown,
         run_benchmarks,
     )
@@ -613,6 +778,36 @@ def _cmd_bench(args) -> int:
         for name in discover_benchmarks(args.bench_dir):
             print(name)
         return 0
+    if args.baseline_refresh:
+        if args.reason is None:
+            print("--baseline-refresh requires --reason (the manifest "
+                  "records why the bar moved)", file=sys.stderr)
+            return 2
+        try:
+            if args.from_run is not None:
+                run = load_run(args.from_run)
+            else:
+                run = run_benchmarks(args.names or None, quick=args.quick,
+                                     outdir=args.outdir,
+                                     bench_dir=args.bench_dir,
+                                     progress=True)
+            doc = refresh_baseline(run, args.baseline_path,
+                                   reason=args.reason)
+        except BenchError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        refresh = doc["manifest"]["baseline_refresh"]
+        print(f"baseline {args.baseline_path} re-locked to run "
+              f"{doc.get('run_id')}")
+        print(f"  reason           {refresh['reason']}")
+        print(f"  git sha          {refresh['git_sha'] or 'unknown'}")
+        print(f"  superseded run   "
+              f"{refresh['previous_run_id'] or '(none)'}")
+        return 0
+    if args.reason is not None or args.from_run is not None:
+        print("--reason/--from-run only apply with --baseline-refresh",
+              file=sys.stderr)
+        return 2
     if args.compare is not None:
         threshold = args.threshold if args.threshold is not None \
             else DEFAULT_THRESHOLD
@@ -623,7 +818,7 @@ def _cmd_bench(args) -> int:
         except BenchError as exc:
             print(exc, file=sys.stderr)
             return 2
-        print(result.describe())
+        print(describe_with_exemplars(result, candidate))
         return 0 if result.ok else 1
     if args.threshold is not None:
         print("--threshold only applies with --compare", file=sys.stderr)
@@ -665,6 +860,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_query(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "events":
+        return _cmd_events(args)
     if args.command == "bench":
         return _cmd_bench(args)
     raise AssertionError("unreachable")  # pragma: no cover

@@ -26,18 +26,22 @@ evaluation.
 
 The model also *learns*: every product the executor runs reports its
 (kernel, multiplicative terms, wall seconds) back through
-:func:`record_kernel_sample`, which feeds both the process-global
-metrics registry (``expr_kernel_seconds{kernel=...}`` and friends on
-``/metrics``) and a measured seconds-per-term rate.  Later plans then
+:func:`record_kernel_sample`, which feeds the process-global metrics
+registry (``expr_kernel_seconds{kernel=...}`` and friends on
+``/metrics``), a measured seconds-per-term rate, and the persistent
+calibration store (:mod:`repro.obs.calibration`).  Later plans then
 carry an estimated wall time (:attr:`CostEstimate.seconds`) computed
-from *this process's observed kernel throughput*, not a hardcoded
-constant — shown in ``explain()`` once at least one sample exists.
+from observed kernel throughput, not a hardcoded constant — preferring
+this process's own samples (``seconds_source == "measured"``) and
+falling back to the rates a *previous* process persisted for this
+machine fingerprint (``seconds_source == "calibrated"``), so even a
+cold interpreter's first ``explain()`` reports wall-time estimates.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.arrays.backend import VECTORIZE_MIN_NNZ, usable_numeric_zero
 from repro.expr.ast import (
@@ -53,11 +57,12 @@ from repro.expr.ast import (
     WithKeys,
     topological_order,
 )
+from repro.obs.calibration import get_calibration_store
 from repro.obs.metrics import get_registry
 
 __all__ = ["CostEstimate", "estimate_plan", "record_kernel_sample",
-           "measured_seconds_per_term", "NUMERIC_ENTRY_BYTES",
-           "DICT_ENTRY_BYTES"]
+           "measured_seconds_per_term", "seconds_per_term",
+           "NUMERIC_ENTRY_BYTES", "DICT_ENTRY_BYTES"]
 
 #: Bytes per stored entry on the columnar backend (int64 row + int64
 #: col + float64 value).
@@ -76,7 +81,9 @@ def record_kernel_sample(kernel: str, terms: float, seconds: float) -> None:
     (latency histogram), ``expr_kernel_seconds_total`` and
     ``expr_kernel_terms_total`` (the running rate numerator and
     denominator) — so ``/metrics`` and the seconds-per-term estimate
-    read the same numbers.
+    read the same numbers, and on the persistent calibration store
+    (:mod:`repro.obs.calibration`), so the *next* process's cold plans
+    start from this one's measured throughput.
     """
     registry = get_registry()
     registry.histogram(
@@ -90,13 +97,20 @@ def record_kernel_sample(kernel: str, terms: float, seconds: float) -> None:
         "expr_kernel_terms_total",
         "Cumulative multiplicative terms executed per kernel",
         kernel=kernel).inc(max(terms, 1.0))
+    store = get_calibration_store()
+    if store is not None:
+        store.record(kernel, max(terms, 1.0), seconds)
+        store.maybe_save()
 
 
 def measured_seconds_per_term(kernel: str) -> Optional[float]:
-    """Observed seconds per multiplicative term for ``kernel``.
+    """Seconds per multiplicative term observed *in this process* for
+    ``kernel``.
 
     ``None`` until :func:`record_kernel_sample` has seen that kernel in
-    this process — the cost model never invents a throughput.
+    this process — the cost model never invents a throughput.  See
+    :func:`seconds_per_term` for the variant that also consults the
+    persistent calibration store.
     """
     registry = get_registry()
     seconds = registry.counter(
@@ -111,6 +125,26 @@ def measured_seconds_per_term(kernel: str) -> Optional[float]:
     return seconds / terms
 
 
+def seconds_per_term(kernel: str) -> Tuple[Optional[float], str]:
+    """``(rate, source)`` — the best available seconds-per-term.
+
+    In-process samples win (``source == "measured"``); otherwise the
+    persistent calibration store's EWMA for this machine fingerprint
+    (``source == "calibrated"``) — that is what lets a fresh
+    interpreter plan with real throughput numbers before it has run a
+    single product.  ``(None, "")`` when neither exists.
+    """
+    rate = measured_seconds_per_term(kernel)
+    if rate is not None:
+        return rate, "measured"
+    store = get_calibration_store()
+    if store is not None:
+        stored = store.rate(kernel)
+        if stored is not None:
+            return stored, "calibrated"
+    return None, ""
+
+
 @dataclass(frozen=True)
 class CostEstimate:
     """Predicted execution profile of one node."""
@@ -122,9 +156,14 @@ class CostEstimate:
     kernel: str = "-"            # multiply kernel, "-" for non-products
     flops: float = 0.0           # multiplicative terms for products
     exact: bool = False          # True only for leaves
-    #: Predicted wall seconds from this process's measured kernel
-    #: throughput; ``None`` until the kernel has run at least once.
+    #: Predicted wall seconds from observed kernel throughput; ``None``
+    #: until the kernel has a rate from this process or the
+    #: calibration store.
     seconds: Optional[float] = None
+    #: Where the rate behind :attr:`seconds` came from: ``"measured"``
+    #: (this process), ``"calibrated"`` (the persistent store), or
+    #: ``""`` (no rate known).
+    seconds_source: str = ""
 
     @property
     def bytes(self) -> float:
@@ -209,10 +248,11 @@ def _estimate(node: Node, memo: Dict[int, CostEstimate]) -> CostEstimate:
         kernel = _product_kernel(node, a, b, numeric)
         backend = "numeric" if kernel != "generic" else \
             ("numeric" if numeric else "dict")
-        rate = measured_seconds_per_term(kernel)
+        rate, source = seconds_per_term(kernel)
         return CostEstimate(rows, cols, nnz, backend, kernel=kernel,
                             flops=flops,
-                            seconds=None if rate is None else flops * rate)
+                            seconds=None if rate is None else flops * rate,
+                            seconds_source=source)
 
     if isinstance(node, Elementwise):
         a, b = child_ests

@@ -168,7 +168,8 @@ class Plan:
                     parts.append(f"kernel={est.kernel}")
                 parts.append(f"~{_fmt_bytes(est.working_bytes)}")
                 if est.seconds is not None:
-                    parts.append(f"~{est.seconds * 1e3:.2f} ms measured")
+                    parts.append(f"~{est.seconds * 1e3:.2f} ms "
+                                 f"{est.seconds_source or 'measured'}")
             if id(node) in self.shard_nodes:
                 parts.append("→ shard executor (over budget)")
             return "  ".join(parts)

@@ -54,6 +54,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.arrays.associative import AssociativeArray
 from repro.core.certify import certify_cached
+from repro.obs.events import emit_event
 from repro.obs.metrics import get_registry
 from repro.expr.ast import (
     Elementwise,
@@ -493,6 +494,10 @@ def optimize(
                             "expr_rewrites_refused_total",
                             "Rewrites refused per rule (properties "
                             "not certified)", rule=rule.name).inc()
+                        emit_event(
+                            "rewrite_refused", rule=rule.name,
+                            site=current.label(),
+                            reason=refused[-1].reason)
                     continue
                 site = current.label()
                 current = rule.apply(current)

@@ -1,24 +1,36 @@
 """``repro.obs`` — unified observability: metrics, tracing, benchmarks.
 
-The measurement substrate the ROADMAP's scaling items gate on.  Three
+The measurement substrate the ROADMAP's scaling items gate on.  Five
 dependency-free pieces, threaded through every hot layer:
 
 * :mod:`repro.obs.metrics` — a thread-safe registry of counters,
-  gauges, and fixed-bucket histograms (with percentile estimation),
-  rendered as JSON (``/stats``) or Prometheus text (``/metrics``).
-  Library-level instruments (expression rewrites, kernel timings,
-  shard build/merge/spill) live on the process-global registry
+  gauges, and fixed-bucket histograms (with percentile estimation and
+  per-bucket trace exemplars), rendered as JSON (``/stats``) or
+  Prometheus/OpenMetrics text (``/metrics``).  Library-level
+  instruments (expression rewrites, kernel timings, shard
+  build/merge/spill) live on the process-global registry
   (:func:`~repro.obs.metrics.get_registry`); per-service instruments
   (cache hit ratio, per-endpoint latency) live on each service's own.
 * :mod:`repro.obs.trace` — span tracing with ``contextvars``
   propagation: one HTTP k-hop query produces one trace tree (handler →
   cache → snapshot → expr plan → kernel), dumpable as JSON
-  (``GET /trace/<id>``) and renderable by ``repro trace``.
+  (``GET /trace/<id>``) and renderable by ``repro trace``; misses
+  raise :class:`~repro.obs.trace.TraceNotFound` with the ring's
+  retention bounds.
+* :mod:`repro.obs.events` — a bounded, thread-safe structured event
+  log (epoch publications, rewrite refusals, shard spills, cache
+  invalidations, bench runs), each event stamped with the active trace
+  id; served by ``GET /events`` and ``repro events --follow``.
+* :mod:`repro.obs.calibration` — the persistent kernel-calibration
+  store: EWMA seconds-per-term per (kernel, machine fingerprint),
+  saved to a versioned JSON file so a *cold* process's first
+  ``explain()`` plans with measured throughput.
 * :mod:`repro.obs.bench` — the versioned benchmark harness behind
   ``repro bench``: run-id'd runs with locked manifests (git sha,
   machine info, config hash), ``BENCH_<runid>.json`` + ``report.md``
-  artifacts, and ``--compare`` regression gates consumed by CI against
-  the committed ``BENCH_baseline.json``.
+  + calibration-snapshot artifacts, ``--compare`` regression gates
+  with exemplar trace links, and the ``--baseline-refresh`` lifecycle
+  (provenance-stamped re-locking of ``BENCH_baseline.json``).
 """
 
 from repro.obs.bench import (
@@ -28,12 +40,23 @@ from repro.obs.bench import (
     MetricDelta,
     compare,
     config_hash,
+    describe_with_exemplars,
     discover_benchmarks,
+    harvest_exemplars,
     load_run,
+    refresh_baseline,
     render_markdown,
     run_benchmarks,
     run_metadata,
 )
+from repro.obs.calibration import (
+    CalibrationStore,
+    calibration_enabled,
+    get_calibration_store,
+    machine_fingerprint,
+    reset_calibration_store,
+)
+from repro.obs.events import Event, EventLog, emit_event, get_event_log
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -42,28 +65,50 @@ from repro.obs.metrics import (
     get_registry,
     render_prometheus,
 )
-from repro.obs.trace import Span, Tracer, current_span, render_trace, span
+from repro.obs.trace import (
+    Span,
+    TraceNotFound,
+    Tracer,
+    current_ids,
+    current_span,
+    render_trace,
+    span,
+)
 
 __all__ = [
     "BenchError",
+    "CalibrationStore",
     "CompareResult",
     "Counter",
     "DEFAULT_THRESHOLD",
+    "Event",
+    "EventLog",
     "Gauge",
     "Histogram",
     "MetricDelta",
     "MetricsRegistry",
     "Span",
+    "TraceNotFound",
     "Tracer",
+    "calibration_enabled",
     "compare",
     "config_hash",
+    "current_ids",
     "current_span",
+    "describe_with_exemplars",
     "discover_benchmarks",
+    "emit_event",
+    "get_calibration_store",
+    "get_event_log",
     "get_registry",
+    "harvest_exemplars",
     "load_run",
+    "machine_fingerprint",
+    "refresh_baseline",
     "render_markdown",
     "render_prometheus",
     "render_trace",
+    "reset_calibration_store",
     "run_benchmarks",
     "run_metadata",
     "span",

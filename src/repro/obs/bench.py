@@ -39,6 +39,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.obs.calibration import get_calibration_store
+from repro.obs.events import emit_event
+from repro.obs.metrics import get_registry
+
 __all__ = [
     "SCRIPT_BENCHMARKS",
     "BenchError",
@@ -48,9 +52,12 @@ __all__ = [
     "config_hash",
     "discover_benchmarks",
     "run_benchmarks",
+    "harvest_exemplars",
     "render_markdown",
     "load_run",
     "compare",
+    "describe_with_exemplars",
+    "refresh_baseline",
     "DEFAULT_THRESHOLD",
 ]
 
@@ -219,6 +226,19 @@ def run_benchmarks(
         "headline": headline,
         "results": results,
     }
+    # Whatever trace exemplars the benchmarks left on the process-global
+    # histograms ride along with the run, so a regression in a headline
+    # metric can be chased to a concrete trace id.
+    exemplars = harvest_exemplars()
+    if exemplars:
+        doc["exemplars"] = exemplars
+    # Snapshot the kernel calibration the run produced (and ran under):
+    # the run artifact then records the throughput numbers cold planners
+    # on this machine will use.
+    store = get_calibration_store()
+    if store is not None:
+        store.flush()
+        doc["calibration"] = store.snapshot()
     if outdir is not None:
         out = Path(outdir)
         out.mkdir(parents=True, exist_ok=True)
@@ -228,7 +248,38 @@ def run_benchmarks(
         md_path = out / "report.md"
         md_path.write_text(render_markdown(doc), encoding="utf-8")
         doc["artifacts"] = {"json": str(json_path), "markdown": str(md_path)}
+        if "calibration" in doc:
+            cal_path = out / "calibration.json"
+            cal_path.write_text(
+                json.dumps(doc["calibration"], indent=2, sort_keys=True,
+                           default=str) + "\n", encoding="utf-8")
+            doc["artifacts"]["calibration"] = str(cal_path)
+    emit_event("bench_run", run_id=run_id, benchmarks=",".join(chosen),
+               quick=quick, seconds=round(sum(timings.values()), 4))
     return doc
+
+
+def harvest_exemplars(registry: Any = None) -> Dict[str, Dict[str, Any]]:
+    """Slowest-bucket exemplars of every histogram on ``registry``
+    (default: the process-global one), keyed ``name{labels}``.
+
+    Empty for histograms that never saw a traced observation — the
+    harness never fabricates a trace link.
+    """
+    reg = registry if registry is not None else get_registry()
+    out: Dict[str, Dict[str, Any]] = {}
+    for family in reg.families():
+        if family.kind != "histogram":
+            continue
+        for labels, inst in sorted(family.children.items()):
+            ex = inst.exemplar()
+            if ex is None:
+                continue
+            label_text = ",".join(f"{k}={v}" for k, v in labels)
+            key = f"{family.name}{{{label_text}}}" if label_text \
+                else family.name
+            out[key] = ex
+    return out
 
 
 def render_markdown(doc: Dict[str, Any]) -> str:
@@ -410,3 +461,72 @@ def compare(
             baseline=av, candidate=bv, change=change,
             regression=regression, unit=str(a.get("unit", ""))))
     return result
+
+
+def describe_with_exemplars(result: CompareResult,
+                            candidate: Dict[str, Any]) -> str:
+    """:meth:`CompareResult.describe` plus the candidate run's exemplar
+    trace links — so a regression verdict names the trace ids behind
+    the slowest observed buckets, not just the moved numbers."""
+    text = result.describe()
+    exemplars = candidate.get("exemplars") or {}
+    if not exemplars:
+        return text
+    lines = [text, "", "exemplar traces (candidate run):"]
+    for key, ex in sorted(exemplars.items()):
+        lines.append(
+            f"  {key}: trace {ex.get('trace_id', '?')} "
+            f"span {ex.get('span_id', '?')} "
+            f"value {float(ex.get('value', 0.0)):.6g}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Baseline lifecycle
+# ---------------------------------------------------------------------------
+
+def refresh_baseline(
+    run: Dict[str, Any],
+    baseline_path: Union[str, Path],
+    *,
+    reason: str,
+    cwd: Optional[Union[str, Path]] = None,
+) -> Dict[str, Any]:
+    """Re-lock ``baseline_path`` to ``run``, recording provenance.
+
+    The written doc is the run plus a ``manifest["baseline_refresh"]``
+    block — the operator's ``reason``, the git sha the refresh happened
+    at, the refresh timestamp, and the run id of the baseline being
+    superseded — so a future "why did the bar move?" reads the answer
+    out of the baseline file itself.  ``reason`` is mandatory and
+    non-empty by design: an unexplained baseline refresh is how
+    regression gates rot.
+    """
+    if not reason or not reason.strip():
+        raise BenchError(
+            "baseline refresh requires a non-empty --reason; the "
+            "manifest records why the bar moved")
+    path = Path(baseline_path)
+    previous_run_id: Optional[str] = None
+    if path.exists():
+        try:
+            previous_run_id = str(load_run(path).get("run_id"))
+        except BenchError:
+            previous_run_id = None   # corrupt old baseline; still refresh
+    doc = dict(run)
+    manifest = dict(doc.get("manifest", {}))
+    manifest["baseline_refresh"] = {
+        "reason": reason.strip(),
+        "git_sha": _git_sha(Path(cwd) if cwd is not None else None),
+        "refreshed_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "previous_run_id": previous_run_id,
+    }
+    doc["manifest"] = manifest
+    doc.pop("artifacts", None)   # paths of the source run, not of this file
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, ensure_ascii=False) + "\n",
+                    encoding="utf-8")
+    emit_event("baseline_refresh", run_id=str(doc.get("run_id", "?")),
+               path=str(path), reason=reason.strip(),
+               previous_run_id=previous_run_id)
+    return doc

@@ -1,0 +1,272 @@
+"""Persistent per-kernel calibration: measured seconds-per-term that
+survives the process.
+
+The expression engine's cost model learns each multiply kernel's
+throughput from executed products (``expr_kernel_seconds_total`` /
+``expr_kernel_terms_total`` on the process-global registry).  Those
+counters die with the process, so before this module every cold start
+planned with *no* wall-time estimates until the first product ran.
+The calibration store makes the measured rates durable:
+
+* every executed product updates an **EWMA seconds-per-term** per
+  kernel (:meth:`CalibrationStore.record`), keyed under a **machine
+  fingerprint** so rates measured on one box never inform plans on
+  another;
+* the store persists as schema-versioned JSON (like the bench
+  manifests) at ``~/.repro/calibration.json``, or wherever
+  ``REPRO_CALIBRATION_PATH`` points (a workdir-local path is the
+  per-project spelling); writes are atomic (tmp + rename);
+* :func:`repro.expr.cost.measured_seconds_per_term` falls back to the
+  stored rate when the process has no in-process samples yet, so a
+  cold ``explain()`` reports *calibrated* wall-time estimates instead
+  of none;
+* ``repro bench`` snapshots the store into its run artifacts, so a
+  locked run records the kernel rates it planned with.
+
+Set ``REPRO_CALIBRATION=0`` to disable the store entirely (no reads,
+no writes) — the cost model then behaves exactly as before this
+module existed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+__all__ = [
+    "SCHEMA",
+    "CalibrationStore",
+    "calibration_enabled",
+    "default_path",
+    "machine_fingerprint",
+    "get_calibration_store",
+    "reset_calibration_store",
+]
+
+#: Schema tag of the on-disk document; bumped on incompatible change.
+SCHEMA = "repro-calibration/v1"
+
+#: EWMA weight of one new sample (higher = adapts faster, noisier).
+DEFAULT_ALPHA = 0.25
+
+_ENV_PATH = "REPRO_CALIBRATION_PATH"
+_ENV_TOGGLE = "REPRO_CALIBRATION"
+
+
+def calibration_enabled() -> bool:
+    """Whether the persistent store is active (``REPRO_CALIBRATION``
+    unset or truthy)."""
+    return os.environ.get(_ENV_TOGGLE, "1").lower() not in (
+        "0", "off", "false", "no")
+
+
+def default_path() -> Path:
+    """``$REPRO_CALIBRATION_PATH`` if set, else
+    ``~/.repro/calibration.json``."""
+    env = os.environ.get(_ENV_PATH)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".repro" / "calibration.json"
+
+
+def _machine_info() -> Dict[str, Any]:
+    return {
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+    }
+
+
+def machine_fingerprint(info: Optional[Dict[str, Any]] = None) -> str:
+    """Stable 12-hex digest identifying "this kind of machine".
+
+    Rates measured under one fingerprint are only ever served to
+    processes with the same fingerprint — a laptop's scipy throughput
+    must not calibrate plans on a 64-core server sharing the same
+    home directory.
+    """
+    canonical = json.dumps(info or _machine_info(), sort_keys=True,
+                           default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+class CalibrationStore:
+    """EWMA seconds-per-term per (kernel, machine fingerprint), on disk.
+
+    Thread-safe; loads leniently (a missing, corrupt, or
+    schema-incompatible file starts a fresh document — calibration is
+    an optimization, never an error source) and saves atomically.
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None, *,
+                 alpha: float = DEFAULT_ALPHA) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.path = Path(path) if path is not None else default_path()
+        self.alpha = alpha
+        self._lock = threading.Lock()
+        self._info = _machine_info()
+        self.fingerprint = machine_fingerprint(self._info)
+        self._doc = self._load(self.path)
+        self._dirty = 0
+        self._last_save = 0.0
+
+    @staticmethod
+    def _load(path: Path) -> Dict[str, Any]:
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            doc = None
+        if (not isinstance(doc, dict) or doc.get("schema") != SCHEMA
+                or not isinstance(doc.get("machines"), dict)):
+            doc = {"schema": SCHEMA, "updated_at": None, "machines": {}}
+        return doc
+
+    # -- reads ----------------------------------------------------------
+    def rate(self, kernel: str) -> Optional[float]:
+        """Stored EWMA seconds-per-term for ``kernel`` on this machine
+        fingerprint, or ``None`` if never calibrated."""
+        with self._lock:
+            entry = (self._doc["machines"].get(self.fingerprint, {})
+                     .get("kernels", {}).get(kernel))
+            if not isinstance(entry, dict):
+                return None
+            value = entry.get("seconds_per_term")
+        try:
+            value = float(value)
+        except (TypeError, ValueError):
+            return None
+        return value if value > 0 else None
+
+    def kernels(self) -> Dict[str, Dict[str, Any]]:
+        """All calibrated kernels for this machine fingerprint."""
+        with self._lock:
+            machine = self._doc["machines"].get(self.fingerprint, {})
+            return json.loads(json.dumps(machine.get("kernels", {})))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A deep copy of the whole document (bench-artifact payload),
+        annotated with this process's fingerprint and store path."""
+        with self._lock:
+            doc = json.loads(json.dumps(self._doc, default=str))
+        doc["active_fingerprint"] = self.fingerprint
+        doc["path"] = str(self.path)
+        return doc
+
+    # -- writes ---------------------------------------------------------
+    def record(self, kernel: str, terms: float, seconds: float) -> None:
+        """Fold one executed product into the kernel's EWMA rate.
+
+        Degenerate samples (no terms, non-positive wall time) are
+        ignored — they carry no throughput information.
+        """
+        if terms <= 0 or seconds <= 0:
+            return
+        sample = seconds / terms
+        with self._lock:
+            machine = self._doc["machines"].setdefault(
+                self.fingerprint, {"info": dict(self._info),
+                                   "kernels": {}})
+            entry = machine["kernels"].get(kernel)
+            if not isinstance(entry, dict) or not isinstance(
+                    entry.get("seconds_per_term"), (int, float)):
+                entry = {"seconds_per_term": sample, "samples": 0,
+                         "terms_total": 0.0, "seconds_total": 0.0}
+            else:
+                entry["seconds_per_term"] = (
+                    self.alpha * sample
+                    + (1.0 - self.alpha) * float(entry["seconds_per_term"]))
+            entry["samples"] = int(entry.get("samples", 0)) + 1
+            entry["terms_total"] = float(
+                entry.get("terms_total", 0.0)) + terms
+            entry["seconds_total"] = float(
+                entry.get("seconds_total", 0.0)) + seconds
+            entry["updated_at"] = _utc_now()
+            machine["kernels"][kernel] = entry
+            self._doc["updated_at"] = _utc_now()
+            self._dirty += 1
+
+    def save(self, path: Optional[Union[str, Path]] = None) -> Path:
+        """Write the document atomically; returns the path written."""
+        target = Path(path) if path is not None else self.path
+        with self._lock:
+            payload = json.dumps(self._doc, indent=2, sort_keys=True,
+                                 default=str) + "\n"
+            self._dirty = 0
+            self._last_save = time.monotonic()
+        target.parent.mkdir(parents=True, exist_ok=True)
+        tmp = target.with_name(target.name + ".tmp")
+        tmp.write_text(payload, encoding="utf-8")
+        os.replace(tmp, target)
+        return target
+
+    def maybe_save(self, *, min_updates: int = 8,
+                   min_interval: float = 2.0) -> bool:
+        """Throttled save for hot-path callers: persist when enough
+        updates accumulated and the last save is old enough.  Errors
+        are swallowed — calibration must never fail a computation."""
+        with self._lock:
+            due = (self._dirty >= min_updates
+                   and time.monotonic() - self._last_save >= min_interval)
+        if not due:
+            return False
+        try:
+            self.save()
+        except OSError:   # pragma: no cover - disk trouble is not ours
+            return False
+        return True
+
+    def flush(self) -> None:
+        """Persist any pending updates (process-exit hook, bench end)."""
+        with self._lock:
+            dirty = self._dirty
+        if dirty:
+            try:
+                self.save()
+            except OSError:   # pragma: no cover
+                pass
+
+
+def _utc_now() -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+_STORE_LOCK = threading.Lock()
+_STORE: Optional[CalibrationStore] = None
+
+
+def get_calibration_store() -> Optional[CalibrationStore]:
+    """The process-global store, created lazily from the environment;
+    ``None`` when calibration is disabled (``REPRO_CALIBRATION=0``).
+
+    The first call registers an ``atexit`` flush so rates measured in
+    this process reach disk even without an explicit save — that is
+    what makes the *next* process's cold plans calibrated.
+    """
+    global _STORE
+    if not calibration_enabled():
+        return None
+    with _STORE_LOCK:
+        if _STORE is None:
+            _STORE = CalibrationStore()
+            import atexit
+            atexit.register(_STORE.flush)
+        return _STORE
+
+
+def reset_calibration_store() -> None:
+    """Drop the process-global store so the next access re-reads the
+    environment (test isolation; flushes pending updates first)."""
+    global _STORE
+    with _STORE_LOCK:
+        if _STORE is not None:
+            _STORE.flush()
+        _STORE = None

@@ -31,6 +31,14 @@ Histograms use fixed bucket upper bounds (cumulative, Prometheus
 style); :meth:`Histogram.percentile` estimates quantiles by linear
 interpolation inside the winning bucket — exact enough for p50/p99
 dashboards without storing samples.
+
+When an observation happens inside an active trace
+(:func:`repro.obs.trace.current_ids`), the histogram additionally
+records a per-bucket **exemplar** — the most recent over-threshold
+``(trace_id, span_id, value)`` seen in that bucket — rendered in
+OpenMetrics exemplar syntax on ``/metrics`` and surfaced by
+:meth:`Histogram.snapshot` so ``/stats`` can cross-link a latency
+percentile to the concrete span tree behind it.
 """
 
 from __future__ import annotations
@@ -39,6 +47,8 @@ import math
 import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.trace import current_ids
 
 __all__ = [
     "Counter",
@@ -124,18 +134,24 @@ class Gauge:
 
 
 class Histogram:
-    """Fixed-bucket histogram with percentile estimation.
+    """Fixed-bucket histogram with percentile estimation and exemplars.
 
     Buckets are cumulative upper bounds (Prometheus ``le`` semantics)
     plus an implicit ``+Inf``; ``observe`` is O(log buckets) via binary
     search under one lock, so concurrent writers stay cheap.
+
+    Observations made inside an active trace attach an **exemplar** to
+    their bucket — the most recent ``(trace_id, span_id, value,
+    timestamp)`` at or above :attr:`exemplar_threshold` — so a p99
+    spike on ``/metrics`` resolves to one concrete trace id.  Untraced
+    observations never allocate exemplar state.
     """
 
     __slots__ = ("_lock", "buckets", "_counts", "_count", "_sum",
-                 "_min", "_max")
+                 "_min", "_max", "_exemplars", "exemplar_threshold")
 
-    def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS
-                 ) -> None:
+    def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+                 exemplar_threshold: float = 0.0) -> None:
         bounds = tuple(sorted(float(b) for b in buckets))
         if not bounds:
             raise ValueError("histogram needs at least one bucket bound")
@@ -146,6 +162,12 @@ class Histogram:
         self._sum = 0.0
         self._min = math.inf
         self._max = -math.inf
+        #: Minimum value an observation must reach to record an
+        #: exemplar (0.0 = every traced observation qualifies).
+        self.exemplar_threshold = exemplar_threshold
+        # One optional (trace_id, span_id, value, unix_ts) per bucket.
+        self._exemplars: List[Optional[Tuple[str, str, float, float]]] = \
+            [None] * (len(bounds) + 1)
 
     def observe(self, value: float) -> None:
         # Binary search for the first bound >= value.
@@ -156,6 +178,7 @@ class Histogram:
                 hi = mid
             else:
                 lo = mid + 1
+        ids = current_ids() if value >= self.exemplar_threshold else None
         with self._lock:
             self._counts[lo] += 1
             self._count += 1
@@ -164,6 +187,8 @@ class Histogram:
                 self._min = value
             if value > self._max:
                 self._max = value
+            if ids is not None:
+                self._exemplars[lo] = (ids[0], ids[1], value, time.time())
 
     def time(self) -> "_HistogramTimer":
         """``with hist.time(): ...`` observes the block's wall time."""
@@ -185,21 +210,28 @@ class Histogram:
         with self._lock:
             return self._sum / self._count if self._count else 0.0
 
-    def percentile(self, q: float) -> float:
+    def percentile(self, q: float) -> Optional[float]:
         """Estimated ``q``-quantile (``0 <= q <= 1``) by bucket
-        interpolation; 0.0 on an empty histogram.
+        interpolation.
 
-        Within the winning bucket the estimate interpolates linearly
-        between its bounds (the lower bound of the first bucket is the
-        observed minimum, the upper bound of the overflow bucket the
-        observed maximum), so the error is at most one bucket width.
+        ``None`` on an empty histogram (rendered as ``null`` in JSON
+        surfaces — there is no quantile to estimate, and a fabricated
+        bucket boundary would read as a real latency).  With exactly
+        one observation the sole observed value is returned exactly.
+        Otherwise, within the winning bucket the estimate interpolates
+        linearly between its bounds (the lower bound of the first
+        bucket is the observed minimum, the upper bound of the overflow
+        bucket the observed maximum), so the error is at most one
+        bucket width.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         with self._lock:
             total = self._count
             if total == 0:
-                return 0.0
+                return None
+            if total == 1:
+                return self._min   # the sole observation, exactly
             rank = q * total
             cumulative = 0
             for i, n in enumerate(self._counts):
@@ -214,10 +246,16 @@ class Histogram:
             return self._max   # pragma: no cover - defensive
 
     def snapshot(self) -> Dict[str, Any]:
-        """Count/sum/mean/min/max plus p50/p90/p99 estimates."""
+        """Count/sum/mean/min/max plus p50/p90/p99 estimates.
+
+        Percentiles are ``None`` (JSON ``null``) while the histogram is
+        empty.  When a traced observation has attached an exemplar, the
+        slowest bucket's exemplar rides along under ``"exemplar"`` —
+        the one-hop link from a latency summary to ``GET /trace/<id>``.
+        """
         with self._lock:
             count, total = self._count, self._sum
-        return {
+        out = {
             "count": count,
             "sum": total,
             "mean": (total / count) if count else 0.0,
@@ -227,6 +265,37 @@ class Histogram:
             "p90": self.percentile(0.90),
             "p99": self.percentile(0.99),
         }
+        worst = self.exemplar()
+        if worst is not None:
+            out["exemplar"] = worst
+        return out
+
+    def exemplar(self) -> Optional[Dict[str, Any]]:
+        """The slowest-bucket exemplar as a dict, or ``None``.
+
+        "Slowest" means the highest bucket holding one — the exemplar a
+        p99 investigation wants first.
+        """
+        with self._lock:
+            rows = list(self._exemplars)
+        for i in range(len(rows) - 1, -1, -1):
+            ex = rows[i]
+            if ex is not None:
+                trace_id, span_id, value, ts = ex
+                return {"trace_id": trace_id, "span_id": span_id,
+                        "value": value, "timestamp": ts}
+        return None
+
+    def exemplars(self) -> List[Optional[Dict[str, Any]]]:
+        """Per-bucket exemplars aligned with :meth:`cumulative_buckets`
+        rows (``None`` for buckets that never saw a traced
+        observation)."""
+        with self._lock:
+            rows = list(self._exemplars)
+        return [None if ex is None else
+                {"trace_id": ex[0], "span_id": ex[1], "value": ex[2],
+                 "timestamp": ex[3]}
+                for ex in rows]
 
     def cumulative_buckets(self) -> List[Tuple[float, int]]:
         """``(upper_bound, cumulative_count)`` rows, ending at +Inf."""
@@ -371,11 +440,27 @@ def _fmt_value(v: float) -> str:
     return repr(float(v))
 
 
+def _escape_label_value(v: str) -> str:
+    """Escape a label value per the Prometheus exposition spec:
+    backslash, double quote, and line feed."""
+    return (v.replace("\\", r"\\").replace('"', r'\"')
+             .replace("\n", r"\n"))
+
+
 def _label_text(labels: LabelPairs, extra: str = "") -> str:
-    parts = [f'{k}="{v}"' for k, v in labels]
+    parts = [f'{k}="{_escape_label_value(v)}"' for k, v in labels]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _exemplar_text(ex: Optional[Dict[str, Any]]) -> str:
+    """OpenMetrics exemplar suffix for one bucket line (or '')."""
+    if ex is None:
+        return ""
+    return (f' # {{trace_id="{_escape_label_value(ex["trace_id"])}",'
+            f'span_id="{_escape_label_value(ex["span_id"])}"}} '
+            f'{_fmt_value(ex["value"])} {ex["timestamp"]:.3f}')
 
 
 def render_prometheus(*registries: MetricsRegistry) -> str:
@@ -385,7 +470,10 @@ def render_prometheus(*registries: MetricsRegistry) -> str:
     combines a service's per-instance instruments with the
     process-global library instruments; duplicate family names across
     registries keep their first help/type line (Prometheus tolerates
-    repeated samples of one family).
+    repeated samples of one family).  Histogram buckets that hold an
+    exemplar render it in OpenMetrics exemplar syntax
+    (``… # {trace_id="…",span_id="…"} value timestamp``), so a bucket
+    count links straight to the span tree that produced it.
     """
     lines: List[str] = []
     seen_header: set = set()
@@ -398,11 +486,14 @@ def render_prometheus(*registries: MetricsRegistry) -> str:
                 lines.append(f"# TYPE {family.name} {family.kind}")
             for labels, inst in sorted(family.children.items()):
                 if family.kind == "histogram":
-                    for bound, cum in inst.cumulative_buckets():
+                    exemplars = inst.exemplars()
+                    for i, (bound, cum) in enumerate(
+                            inst.cumulative_buckets()):
                         le = 'le="%s"' % _fmt_value(bound)
                         lines.append(
                             f"{family.name}_bucket"
-                            f"{_label_text(labels, le)} {cum}")
+                            f"{_label_text(labels, le)} {cum}"
+                            f"{_exemplar_text(exemplars[i])}")
                     lines.append(f"{family.name}_sum"
                                  f"{_label_text(labels)} "
                                  f"{_fmt_value(inst.sum)}")

@@ -30,9 +30,10 @@ import itertools
 import threading
 import time
 from collections import OrderedDict
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-__all__ = ["Span", "Tracer", "span", "current_span", "render_trace"]
+__all__ = ["Span", "Tracer", "TraceNotFound", "span", "current_span",
+           "current_ids", "render_trace"]
 
 #: The innermost open span of the current execution context.
 _CURRENT: "contextvars.ContextVar[Optional[Span]]" = \
@@ -146,6 +147,28 @@ class _NullSpan:
 _NULL = _NullSpan()
 
 
+class TraceNotFound(LookupError):
+    """An id that resolves to no finished trace in a tracer's ring.
+
+    Carries the ring's retention bounds (``retention`` attribute and
+    the message), so callers — ``GET /trace/<id>``, ``repro trace`` —
+    can tell a never-existed id from one the bounded ring has already
+    evicted.
+    """
+
+    def __init__(self, trace_id: str, retention: Dict[str, Any]) -> None:
+        self.trace_id = trace_id
+        self.retention = dict(retention)
+        stored = retention.get("stored", 0)
+        oldest = retention.get("oldest_trace_id")
+        window = (f"ring holds {stored}/{retention.get('max_traces')} "
+                  f"trace(s)")
+        if oldest is not None:
+            window += f", oldest {oldest}"
+        super().__init__(
+            f"no such trace {trace_id!r} (ring evicted?); {window}")
+
+
 class Tracer:
     """Starts root spans and keeps the last ``max_traces`` finished trees.
 
@@ -175,6 +198,27 @@ class Tracer:
     def get(self, trace_id: str) -> Optional[Span]:
         with self._lock:
             return self._done.get(trace_id)
+
+    def lookup(self, trace_id: str) -> Span:
+        """Like :meth:`get`, but a miss raises :class:`TraceNotFound`
+        carrying the ring's retention bounds — the structured error the
+        HTTP endpoint and CLI render."""
+        root = self.get(trace_id)
+        if root is None:
+            raise TraceNotFound(trace_id, self.retention())
+        return root
+
+    def retention(self) -> Dict[str, Any]:
+        """The ring's retention bounds: capacity, occupancy, and the
+        oldest/newest trace ids still resolvable."""
+        with self._lock:
+            ids = list(self._done)
+        return {
+            "max_traces": self.max_traces,
+            "stored": len(ids),
+            "oldest_trace_id": ids[0] if ids else None,
+            "newest_trace_id": ids[-1] if ids else None,
+        }
 
     def latest(self) -> Optional[Span]:
         with self._lock:
@@ -218,6 +262,19 @@ def current_span():
     """The innermost open span, or a no-op stand-in (always safe to
     call ``set_attr`` on the result)."""
     return _CURRENT.get() or _NULL
+
+
+def current_ids() -> "Optional[Tuple[str, str]]":
+    """``(trace_id, span_id)`` of the innermost open span, else ``None``.
+
+    The cheap hook exemplar-recording histograms and the event log use
+    to stamp observations with the active trace — one contextvar read,
+    no allocation when no trace is active.
+    """
+    sp = _CURRENT.get()
+    if sp is None:
+        return None
+    return sp.trace_id, sp.span_id
 
 
 def render_trace(root: Span) -> str:

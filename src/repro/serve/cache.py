@@ -27,6 +27,7 @@ import threading
 from collections import OrderedDict
 from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
+from repro.obs.events import emit_event
 from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["QueryCache"]
@@ -158,6 +159,8 @@ class QueryCache:
                 del self._entries[k]
         if stale:
             self._invalidations.inc(len(stale))
+            emit_event("cache_invalidation", epoch=epoch,
+                       reclaimed=len(stale))
         return len(stale)
 
     def clear(self) -> None:

@@ -11,7 +11,11 @@ The golden path for serving without importing library internals:
   per-instance registry *plus* the process-global library registry
   (expression-engine and shard instruments);
 * ``GET /trace`` / ``GET /trace/<id>`` — recent trace index / one
-  trace tree as JSON (see :mod:`repro.obs.trace`);
+  trace tree as JSON (see :mod:`repro.obs.trace`); a miss returns a
+  structured 404 carrying the ring's retention bounds;
+* ``GET /events?since=SEQ&kind=KIND&limit=N`` — the process-global
+  structured event log (:mod:`repro.obs.events`) plus its retention
+  window;
 * ``GET /query/<kind>?vertex=...&direction=...&k=...&pair=...`` — the
   versioned read API (``kind`` as in
   :data:`repro.serve.service.QUERY_KINDS`);
@@ -40,7 +44,9 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qsl, urlsplit
 
+from repro.obs.events import get_event_log
 from repro.obs.metrics import get_registry, render_prometheus
+from repro.obs.trace import TraceNotFound
 from repro.serve.service import QUERY_KINDS, AdjacencyService
 from repro.serve.snapshot import ServeError, UnknownVertexError
 
@@ -188,6 +194,9 @@ class _Handler(BaseHTTPRequestHandler):
             if path == "/trace" or path.startswith("/trace/"):
                 self._do_trace(path[len("/trace"):].lstrip("/"))
                 return
+            if path == "/events":
+                self._do_events(params)
+                return
             if path == "/stats":
                 self._send(200, self.service.query("stats"))
                 return
@@ -218,11 +227,38 @@ class _Handler(BaseHTTPRequestHandler):
         if not trace_id:
             self._send(200, {"traces": tracer.traces()})
             return
-        root = tracer.get(trace_id)
-        if root is None:
-            self._error(404, f"unknown trace {trace_id!r}")
+        try:
+            root = tracer.lookup(trace_id)
+        except TraceNotFound as exc:
+            # Structured miss: the requested id plus the ring's bounds,
+            # so a client can tell "never existed" from "evicted".
+            self._send(404, {"error": str(exc), "status": 404,
+                             "trace_id": exc.trace_id,
+                             "retention": exc.retention})
             return
         self._send(200, root.to_dict())
+
+    def _do_events(self, params: Dict[str, str]) -> None:
+        log = get_event_log()
+        filters: Dict[str, Any] = {}
+        for name in ("since", "limit"):
+            if name in params:
+                try:
+                    filters[name] = int(params[name])
+                except ValueError:
+                    self._error(
+                        400, f"{name} must be an integer, "
+                        f"got {params[name]!r}")
+                    return
+        if "kind" in params:
+            filters["kind"] = params["kind"]
+        extra = set(params) - {"since", "limit", "kind"}
+        if extra:
+            self._error(400, "unknown event parameter(s): "
+                        + ", ".join(sorted(extra)))
+            return
+        self._send(200, {"events": log.events(**filters),
+                         "retention": log.retention()})
 
     def _do_query(self, kind: str, params: Dict[str, str]) -> None:
         kind = kind.replace("-", "_")

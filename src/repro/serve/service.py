@@ -43,6 +43,7 @@ from repro.core.streaming import StreamingAdjacencyBuilder
 from repro.expr import khop_frontier, vecmat
 from repro.graphs.algorithms import shortest_path_lengths
 from repro.graphs.digraph import GraphError
+from repro.obs.events import emit_event
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer, span
 from repro.serve.cache import QueryCache
@@ -147,6 +148,11 @@ class AdjacencyService:
         self._write_lock = threading.RLock()
         self._delta: Optional[StreamingAdjacencyBuilder] = None
         self._started = time.time()
+        #: Span summary of the most recent :meth:`publish` (``None``
+        #: until the first); surfaced under ``stats["last_publication"]``
+        #: so the cross-link from ``/stats`` to ``/trace/<id>`` exists
+        #: without scraping the exposition text.
+        self._last_publication: Optional[Dict[str, Any]] = None
         # Per-service memo of alternative-pair certifications for khop.
         self._pair_certs: Dict[str, Certification] = {}
         if self._certification is not None:
@@ -331,18 +337,50 @@ class AdjacencyService:
             delta = self._delta
             if delta is None or delta.num_edges == 0:
                 return self._snapshot.epoch
+            started = time.perf_counter()
+            stages: Dict[str, float] = {}
             with self.tracer.span("service.publish",
                                   pending=delta.num_edges) as sp, \
                     self._publish_seconds.time():
-                delta_adj = delta.adjacency()
+                delta_edges = delta.num_edges
+                with span("publish.fold_delta", edges=delta_edges):
+                    t0 = time.perf_counter()
+                    delta_adj = delta.adjacency()
+                    stages["fold_delta"] = time.perf_counter() - t0
                 base = self._snapshot
-                merged = oplus_union(base.adjacency, delta_adj, self._pair)
-                snapshot = Snapshot.from_array(merged, epoch=base.epoch + 1)
-                self._snapshot = snapshot  # the atomic publication point
-                self._delta = None
+                with span("publish.merge", base_nnz=base.nnz,
+                          delta_nnz=delta_adj.nnz):
+                    t0 = time.perf_counter()
+                    merged = oplus_union(base.adjacency, delta_adj,
+                                         self._pair)
+                    stages["merge"] = time.perf_counter() - t0
+                with span("publish.swap"):
+                    t0 = time.perf_counter()
+                    snapshot = Snapshot.from_array(merged,
+                                                   epoch=base.epoch + 1)
+                    self._snapshot = snapshot  # the atomic publication point
+                    self._delta = None
+                    stages["swap"] = time.perf_counter() - t0
                 sp.set_attr("epoch", snapshot.epoch)
+                trace_id = sp.trace_id
             self._publications_total.inc()
             self._epoch_gauge.set(snapshot.epoch)
+            duration = time.perf_counter() - started
+            self._last_publication = {
+                "epoch": snapshot.epoch,
+                "trace_id": trace_id,
+                "duration_seconds": duration,
+                "delta_edges": delta_edges,
+                "delta_nnz": delta_adj.nnz,
+                "merged_nnz": snapshot.nnz,
+                "published_at": snapshot.published_at,
+                "stages": stages,
+            }
+            # The publish span has already closed, so the trace id rides
+            # along as an explicit field rather than the ambient stamp.
+            emit_event("epoch_published", epoch=snapshot.epoch,
+                       delta_edges=delta_edges, merged_nnz=snapshot.nnz,
+                       duration_seconds=duration, trace_id=trace_id)
         self._cache.invalidate_below(snapshot.epoch)
         return snapshot.epoch
 
@@ -371,11 +409,13 @@ class AdjacencyService:
                              "Queries answered, by kind",
                              kind=kind).inc()
         snapshot = self._snapshot  # one atomic read per query
-        with self.metrics.histogram("serve_request_seconds",
-                                    "Query latency, by kind",
-                                    kind=kind).time(), \
-                self.tracer.span("service.query", kind=kind,
-                                 epoch=snapshot.epoch) as sp:
+        # Span outermost: the timer's observe() must fire while the
+        # span is still current, or the histogram gets no exemplar.
+        with self.tracer.span("service.query", kind=kind,
+                              epoch=snapshot.epoch) as sp, \
+                self.metrics.histogram("serve_request_seconds",
+                                       "Query latency, by kind",
+                                       kind=kind).time():
             if kind == "stats":
                 return {"epoch": snapshot.epoch, "kind": kind,
                         "cached": False, "result": self._stats(snapshot)}
@@ -506,6 +546,7 @@ class AdjacencyService:
             "uptime_seconds": time.time() - self._started,
             "snapshot_age_seconds": time.time() - snapshot.published_at,
             "publication_latency": self._publish_seconds.snapshot(),
+            "last_publication": self._last_publication,
             "latency": self._latency_stats(),
             "cache": self._cache.stats(),
         }

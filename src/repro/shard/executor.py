@@ -33,6 +33,7 @@ from repro.arrays.backend import BACKEND_KINDS
 from repro.arrays.io import iter_tsv_triples
 from repro.arrays.keys import KeySet
 from repro.arrays.matmul import multiply
+from repro.obs.events import emit_event
 from repro.obs.metrics import get_registry
 from repro.obs.trace import span
 from repro.shard.manifest import ShardError, ShardInfo, ShardManifest
@@ -213,6 +214,9 @@ def execute_shards(
     for _i, _p, _nnz, seconds, nbytes in raw:
         build_seconds.observe(seconds)
         spilled.inc(nbytes)
+    emit_event("shard_spill", stage="build", shards=len(raw),
+               bytes=sum(nbytes for *_rest, nbytes in raw),
+               executor=executor)
     return [ShardProduct(index=i, path=Path(p), nnz=nnz, seconds=secs,
                          bytes=nbytes)
             for i, p, nnz, secs, nbytes in sorted(raw)]

@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
 from repro.arrays.associative import AssociativeArray
+from repro.obs.events import emit_event
 from repro.obs.metrics import get_registry
 from repro.obs.trace import span
 from repro.arrays.backend import (
@@ -246,7 +247,11 @@ def merge_spilled(
                 with out.open("wb") as fh:
                     pickle.dump(merged, fh,
                                 protocol=pickle.HIGHEST_PROTOCOL)
-                spilled.inc(out.stat().st_size)
+                nbytes = out.stat().st_size
+                spilled.inc(nbytes)
+                emit_event("shard_spill", stage="merge",
+                           level=generation, bytes=nbytes,
+                           path=str(out))
                 if cleanup:
                     level[i].unlink(missing_ok=True)
                     level[i + 1].unlink(missing_ok=True)

@@ -12,8 +12,11 @@ from repro.obs.bench import (
     BenchError,
     compare,
     config_hash,
+    describe_with_exemplars,
     discover_benchmarks,
+    harvest_exemplars,
     load_run,
+    refresh_baseline,
     render_markdown,
     run_benchmarks,
     run_metadata,
@@ -210,3 +213,130 @@ class TestCompare:
         assert [d.metric for d in result.regressions] == ["khop_cold_ms"]
         # And in the non-regressing order it passes.
         assert compare(load_run(b), load_run(a), threshold=0.2).ok
+
+
+class TestExemplarsAndCalibrationInRuns:
+    def test_harvest_exemplars_keys_by_name_and_labels(self):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.trace import Tracer
+        reg = MetricsRegistry()
+        hist = reg.histogram("bench_latency_seconds", "test", op="khop")
+        tracer = Tracer()
+        with tracer.span("op"):
+            hist.observe(0.5)
+        exemplars = harvest_exemplars(reg)
+        (key,) = exemplars
+        assert key == "bench_latency_seconds{op=khop}"
+        ex = exemplars[key]
+        assert ex["value"] == 0.5
+        assert ex["trace_id"] and ex["span_id"]
+
+    def test_harvest_skips_untraced_histograms(self):
+        from repro.obs.metrics import MetricsRegistry
+        reg = MetricsRegistry()
+        reg.histogram("quiet_seconds", "test").observe(0.1)   # no trace
+        assert harvest_exemplars(reg) == {}
+
+    def test_run_doc_carries_calibration_and_artifact(
+            self, bench_dir, tmp_path, monkeypatch):
+        from repro.obs.calibration import reset_calibration_store
+        monkeypatch.setenv("REPRO_CALIBRATION_PATH",
+                           str(tmp_path / "cal.json"))
+        reset_calibration_store()
+        try:
+            out = tmp_path / "runs"
+            doc = run_benchmarks(["bench_dummy"], outdir=out,
+                                 bench_dir=bench_dir)
+            assert doc["calibration"]["schema"] == "repro-calibration/v1"
+            assert "active_fingerprint" in doc["calibration"]
+            cal_artifact = doc["artifacts"]["calibration"]
+            on_disk = json.loads((out / "calibration.json")
+                                 .read_text(encoding="utf-8"))
+            assert cal_artifact.endswith("calibration.json")
+            assert on_disk["schema"] == "repro-calibration/v1"
+        finally:
+            reset_calibration_store()
+
+    def test_describe_with_exemplars_links_traces(self):
+        base = make_run_doc("base", {"serve": {
+            "khop_cold_ms": metric(10.0, "lower", "ms")}})
+        cand = make_run_doc("cand", {"serve": {
+            "khop_cold_ms": metric(15.0, "lower", "ms")}})
+        cand["exemplars"] = {"serve_latency_seconds{query=khop}": {
+            "trace_id": "tdeadbeef", "span_id": "s01", "value": 0.0153}}
+        text = describe_with_exemplars(
+            compare(base, cand, threshold=0.2), cand)
+        assert "REGRESSION" in text
+        assert "exemplar traces (candidate run):" in text
+        assert "trace tdeadbeef span s01" in text
+
+    def test_describe_without_exemplars_is_plain(self):
+        base = make_run_doc("base", {"a": {"m": metric(1.0)}})
+        result = compare(base, base)
+        assert describe_with_exemplars(result, base) == result.describe()
+
+
+class TestBaselineRefresh:
+    def test_refresh_records_provenance(self, tmp_path):
+        baseline = tmp_path / "BENCH_baseline.json"
+        old = make_run_doc("20250101-000000-old",
+                           {"a": {"m": metric(1.0)}})
+        baseline.write_text(json.dumps(old), encoding="utf-8")
+        new = make_run_doc("20250601-000000-new",
+                           {"a": {"m": metric(2.0)}})
+        new["artifacts"] = {"json": "/somewhere/BENCH_new.json"}
+        written = refresh_baseline(new, baseline,
+                                   reason="kernel rewrite landed",
+                                   cwd=".")
+        on_disk = json.loads(baseline.read_text(encoding="utf-8"))
+        assert on_disk == written
+        prov = on_disk["manifest"]["baseline_refresh"]
+        assert prov["reason"] == "kernel rewrite landed"
+        assert prov["previous_run_id"] == "20250101-000000-old"
+        assert "refreshed_at" in prov
+        assert prov["git_sha"] is None or len(prov["git_sha"]) == 40
+        # Source-run artifact paths do not leak into the baseline file.
+        assert "artifacts" not in on_disk
+
+    def test_refresh_requires_reason(self, tmp_path):
+        run = make_run_doc("r", {"a": {"m": metric(1.0)}})
+        with pytest.raises(BenchError, match="reason"):
+            refresh_baseline(run, tmp_path / "b.json", reason="   ")
+
+    def test_refresh_without_previous_baseline(self, tmp_path):
+        run = make_run_doc("r", {"a": {"m": metric(1.0)}})
+        doc = refresh_baseline(run, tmp_path / "fresh.json",
+                               reason="first lock")
+        prov = doc["manifest"]["baseline_refresh"]
+        assert prov["previous_run_id"] is None
+
+    def test_refresh_tolerates_corrupt_previous(self, tmp_path):
+        baseline = tmp_path / "BENCH_baseline.json"
+        baseline.write_text("{not json", encoding="utf-8")
+        run = make_run_doc("r", {"a": {"m": metric(1.0)}})
+        doc = refresh_baseline(run, baseline, reason="recover")
+        assert doc["manifest"]["baseline_refresh"][
+            "previous_run_id"] is None
+        assert load_run(baseline)["run_id"] == "r"
+
+    def test_refreshed_baseline_still_gates(self, tmp_path):
+        """After a refresh, --compare against the new baseline still
+        catches a fabricated >20% regression (the CI step's shape)."""
+        baseline = tmp_path / "BENCH_baseline.json"
+        run = make_run_doc("20250601-000000-new", {"serve": {
+            "khop_cold_ms": metric(10.0, "lower", "ms")}})
+        refresh_baseline(run, baseline, reason="re-lock for test")
+        bad = make_run_doc("cand", {"serve": {
+            "khop_cold_ms": metric(15.0, "lower", "ms")}})   # +50%
+        result = compare(load_run(baseline), bad, threshold=0.2)
+        assert not result.ok
+
+    def test_refresh_emits_event(self, tmp_path):
+        from repro.obs.events import get_event_log
+        log = get_event_log()
+        start = log.retention()["last_seq"] or 0
+        run = make_run_doc("r2", {"a": {"m": metric(1.0)}})
+        refresh_baseline(run, tmp_path / "b.json", reason="why not")
+        refreshes = [e for e in log.events(since=start)
+                     if e["kind"] == "baseline_refresh"]
+        assert refreshes and refreshes[-1]["reason"] == "why not"

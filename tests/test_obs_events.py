@@ -1,0 +1,167 @@
+"""Tests for the structured event log (repro.obs.events)."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.events import (
+    DEFAULT_CAPACITY,
+    EventLog,
+    emit_event,
+    get_event_log,
+)
+from repro.obs.trace import Tracer
+
+
+class TestEmit:
+    def test_emit_stamps_seq_and_timestamp(self):
+        log = EventLog()
+        a = log.emit("epoch_published", epoch=1)
+        b = log.emit("epoch_published", epoch=2)
+        assert (a.seq, b.seq) == (1, 2)
+        assert a.timestamp <= b.timestamp
+        doc = a.to_dict()
+        assert doc["kind"] == "epoch_published"
+        assert doc["epoch"] == 1
+        assert "trace_id" not in doc   # emitted outside any trace
+
+    def test_emit_inside_trace_stamps_ids(self):
+        log = EventLog()
+        tracer = Tracer()
+        with tracer.span("publish") as sp:
+            event = log.emit("cache_invalidation", reclaimed=3)
+        assert event.trace_id == sp.trace_id
+        assert event.span_id == sp.span_id
+        doc = event.to_dict()
+        assert doc["trace_id"] == sp.trace_id
+        assert doc["reclaimed"] == 3
+
+    def test_global_log_singleton_and_helper(self):
+        log = get_event_log()
+        assert get_event_log() is log
+        before = len(log)
+        emit_event("bench_run", run_id="r1")
+        assert len(log) == before + 1
+
+
+class TestBoundedGrowth:
+    def test_ring_is_bounded_and_counts_drops(self):
+        log = EventLog(capacity=10)
+        for i in range(35):
+            log.emit("shard_spill", i=i)
+        assert len(log) == 10
+        retention = log.retention()
+        assert retention["capacity"] == 10
+        assert retention["stored"] == 10
+        assert retention["dropped"] == 25
+        # Seq numbers survive the drops: the window is the newest 10.
+        assert retention["first_seq"] == 26
+        assert retention["last_seq"] == 35
+        rows = log.events()
+        assert [e["seq"] for e in rows] == list(range(26, 36))
+
+    def test_default_capacity(self):
+        assert EventLog().capacity == DEFAULT_CAPACITY
+        with pytest.raises(ValueError, match="capacity"):
+            EventLog(capacity=0)
+
+    def test_concurrent_emitters_never_exceed_capacity(self):
+        log = EventLog(capacity=64)
+        n_threads, per_thread = 8, 300
+
+        def worker(tid: int) -> None:
+            for i in range(per_thread):
+                log.emit("shard_spill", tid=tid, i=i)
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not any(t.is_alive() for t in threads)
+        assert len(log) == 64
+        retention = log.retention()
+        total = n_threads * per_thread
+        assert retention["last_seq"] == total
+        assert retention["dropped"] == total - 64
+        seqs = [e["seq"] for e in log.events()]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)   # no duplicates, no tears
+
+
+class TestReads:
+    def _filled(self):
+        log = EventLog()
+        log.emit("epoch_published", epoch=1)
+        log.emit("shard_spill", bytes=10)
+        log.emit("epoch_published", epoch=2)
+        log.emit("rewrite_refused", rule="r")
+        return log
+
+    def test_since_cursor(self):
+        log = self._filled()
+        rows = log.events(since=2)
+        assert [e["seq"] for e in rows] == [3, 4]
+        assert log.events(since=99) == []
+
+    def test_kind_filter_and_limit(self):
+        log = self._filled()
+        rows = log.events(kind="epoch_published")
+        assert [e["epoch"] for e in rows] == [1, 2]
+        newest = log.events(limit=2)
+        assert [e["seq"] for e in newest] == [3, 4]
+        assert log.events(limit=0) == []
+
+    def test_to_jsonl_round_trips(self):
+        log = self._filled()
+        lines = log.to_jsonl(kind="shard_spill").splitlines()
+        assert len(lines) == 1
+        doc = json.loads(lines[0])
+        assert doc["kind"] == "shard_spill" and doc["bytes"] == 10
+
+    def test_clear_keeps_sequencing(self):
+        log = self._filled()
+        log.clear()
+        assert len(log) == 0
+        event = log.emit("bench_run")
+        assert event.seq == 5   # numbering continues across clear
+
+
+class TestInstrumentationSites:
+    def test_publication_emits_epoch_and_invalidation_events(self):
+        from repro.serve.service import AdjacencyService
+        from repro.values.semiring import get_op_pair
+        log = get_event_log()
+        start = log.retention()["last_seq"] or 0
+        svc = AdjacencyService(get_op_pair("plus_times"))
+        svc.add_edge("e1", "a", "b", 2.0)
+        svc.publish()
+        svc.query("neighbors", vertex="a")       # populate the cache
+        svc.add_edge("e2", "b", "c", 1.0)
+        svc.publish()                            # invalidates epoch-1 keys
+        rows = log.events(since=start)
+        published = [e for e in rows if e["kind"] == "epoch_published"]
+        assert [e["epoch"] for e in published] == [1, 2]
+        assert published[0]["delta_edges"] == 1
+        assert published[0]["trace_id"].startswith("t")
+        invalidations = [e for e in rows
+                         if e["kind"] == "cache_invalidation"]
+        assert invalidations and invalidations[-1]["reclaimed"] >= 1
+
+    def test_shard_spill_events(self, tmp_path, plus_times):
+        from repro.shard import (edge_records, execute_shards,
+                                 partition_edge_records)
+        records = edge_records([("e1", "a", "b"), ("e2", "b", "c"),
+                                ("e3", "c", "a"), ("e4", "a", "c")])
+        manifest = partition_edge_records(records, 2, tmp_path)
+        log = get_event_log()
+        start = log.retention()["last_seq"] or 0
+        execute_shards(manifest, plus_times, executor="serial")
+        spills = [e for e in log.events(since=start)
+                  if e["kind"] == "shard_spill"]
+        assert any(e.get("stage") == "build" and e.get("shards") == 2
+                   and e.get("bytes", 0) > 0 for e in spills)

@@ -70,11 +70,24 @@ class TestHistogram:
         assert 0.001 <= p50 <= 0.01   # within the winning bucket
         assert h.percentile(0.0) <= h.percentile(1.0)
 
-    def test_percentile_empty_and_range_check(self):
+    def test_percentile_empty_is_none_and_range_check(self):
         h = Histogram()
-        assert h.percentile(0.5) == 0.0
+        # An empty histogram has no quantile — a fabricated 0.0 would
+        # read as a real (and impossibly good) latency.
+        assert h.percentile(0.5) is None
         with pytest.raises(ValueError, match="quantile"):
             h.percentile(1.5)
+
+    def test_percentile_single_observation_is_exact(self):
+        h = Histogram(buckets=(0.1, 1.0))
+        h.observe(0.42)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.percentile(q) == pytest.approx(0.42)
+
+    def test_snapshot_percentiles_null_when_empty(self):
+        snap = Histogram().snapshot()
+        assert snap["count"] == 0
+        assert snap["p50"] is None and snap["p99"] is None
 
     def test_time_context_manager_observes(self):
         h = Histogram()
@@ -90,6 +103,51 @@ class TestHistogram:
         assert set(snap) == {"count", "sum", "mean", "min", "max",
                              "p50", "p90", "p99"}
         assert snap["count"] == 1 and snap["min"] == 0.5
+
+    def test_untraced_observations_attach_no_exemplar(self):
+        h = Histogram(buckets=(1.0,))
+        h.observe(0.5)
+        assert h.exemplar() is None
+        assert h.exemplars() == [None, None]
+        assert "exemplar" not in h.snapshot()
+
+    def test_traced_observation_attaches_exemplar(self):
+        from repro.obs.trace import Tracer
+        tracer = Tracer()
+        h = Histogram(buckets=(0.1, 1.0))
+        with tracer.span("op") as sp:
+            h.observe(0.5)
+        ex = h.exemplar()
+        assert ex is not None
+        assert ex["trace_id"] == sp.trace_id
+        assert ex["span_id"] == sp.span_id
+        assert ex["value"] == 0.5
+        # Index-aligned with cumulative_buckets: 0.5 lands in (0.1, 1].
+        per_bucket = h.exemplars()
+        assert per_bucket[0] is None and per_bucket[2] is None
+        assert per_bucket[1]["trace_id"] == sp.trace_id
+        assert h.snapshot()["exemplar"]["trace_id"] == sp.trace_id
+
+    def test_exemplar_prefers_slowest_bucket(self):
+        from repro.obs.trace import Tracer
+        tracer = Tracer()
+        h = Histogram(buckets=(0.1, 1.0))
+        with tracer.span("fast"):
+            h.observe(0.05)
+        with tracer.span("slow") as slow:
+            h.observe(5.0)     # overflow bucket
+        assert h.exemplar()["trace_id"] == slow.trace_id
+
+    def test_exemplar_threshold_filters(self):
+        from repro.obs.trace import Tracer
+        tracer = Tracer()
+        h = Histogram(buckets=(0.1, 1.0), exemplar_threshold=0.2)
+        with tracer.span("fast"):
+            h.observe(0.05)    # below threshold — no exemplar
+        assert h.exemplar() is None
+        with tracer.span("slow"):
+            h.observe(0.5)
+        assert h.exemplar() is not None
 
     def test_cumulative_buckets_end_at_inf(self):
         h = Histogram(buckets=(1.0, 2.0))
@@ -184,6 +242,32 @@ class TestPrometheusRendering:
         assert "lat_seconds_count 2" in text
         assert "lat_seconds_sum 0.55" in text
 
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("odd_total", "Odd labels",
+                    path='a\\b"c\nd').inc()
+        text = reg.render_prometheus()
+        assert 'odd_total{path="a\\\\b\\"c\\nd"} 1' in text
+        assert "\n" not in text.split("odd_total{", 1)[1].split("} ")[0]
+
+    def test_bucket_lines_carry_openmetrics_exemplars(self):
+        from repro.obs.trace import Tracer
+        reg = MetricsRegistry()
+        tracer = Tracer()
+        h = reg.histogram("lat_seconds", "Latency", buckets=(0.1, 1.0))
+        with tracer.span("req") as sp:
+            h.observe(0.5)
+        text = reg.render_prometheus()
+        line = next(ln for ln in text.splitlines()
+                    if ln.startswith('lat_seconds_bucket{le="1"}'))
+        assert f'# {{trace_id="{sp.trace_id}",span_id="{sp.span_id}"}} ' \
+            in line
+        assert " 0.5 " in line
+        # Buckets without exemplars render the plain form.
+        plain = next(ln for ln in text.splitlines()
+                     if ln.startswith('lat_seconds_bucket{le="0.1"}'))
+        assert "#" not in plain
+
     def test_multi_registry_merge_keeps_one_header(self):
         a, b = MetricsRegistry(), MetricsRegistry()
         a.counter("shared_total", "From a", src="a").inc()
@@ -224,6 +308,49 @@ class TestConcurrency:
         assert rows[-1][1] == hist.count
         assert all(rows[i][1] <= rows[i + 1][1]
                    for i in range(len(rows) - 1))
+
+    def test_concurrent_exemplar_attachment(self):
+        """Threads racing traced observations never corrupt the
+        exemplar table: every recorded exemplar is one that a thread
+        actually observed, in the right bucket."""
+        from repro.obs.trace import Tracer
+        tracer = Tracer(max_traces=256)
+        hist = Histogram(buckets=(0.1, 1.0, 10.0))
+        n_threads, per_thread = 8, 200
+        recorded: dict = {}
+        lock = threading.Lock()
+
+        def worker(tid: int) -> None:
+            for i in range(per_thread):
+                value = (0.05, 0.5, 5.0, 50.0)[(tid + i) % 4]
+                with tracer.span("op", tid=tid) as sp:
+                    hist.observe(value)
+                with lock:
+                    recorded[(sp.trace_id, sp.span_id)] = value
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not any(t.is_alive() for t in threads)
+        assert hist.count == n_threads * per_thread
+        exemplars = hist.exemplars()
+        bounds = (0.1, 1.0, 10.0, math.inf)
+        assert len(exemplars) == len(bounds)
+        seen = 0
+        for i, ex in enumerate(exemplars):
+            if ex is None:
+                continue
+            seen += 1
+            # The exemplar is a real observation some thread made...
+            assert recorded[(ex["trace_id"], ex["span_id"])] \
+                == ex["value"]
+            # ...and it sits in the bucket its value belongs to.
+            lower = bounds[i - 1] if i else 0.0
+            assert lower < ex["value"] <= bounds[i]
+        assert seen == 4   # every bucket saw traffic
 
     def test_concurrent_family_creation(self):
         reg = MetricsRegistry()

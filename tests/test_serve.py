@@ -153,6 +153,31 @@ class TestQueries:
         assert {"hits", "misses", "hit_rate",
                 "cold_seconds_total"} <= set(stats["cache"])
 
+    def test_stats_last_publication_summary(self):
+        svc = small_service()
+        pub = svc.stats()["last_publication"]
+        assert pub["epoch"] == 1
+        assert pub["delta_edges"] == 3
+        assert pub["merged_nnz"] == 3
+        assert pub["duration_seconds"] >= 0.0
+        assert pub["published_at"] > 0.0
+        assert pub["trace_id"].startswith("t")
+        stages = pub["stages"]
+        assert set(stages) == {"fold_delta", "merge", "swap"}
+        assert all(v >= 0.0 for v in stages.values())
+        # The trace id resolves in the service's own span ring.
+        tree = svc.tracer.lookup(pub["trace_id"])
+        assert tree.name == "service.publish"
+        # Re-publishing updates the summary.
+        svc.add_edge("e4", "carol", "dave", 7.0)
+        svc.publish()
+        pub2 = svc.stats()["last_publication"]
+        assert pub2["epoch"] == 2 and pub2["delta_edges"] == 1
+
+    def test_stats_last_publication_none_before_any(self):
+        svc = AdjacencyService(PAIR)
+        assert svc.stats()["last_publication"] is None
+
     def test_envelope_carries_epoch_and_kind(self):
         svc = small_service()
         out = svc.query("neighbors", vertex="alice")

@@ -393,11 +393,70 @@ class TestObservabilityEndpoints:
             stack.extend(node["children"])
         assert "service.query" in names and "compute" in names
 
-    def test_trace_unknown_id_404(self, server):
+    def test_trace_unknown_id_404_is_structured(self, server):
         url, _svc = server
         status, doc = get(url, "/trace/t_does_not_exist")
         assert status == 404
-        assert "error" in doc
+        assert "no such trace" in doc["error"]
+        assert "ring evicted" in doc["error"]
+        assert doc["trace_id"] == "t_does_not_exist"
+        retention = doc["retention"]
+        assert retention["max_traces"] >= retention["stored"] >= 0
+
+    def test_metrics_bucket_lines_carry_exemplars(self, server):
+        url, _svc = server
+        get(url, "/query/khop", vertex="alice", k=2)   # traced + timed
+        _s, _c, text = get_text(url, "/metrics")
+        exemplar_lines = [
+            ln for ln in text.splitlines()
+            if ln.startswith("serve_request_seconds_bucket")
+            and " # {" in ln]
+        assert exemplar_lines, "no exemplar on any latency bucket"
+        suffix = exemplar_lines[0].split(" # ", 1)[1]
+        assert suffix.startswith('{trace_id="t')
+        assert 'span_id="s' in suffix
+        # The exemplar's trace id resolves on /trace/<id>.
+        trace_id = suffix.split('trace_id="', 1)[1].split('"', 1)[0]
+        status, tree = get(url, f"/trace/{trace_id}")
+        assert status == 200 and tree["trace_id"] == trace_id
+
+    def test_stats_last_publication_links_trace(self, server):
+        url, svc = server
+        _s, doc = get(url, "/stats")
+        pub = doc["result"]["last_publication"]
+        assert pub["epoch"] == 1
+        assert pub["delta_edges"] == 3
+        assert pub["duration_seconds"] >= 0.0
+        assert set(pub["stages"]) == {"fold_delta", "merge", "swap"}
+        status, tree = get(url, f"/trace/{pub['trace_id']}")
+        assert status == 200
+        assert tree["name"] == "service.publish"
+
+    def test_events_endpoint(self, server):
+        url, _svc = server
+        status, doc = get(url, "/events")
+        assert status == 200
+        kinds = {e["kind"] for e in doc["events"]}
+        assert "epoch_published" in kinds
+        retention = doc["retention"]
+        assert retention["capacity"] >= retention["stored"] >= 1
+        # kind filter + since cursor + limit
+        _s, pub = get(url, "/events", kind="epoch_published")
+        assert all(e["kind"] == "epoch_published" for e in pub["events"])
+        last = pub["events"][-1]["seq"]
+        _s, after = get(url, "/events", since=last)
+        assert all(e["seq"] > last for e in after["events"])
+        _s, one = get(url, "/events", limit=1)
+        assert len(one["events"]) <= 1
+
+    def test_events_bad_params_400(self, server):
+        url, _svc = server
+        status, doc = get(url, "/events", since="soon")
+        assert status == 400 and "integer" in doc["error"]
+        status, doc = get(url, "/events", limit="all")
+        assert status == 400 and "integer" in doc["error"]
+        status, doc = get(url, "/events", flavor="mild")
+        assert status == 400 and "unknown" in doc["error"]
 
 
 class TestQueryCLI:
@@ -434,3 +493,50 @@ class TestQueryCLI:
         assert main(["query", "stats",
                      "--url", "http://127.0.0.1:1"]) == 1
         assert "cannot reach" in capsys.readouterr().err
+
+
+class TestTraceAndEventsCLI:
+    def test_trace_fetch_by_id(self, server, capsys):
+        from repro.cli import main
+        url, _svc = server
+        get(url, "/query/khop", vertex="alice", k=1)
+        _s, index = get(url, "/trace")
+        trace_id = index["traces"][0]["trace_id"]
+        assert main(["trace", "--id", trace_id, "--url", url]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["trace_id"] == trace_id
+
+    def test_trace_fetch_missing_id_reports_retention(self, server,
+                                                      capsys):
+        from repro.cli import main
+        url, _svc = server
+        assert main(["trace", "--id", "t_gone", "--url", url]) == 1
+        err = capsys.readouterr().err
+        assert "ring evicted" in err
+        assert "ring retention:" in err
+
+    def test_trace_requires_source_or_id(self, capsys):
+        from repro.cli import main
+        assert main(["trace"]) == 2
+        assert "--source" in capsys.readouterr().err
+
+    def test_events_cli_lists_jsonl(self, server, capsys):
+        from repro.cli import main
+        url, _svc = server
+        assert main(["events", "--url", url,
+                     "--kind", "epoch_published"]) == 0
+        out, err = capsys.readouterr()
+        lines = [json.loads(ln) for ln in out.splitlines()]
+        assert lines and all(
+            e["kind"] == "epoch_published" for e in lines)
+        assert "retention:" in err
+
+    def test_events_cli_since_filters(self, server, capsys):
+        from repro.cli import main
+        url, _svc = server
+        assert main(["events", "--url", url]) == 0
+        out = capsys.readouterr().out
+        last = json.loads(out.splitlines()[-1])["seq"]
+        assert main(["events", "--url", url,
+                     "--since", str(last)]) == 0
+        assert capsys.readouterr().out == ""
