@@ -19,7 +19,11 @@ only then does anything execute.  This example walks the surface:
    ``⊗``, and ``max.concat`` fails the check with a concrete witness;
 5. run a 3-hop expression whose hops share one adjacency leaf after
    common-subexpression elimination;
-6. route an over-budget plan through the out-of-core shard executor.
+6. route an over-budget plan through the out-of-core shard executor;
+7. build a ``min.+`` shortest-path plan and watch the kernel routing:
+   the non-``+.×`` product rides the ``sortmerge`` kernel, the
+   transcript reports its calibrated cost, and the relaxed distances
+   match Bellman–Ford exactly.
 
 Run:  python examples/lazy_pipeline.py
 """
@@ -90,6 +94,28 @@ def main() -> None:
     assert tight.execute() == batch
     print("over-budget plan routed through the shard executor "
           "and matched batch\n")
+
+    # 7. A min.+ shortest-path plan: the same expression surface, a
+    #    different algebra.  The adjacency product is not +.× so scipy
+    #    is off the table — the plan routes it through the sortmerge
+    #    kernel, and explain() shows the routing with its calibrated
+    #    per-term cost.
+    mp = repro.get_op_pair("min_plus")
+    weo, wei = repro.incidence_arrays(graph, zero=mp.zero,
+                                      out_values={k: 0.0 for k in weights},
+                                      in_values=weights)
+    sp_expr = lazy(weo, "Eout").T.matmul(lazy(wei, "Ein"), mp)
+    print("— min.+ shortest-path plan (sortmerge routing) —")
+    transcript = explain(sp_expr)
+    print(transcript)
+    assert "kernel=sortmerge" in transcript
+    wadj = evaluate(sp_expr)
+    square_w = wadj.with_keys(vertices, vertices)
+    from repro.graphs.algorithms import shortest_path_lengths
+    dist = shortest_path_lengths(square_w, source)
+    reachable = [v for v in dist if dist[v] < float("inf")]
+    print(f"min.+ distances from {source!r}: {len(reachable)} vertices "
+          f"reachable\n")
 
     print("lazy pipeline demo complete")
 

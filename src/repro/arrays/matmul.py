@@ -25,21 +25,52 @@ be associative or commutative; ``⊗`` is always applied as
 ``A-value ⊗ B-value`` because it need not be commutative either.
 
 The ``kernel`` argument selects an implementation: ``"generic"`` (pure
-Python, any value set), or the vectorised kernels of
-:mod:`repro.arrays.sparse_backend` for numeric ufunc op-pairs
-(``"scipy"``, ``"reduceat"``, ``"dense_blocked"``).  ``"auto"`` picks the
-fastest applicable one; all kernels are property-tested to agree with
-``"generic"``.
+Python, any value set), ``"sortmerge"`` (this module's vectorised
+semiring SpGEMM for *any* op-pair with ufunc forms), or the kernels of
+:mod:`repro.arrays.sparse_backend` (``"scipy"``, ``"reduceat"``,
+``"dense_blocked"``).  ``"auto"`` picks the fastest applicable one; all
+kernels are property-tested to agree with ``"generic"``.
+
+The ``sortmerge`` kernel is the whole-catalog speed path: it joins A's
+cached CSC against B's cached CSR on the shared inner coordinate codes
+(a sort-merge join — ``searchsorted`` range expansion over the codes
+both sides keep sorted), applies ``⊗`` as one ufunc call over the
+gathered value arrays, then groups the ``(row, col)`` output pairs with
+a stable lexicographic code sort and folds ``⊕`` with
+``np.ufunc.reduceat``.  No scipy, no Python-level inner loop — so
+``min.+``, ``max.min`` and every other certified ufunc pair run at
+vectorised speed, not just ``+.×``.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.arrays.associative import AssociativeArray
 from repro.values.semiring import OpPair
 
-__all__ = ["MatmulError", "multiply", "multiply_generic"]
+__all__ = [
+    "MatmulError",
+    "multiply",
+    "multiply_generic",
+    "multiply_sortmerge",
+    "sortmerge_coo",
+    "fold_grouped",
+    "preferred_vector_kernel",
+    "calibrated_tiny_pick",
+]
+
+#: Rough cost model for the calibrated tiny-operand decision: promoting
+#: one dict entry to the columnar backend (plus its share of the fixed
+#: NumPy call overhead a vectorised kernel pays regardless of size) is
+#: priced as this many extra vectorised terms per operand entry ...
+PROMOTE_TERMS_PER_ENTRY = 8.0
+
+#: ... plus this many terms of flat per-call overhead (≈ tens of µs at
+#: typical sortmerge throughput).
+VECTOR_CALL_OVERHEAD_TERMS = 4096.0
 
 
 class MatmulError(ValueError):
@@ -80,16 +111,65 @@ def multiply(
         a, b, op_pair, kernel=kernel, mode=mode)
 
 
+def preferred_vector_kernel(op_pair: OpPair, mode: str) -> str:
+    """The vectorised kernel ``auto`` prefers for a ufunc op-pair.
+
+    ``scipy`` keeps the genuine ``+.×`` pair (its SpGEMM avoids the
+    expansion buffer entirely); every other certified numeric pair with
+    ufunc forms rides ``sortmerge``; dense mode uses the blocked dense
+    fold.  The tiny-operand and vectorizability gates are the caller's
+    job — this is just the preference order.
+    """
+    if mode == "dense":
+        return "dense_blocked"
+    if op_pair.name in ("plus_times", "nat_plus_times"):
+        return "scipy"
+    return "sortmerge"
+
+
+def calibrated_tiny_pick(kernel: str, nnz_a: float, nnz_b: float,
+                         inner: float) -> Optional[str]:
+    """Calibrated generic-vs-vectorised decision for tiny dict operands.
+
+    When the persistent calibration store (:mod:`repro.obs.calibration`)
+    holds measured seconds-per-term for both ``"generic"`` and the
+    candidate vectorised ``kernel``, compare predicted wall times
+    instead of trusting the static nnz threshold: generic costs its
+    rate × estimated terms, the vectorised kernel costs its rate ×
+    (terms + a promotion/call-overhead surcharge — see
+    :data:`PROMOTE_TERMS_PER_ENTRY` / :data:`VECTOR_CALL_OVERHEAD_TERMS`).
+    Returns ``"generic"``, ``kernel``, or ``None`` when either rate is
+    uncalibrated (the caller then falls back to the static threshold).
+    """
+    from repro.obs.calibration import get_calibration_store
+    store = get_calibration_store()
+    if store is None:
+        return None
+    generic_rate = store.rate("generic")
+    vector_rate = store.rate(kernel)
+    if generic_rate is None or vector_rate is None:
+        return None
+    terms = nnz_a * nnz_b / max(inner, 1.0)
+    surcharge = (PROMOTE_TERMS_PER_ENTRY * (nnz_a + nnz_b)
+                 + VECTOR_CALL_OVERHEAD_TERMS)
+    if generic_rate * terms <= vector_rate * (terms + surcharge):
+        return "generic"
+    return kernel
+
+
 def _pick_kernel(a: AssociativeArray, b: AssociativeArray,
                  op_pair: OpPair, mode: str) -> str:
     """Choose the fastest applicable kernel.
 
     Vectorised kernels need numeric values and NumPy ufunc forms of both
-    operations; `scipy` additionally needs the genuine ``+.×`` pair.  Tiny
-    dict-backed operands stay on the generic kernel (conversion overhead
-    dominates and exact Python value types are preserved); operands that
-    already carry a numeric backend skip that bailout — their compiled
-    form is paid for, so staying vectorised is free.
+    operations; ``scipy`` additionally needs the genuine ``+.×`` pair —
+    everything else ufunc-shaped rides ``sortmerge``.  Tiny dict-backed
+    operands stay on the generic kernel (conversion overhead dominates
+    and exact Python value types are preserved) unless the calibration
+    store's measured per-kernel throughput says the vectorised kernel
+    still wins (:func:`calibrated_tiny_pick`); operands that already
+    carry a numeric backend skip that bailout — their compiled form is
+    paid for, so staying vectorised is free.
     """
     from repro.arrays import sparse_backend
     from repro.arrays.backend import VECTORIZE_MIN_NNZ
@@ -98,14 +178,18 @@ def _pick_kernel(a: AssociativeArray, b: AssociativeArray,
     native = a.backend == "numeric" and b.backend == "numeric"
     if not native and a.nnz + b.nnz < VECTORIZE_MIN_NNZ \
             and len(a.row_keys) * len(b.col_keys) < 4096:
-        return "generic"
+        if not (op_pair.has_ufuncs and op_pair.is_numeric):
+            return "generic"
+        candidate = preferred_vector_kernel(op_pair, mode)
+        pick = calibrated_tiny_pick(candidate, float(a.nnz), float(b.nnz),
+                                    float(len(a.col_keys)))
+        if pick != candidate:       # "generic" or None (uncalibrated)
+            return "generic"
+        # Measured throughput says vectorise even here: fall through to
+        # the vectorizability check (which may still veto on values).
     if not sparse_backend.vectorizable(a, b, op_pair):
         return "generic"
-    if mode == "dense":
-        return "dense_blocked"
-    if op_pair.name in ("plus_times", "nat_plus_times"):
-        return "scipy"
-    return "reduceat"
+    return preferred_vector_kernel(op_pair, mode)
 
 
 def multiply_generic(
@@ -160,6 +244,160 @@ def multiply_generic(
                             zero=zero,
                             backend="dict" if a.pinned and b.pinned
                             else "auto")
+
+
+# ---------------------------------------------------------------------------
+# The sortmerge kernel: vectorised semiring SpGEMM for any ufunc op-pair
+# ---------------------------------------------------------------------------
+
+def _sorted_unique(codes: np.ndarray) -> np.ndarray:
+    """Distinct values of an ascending int64 array (one linear pass)."""
+    if codes.size == 0:
+        return codes
+    keep = np.empty(codes.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(codes[1:], codes[:-1], out=keep[1:])
+    return codes[keep]
+
+
+def _range_expand(starts: np.ndarray, lens: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange(starts[i], starts[i] + lens[i])`` ranges.
+
+    The vectorised range-expansion idiom: ``repeat`` the starts, then
+    add each element's offset within its own range.
+    """
+    total = int(lens.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    cum = np.concatenate(([0], np.cumsum(lens)[:-1]))
+    within = np.arange(total, dtype=np.int64) - np.repeat(cum, lens)
+    return np.repeat(starts, lens) + within
+
+
+def fold_grouped(
+    sort_keys: Tuple[np.ndarray, ...],
+    vals: np.ndarray,
+    add_ufunc: np.ufunc,
+) -> Tuple[Tuple[np.ndarray, ...], np.ndarray]:
+    """Group consecutive equal key tuples and left-fold ``⊕`` per group.
+
+    ``sort_keys`` are parallel int64 arrays already sorted so that equal
+    key tuples are adjacent **and terms within a group sit in fold
+    order** (ascending inner key — the caller's stable sort guarantees
+    it).  Returns the per-group key arrays and the ``reduceat``-folded
+    values.  Shared by the sortmerge product (grouping on (row, col))
+    and the vectorised vector–matrix relaxation (grouping on the output
+    coordinate alone).
+    """
+    n = int(vals.shape[0])
+    if n == 0:
+        return tuple(k[:0] for k in sort_keys), vals[:0]
+    change = np.zeros(n, dtype=bool)
+    change[0] = True
+    for k in sort_keys:
+        np.logical_or(change[1:], k[1:] != k[:-1], out=change[1:])
+    starts = np.flatnonzero(change)
+    reduced = add_ufunc.reduceat(vals, starts)
+    return tuple(k[starts] for k in sort_keys), reduced
+
+
+def sortmerge_coo(
+    a_inner: np.ndarray, a_outer: np.ndarray, a_vals: np.ndarray,
+    b_inner: np.ndarray, b_outer: np.ndarray, b_vals: np.ndarray,
+    op_pair: OpPair,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The sortmerge SpGEMM core on raw coordinate/value arrays.
+
+    Both operands arrive as COO triples **sorted ascending by inner
+    code**: for ``A`` that is its CSC order (inner = column code, outer
+    = row code), for ``B`` its CSR order (inner = row code, outer =
+    column code) — which is why the fused incidence-to-adjacency path
+    can feed ``E``'s natural (row, col)-sorted arrays directly as
+    ``Eᵀ``'s CSC without any re-sort.  Steps:
+
+    1. **join** — intersect the distinct inner codes and locate each
+       shared code's run on both sides with ``searchsorted``;
+    2. **expand** — enumerate every ``A(i,k) ⊗ B(k,j)`` term via range
+       expansion (shared codes ascending, so each output group's terms
+       are generated in ascending inner-key order);
+    3. **⊗** — one ufunc call over the gathered value arrays;
+    4. **group + ⊕** — stable lexsort by (row, col) and
+       ``ufunc.reduceat`` through :func:`fold_grouped`.
+
+    Returns lex-sorted ``(rows, cols, vals)`` with exact zeros dropped,
+    ready for ``AssociativeArray._from_numeric(presorted=True,
+    filtered=True)``.
+    """
+    add_uf = op_pair.add.ufunc
+    mul_uf = op_pair.mul.ufunc
+    empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+             np.empty(0, dtype=np.float64))
+    if a_vals.size == 0 or b_vals.size == 0:
+        return empty
+
+    # 1. Sort-merge join on the shared inner coordinate codes.
+    shared = np.intersect1d(_sorted_unique(a_inner),
+                            _sorted_unique(b_inner), assume_unique=True)
+    if shared.size == 0:
+        return empty
+    a_lo = np.searchsorted(a_inner, shared, side="left")
+    a_hi = np.searchsorted(a_inner, shared, side="right")
+    b_lo = np.searchsorted(b_inner, shared, side="left")
+    b_hi = np.searchsorted(b_inner, shared, side="right")
+    a_runs = a_hi - a_lo
+    b_runs = b_hi - b_lo
+
+    # 2. Range expansion: every A entry of a shared code, then every
+    # (A entry, B entry) pair within that code.
+    a_take = _range_expand(a_lo, a_runs)
+    code_of = np.repeat(np.arange(shared.size, dtype=np.int64), a_runs)
+    fanout = b_runs[code_of]
+    b_take = _range_expand(b_lo[code_of], fanout)
+    out_rows = np.repeat(a_outer[a_take], fanout)
+    out_cols = b_outer[b_take]
+
+    # 3. One ⊗ over the gathered values (A-value ⊗ B-value, in order).
+    prods = mul_uf(np.repeat(a_vals[a_take], fanout), b_vals[b_take])
+
+    # 4. Stable group sort + ⊕ fold.  lexsort is stable, and step 2
+    # generated terms in ascending inner-code order, so within each
+    # (row, col) group the fold follows the inner key order exactly as
+    # the generic kernel does.
+    order = np.lexsort((out_cols, out_rows))
+    (grp_rows, grp_cols), reduced = fold_grouped(
+        (out_rows[order], out_cols[order]), prods[order], add_uf)
+    keep = reduced != float(op_pair.zero)
+    return grp_rows[keep], grp_cols[keep], reduced[keep]
+
+
+def multiply_sortmerge(
+    a: AssociativeArray,
+    b: AssociativeArray,
+    op_pair: OpPair,
+) -> AssociativeArray:
+    """``a ⊕.⊗ b`` through the sortmerge kernel (sparse semantics).
+
+    Joins ``a``'s cached CSC view against ``b``'s native (row, col)
+    lex order — which *is* its CSR order — on the shared inner
+    coordinate codes; see :func:`sortmerge_coo` for the steps.  Both
+    operands must be vectorisable (ufunc op-pair, numeric backends);
+    :func:`multiply` with ``kernel="sortmerge"`` routes here after
+    validating that.
+    """
+    from repro.arrays import sparse_backend
+    if not sparse_backend.vectorizable(a, b, op_pair):
+        raise MatmulError(
+            f"op-pair {op_pair.name!r} / operand values are not "
+            "vectorisable; use kernel='generic'")
+    nb_a = a.numeric_backend()
+    nb_b = b.numeric_backend()
+    a_data, a_rows, _indptr, perm = nb_a.csc()
+    rows, cols, vals = sortmerge_coo(
+        nb_a.cols[perm], a_rows, a_data,
+        nb_b.rows, nb_b.cols, nb_b.vals, op_pair)
+    return AssociativeArray._from_numeric(
+        rows, cols, vals, row_keys=a.row_keys, col_keys=b.col_keys,
+        zero=op_pair.zero, presorted=True, filtered=True)
 
 
 def _generic_dense(

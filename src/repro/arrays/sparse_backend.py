@@ -10,13 +10,24 @@ values are plain numbers, three vectorised kernels apply:
     path and the standard adjacency-construction route in production
     systems.
 
+``"sortmerge"``
+    The preferred semiring SpGEMM for *any* ufunc pair (implemented in
+    :mod:`repro.arrays.matmul`, dispatched here for a uniform kernel
+    namespace): sort-merge join of A's cached CSC against B's cached
+    CSR on the shared inner coordinate codes, one ``⊗`` ufunc call over
+    the gathered values, stable lexicographic group sort, ``⊕`` via
+    ``np.ufunc.reduceat``.
+
 ``"reduceat"``
-    A single-pass semiring SpGEMM for *any* ufunc pair: expand all
-    ``A(i,k) ⊗ B(k,j)`` products with one gather, lexsort by output
-    coordinate (stable, so inner-key order is preserved within groups),
-    and group-reduce ``⊕`` with ``np.ufunc.reduceat``.  Memory is
-    proportional to the number of multiplicative terms (the flop count),
-    which is the classic space/time trade of expansion-based SpGEMM.
+    The earlier Gustavson-order expansion SpGEMM for ufunc pairs:
+    expand all ``A(i,k) ⊗ B(k,j)`` products with one gather per A
+    entry's B-row segment, lexsort by output coordinate (stable, so
+    inner-key order is preserved within groups), and group-reduce ``⊕``
+    with ``np.ufunc.reduceat``.  Kept as an alternative expansion
+    strategy; ``auto`` now routes ufunc pairs to ``sortmerge``.  Memory
+    for both expansion kernels is proportional to the number of
+    multiplicative terms (the flop count), the classic space/time trade
+    of expansion-based SpGEMM.
 
 ``"dense_blocked"``
     Definition I.3's dense fold, blocked over output rows: operands are
@@ -24,9 +35,10 @@ values are plain numbers, three vectorised kernels apply:
     semiring-aware fill makes annihilation native), then
     ``C = ⊕.reduce(⊗(A[:, :, None], B[None, :, :]), axis=1)`` per block.
 
-Kernel/mode pairing is strict: ``scipy``/``reduceat`` implement *sparse*
-evaluation semantics, ``dense_blocked`` implements *dense* semantics (they
-coincide exactly for criteria-compliant op-pairs — property-tested).
+Kernel/mode pairing is strict: ``scipy``/``sortmerge``/``reduceat``
+implement *sparse* evaluation semantics, ``dense_blocked`` implements
+*dense* semantics (they coincide exactly for criteria-compliant
+op-pairs — property-tested).
 """
 
 from __future__ import annotations
@@ -49,7 +61,7 @@ __all__ = [
 ]
 
 #: Kernel names accepted by :func:`multiply_vectorized`.
-KERNELS = ("scipy", "reduceat", "dense_blocked")
+KERNELS = ("scipy", "sortmerge", "reduceat", "dense_blocked")
 
 #: Row-block size for the dense kernel (bounds peak memory at
 #: ``block × |K3| × |K2|`` float64).
@@ -170,6 +182,9 @@ def multiply_vectorized(
             raise MatmulError(
                 "the scipy kernel applies only to the +.× op-pair")
         return _scipy_plus_times(a, b, op_pair)
+    if kernel == "sortmerge":
+        from repro.arrays.matmul import multiply_sortmerge
+        return multiply_sortmerge(a, b, op_pair)
     return _reduceat_spgemm(a, b, op_pair)
 
 

@@ -118,8 +118,8 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["round_robin", "hash"],
                          help="edge-key → shard assignment")
     p_build.add_argument("--kernel", default="auto",
-                         choices=["auto", "generic", "scipy", "reduceat",
-                                  "dense_blocked"],
+                         choices=["auto", "generic", "scipy", "sortmerge",
+                                  "reduceat", "dense_blocked"],
                          help="multiply kernel")
     p_build.add_argument("--backend", default="auto",
                          choices=["auto", "dict", "numeric"],

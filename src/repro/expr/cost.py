@@ -176,12 +176,13 @@ class CostEstimate:
     def working_bytes(self) -> float:
         """Result bytes plus any kernel expansion buffer.
 
-        The expansion-based ``reduceat`` kernel materializes every
-        multiplicative term before the group-reduce, so its working set
-        is proportional to the flop count, not the output size.
+        The expansion-based ``sortmerge`` and ``reduceat`` kernels
+        materialize every multiplicative term before the group-reduce,
+        so their working set is proportional to the flop count, not the
+        output size.
         """
         extra = 0.0
-        if self.kernel == "reduceat":
+        if self.kernel in ("sortmerge", "reduceat"):
             extra = self.flops * NUMERIC_ENTRY_BYTES
         return self.bytes + extra
 
@@ -200,21 +201,31 @@ def _leaf_numeric(leaf: Leaf) -> bool:
 
 
 def _product_kernel(node, a_est: CostEstimate, b_est: CostEstimate,
-                    numeric: bool) -> str:
-    """Mirror of the eager auto-kernel policy, on estimates."""
+                    numeric: bool, inner: float) -> str:
+    """Mirror of the eager auto-kernel policy, on estimates.
+
+    Same preference order as :func:`repro.arrays.matmul._pick_kernel`
+    (``scipy`` for genuine ``+.×``, ``sortmerge`` for every other ufunc
+    pair, ``generic`` otherwise), including the calibrated refinement
+    of the tiny-operand bailout: when the calibration store has
+    measured seconds-per-term for both contenders, predicted wall time
+    decides instead of the static nnz threshold.
+    """
+    from repro.arrays.matmul import (
+        calibrated_tiny_pick,
+        preferred_vector_kernel,
+    )
     pair = node.op_pair
     if not numeric or not (pair.has_ufuncs and pair.is_numeric):
         return "generic"
+    candidate = preferred_vector_kernel(pair, node.mode)
     native = a_est.backend == "numeric" and b_est.backend == "numeric"
     small = (a_est.nnz + b_est.nnz < VECTORIZE_MIN_NNZ
              and a_est.rows * b_est.cols < 4096)
     if not native and small and a_est.exact and b_est.exact:
-        return "generic"
-    if node.mode == "dense":
-        return "dense_blocked"
-    if pair.name in ("plus_times", "nat_plus_times"):
-        return "scipy"
-    return "reduceat"
+        pick = calibrated_tiny_pick(candidate, a_est.nnz, b_est.nnz, inner)
+        return candidate if pick == candidate else "generic"
+    return candidate
 
 
 def _estimate(node: Node, memo: Dict[int, CostEstimate]) -> CostEstimate:
@@ -245,7 +256,7 @@ def _estimate(node: Node, memo: Dict[int, CostEstimate]) -> CostEstimate:
         nnz = min(float(rows * cols), flops) if node.mode == "sparse" \
             else min(float(rows * cols), max(flops, 1.0))
         numeric = a.backend == "numeric" and b.backend == "numeric"
-        kernel = _product_kernel(node, a, b, numeric)
+        kernel = _product_kernel(node, a, b, numeric, float(inner))
         backend = "numeric" if kernel != "generic" else \
             ("numeric" if numeric else "dict")
         rate, source = seconds_per_term(kernel)

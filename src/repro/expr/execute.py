@@ -53,6 +53,7 @@ from repro.expr.cost import (
     estimate_plan,
     record_kernel_sample,
 )
+from repro.obs.events import emit_event
 from repro.obs.metrics import get_registry
 from repro.obs.trace import span
 from repro.expr.rewrite import (
@@ -146,11 +147,40 @@ class Plan:
             for rf in self.refused:
                 lines.append(f"  - {rf.rule} @ {rf.site}: {rf.reason}")
         lines.append("operator tree (est. nnz / backend / kernel):")
-        lines.extend(self._render_tree())
+        tree_lines, products = self._render_tree()
+        lines.extend(tree_lines)
+        lines.extend(self._render_kernel_routing(products))
         return "\n".join(lines)
 
-    def _render_tree(self) -> List[str]:
+    def _render_kernel_routing(
+        self, products: List[Tuple[int, Node]],
+    ) -> List[str]:
+        """One audit line per product node: the chosen kernel, the
+        op-pair it serves, the estimated term count, and the
+        seconds-per-term rate (with its measured/calibrated provenance)
+        the estimate was priced with."""
+        if not products:
+            return []
+        lines = ["kernel routing (product nodes):"]
+        for num, node in products:
+            est = self.estimates.get(id(node))
+            if est is None:
+                continue
+            pair = getattr(node, "op_pair", None)
+            line = (f"  #{num} [{pair.name if pair is not None else '-'}] "
+                    f"kernel={est.kernel}  terms≈{_fmt_count(est.flops)}")
+            if est.seconds is not None and est.flops > 0:
+                rate = est.seconds / est.flops
+                line += (f"  {rate * 1e9:.1f} ns/term "
+                         f"({est.seconds_source or 'measured'})")
+            else:
+                line += "  (no measured/calibrated rate yet)"
+            lines.append(line)
+        return lines
+
+    def _render_tree(self) -> Tuple[List[str], List[Tuple[int, Node]]]:
         lines: List[str] = []
+        products: List[Tuple[int, Node]] = []
         seen: Dict[int, int] = {}
 
         def annotate(node: Node) -> str:
@@ -185,6 +215,8 @@ class Plan:
                 lines.append(f"{prefix}{connector}(shared node #{ref})")
                 continue
             seen[id(node)] = len(seen) + 1
+            if isinstance(node, (MatMul, IncidenceToAdjacency)):
+                products.append((seen[id(node)], node))
             lines.append(f"{prefix}{connector}#{seen[id(node)]} "
                          f"{annotate(node)}")
             child_prefix = prefix + ("" if top else
@@ -192,7 +224,7 @@ class Plan:
             for i, child in reversed(list(enumerate(node.children))):
                 stack.append((child, child_prefix,
                               i == len(node.children) - 1, False))
-        return lines
+        return lines, products
 
 
 def _fmt_count(x: float) -> str:
@@ -361,7 +393,7 @@ class _Executor:
         operands disprove the numeric prediction."""
         est = self.plan.estimates.get(id(node))
         kernel = est.kernel if est is not None else "auto"
-        if kernel in ("scipy", "reduceat", "dense_blocked"):
+        if kernel in ("scipy", "sortmerge", "reduceat", "dense_blocked"):
             from repro.arrays.sparse_backend import vectorizable
             if not vectorizable(a, b, node.op_pair):
                 return "generic"
@@ -381,7 +413,13 @@ class _Executor:
 
     def _timed_product(self, node: Node, kernel: str, fn):
         """Run one product; feed (kernel, terms, seconds) back into the
-        measured cost model and the active trace."""
+        measured cost model, the active trace, and the event log.
+
+        The event makes every routing decision auditable after the
+        fact: which kernel actually ran, for which op-pair, over how
+        many estimated multiplicative terms — not inferred from
+        aggregate metrics.
+        """
         est = self.plan.estimates.get(id(node))
         terms = est.flops if est is not None else 0.0
         with span("kernel", kernel=kernel):
@@ -389,6 +427,10 @@ class _Executor:
             result = fn()
             elapsed = time.perf_counter() - started
         record_kernel_sample(kernel, terms, elapsed)
+        pair = getattr(node, "op_pair", None)
+        emit_event("expr.kernel", kernel=kernel,
+                   op_pair=pair.name if pair is not None else "-",
+                   terms=terms, seconds=elapsed, node=node.kind)
         return result
 
     def _matmul(self, node: MatMul, a: AssociativeArray,
@@ -423,6 +465,14 @@ class _Executor:
                     return self._timed_product(
                         node, "scipy",
                         lambda: _fused_scipy(node, ne, nf, e, f))
+                if kernel == "sortmerge":
+                    # E's natural (row, col) lex order *is* Eᵀ's CSC
+                    # order (inner = edge = E's row): feed the COO
+                    # arrays straight into the sort-merge join — no
+                    # transposed array, no re-sort of either operand.
+                    return self._timed_product(
+                        node, "sortmerge",
+                        lambda: _fused_sortmerge(node, ne, nf, e, f))
                 # E's cached CSC *is* Eᵀ's CSR: adopt it directly —
                 # the fused kernel never builds a transposed array.
                 et = AssociativeArray._adopt(
@@ -488,6 +538,25 @@ def _fused_scipy(node: IncidenceToAdjacency, ne, nf,
     be = NumericBackend.from_csr(sc.data, sc.indices, sc.indptr, sc.shape)
     return AssociativeArray._adopt(be, e.col_keys, f.col_keys,
                                    node.op_pair.zero)
+
+
+def _fused_sortmerge(node: IncidenceToAdjacency, ne, nf,
+                     e: AssociativeArray, f: AssociativeArray
+                     ) -> AssociativeArray:
+    """``Eᵀ ⊕.⊗ F`` through the sortmerge kernel, transpose-free.
+
+    ``Eᵀ``'s CSC order sorts by (``Eᵀ`` column, ``Eᵀ`` row) = (``E``
+    row, ``E`` col) — exactly the lex order the columnar backend
+    already keeps — so ``E``'s raw COO arrays are the join's A side
+    verbatim, and ``F``'s raw arrays are its CSR-ordered B side.
+    """
+    from repro.arrays.matmul import sortmerge_coo
+    rows, cols, vals = sortmerge_coo(
+        ne.rows, ne.cols, ne.vals,
+        nf.rows, nf.cols, nf.vals, node.op_pair)
+    return AssociativeArray._from_numeric(
+        rows, cols, vals, row_keys=e.col_keys, col_keys=f.col_keys,
+        zero=node.op_pair.zero, presorted=True, filtered=True)
 
 
 def _fused_generic(e: AssociativeArray, f: AssociativeArray,

@@ -56,7 +56,18 @@ def semiring_vecmat(
 
     ``y(j) = ⊕_i x(i) ⊗ A(i, j)`` folded in row-key order; entries equal
     to the op-pair's zero are elided.
+
+    For ufunc op-pairs over a numeric-backed adjacency the relaxation
+    is fully vectorised (:func:`_vecmat_vectorized`): one gather of the
+    frontier values through the cached CSC view, one ``⊗`` ufunc call,
+    and a ``⊕`` group-fold with ``ufunc.reduceat`` — the dense-frontier
+    hot path of the serve k-hop / path-length queries.  Everything else
+    (exotic value sets, ufunc-less ops, tiny dict-backed arrays) takes
+    the per-edge reference loop below.
     """
+    fast = _vecmat_vectorized(vector, adj, op_pair)
+    if fast is not None:
+        return fast
     terms: Dict[Any, list] = {}
     row_order = {k: i for i, k in enumerate(adj.row_keys)}
     items = sorted(((i, v) for i, v in vector.items() if i in row_order),
@@ -73,6 +84,71 @@ def semiring_vecmat(
         if not op_pair.is_zero(val):
             out[c] = val
     return out
+
+
+def _vecmat_vectorized(
+    vector: Dict[Any, Any],
+    adj: AssociativeArray,
+    op_pair,
+) -> Optional[Dict[Any, Any]]:
+    """Vectorised ``x ⊕.⊗ A`` relaxation, or ``None`` when inapplicable.
+
+    Shares the sortmerge kernel's grouping helper
+    (:func:`repro.arrays.matmul.fold_grouped`): the CSC view orders
+    ``A``'s entries by (col, row), so after masking to rows the frontier
+    actually stores, each output column's terms sit adjacent and in
+    ascending row order — exactly the reference loop's fold order — and
+    one ``reduceat`` folds ``⊕`` per column.  Bails out (``None``) on
+    ufunc-less or non-numeric op-pairs, NaN zeros, non-numeric frontier
+    values, and dict-backed adjacencies below the promotion threshold.
+    """
+    from repro.arrays.backend import (
+        VECTORIZE_MIN_NNZ,
+        is_number,
+        usable_numeric_zero,
+    )
+    from repro.arrays.matmul import fold_grouped
+    if not vector:
+        return {}
+    if not (op_pair.has_ufuncs and op_pair.is_numeric):
+        return None
+    if not usable_numeric_zero(op_pair.zero):
+        return None
+    if adj.backend != "numeric" and adj.nnz < VECTORIZE_MIN_NNZ:
+        return None
+    nb = adj.numeric_backend()
+    if nb is None:
+        return None
+    row_pos = adj.row_keys.position_map()
+    idx = []
+    xv = []
+    for k, v in vector.items():
+        p = row_pos.get(k)
+        if p is None:
+            continue
+        if not is_number(v):
+            return None
+        idx.append(p)
+        xv.append(float(v))
+    if not idx:
+        return {}
+
+    present = np.zeros(nb.shape[0], dtype=bool)
+    xvals = np.zeros(nb.shape[0], dtype=np.float64)
+    present[idx] = True
+    xvals[idx] = xv
+    data, row_idx, _indptr, perm = nb.csc()
+    keep = present[row_idx]
+    if not keep.any():
+        return {}
+    terms = op_pair.mul.ufunc(xvals[row_idx[keep]], data[keep])
+    (grp_cols,), reduced = fold_grouped(
+        (nb.cols[perm][keep],), terms, op_pair.add.ufunc)
+    zero = float(op_pair.zero)
+    col_keys = tuple(adj.col_keys)
+    return {col_keys[c]: v
+            for c, v in zip(grp_cols.tolist(), reduced.tolist())
+            if v != zero}
 
 
 def bfs_levels(

@@ -1,6 +1,6 @@
 """Versioned benchmark harness with locked manifests and regression gates.
 
-The eight ``benchmarks/bench_*.py`` scripts each print one JSON
+The ``benchmarks/bench_*.py`` scripts each print one JSON
 document — honest measurements with no trajectory.  This module wraps
 them into **runs**: a run has an id, a locked manifest (git sha,
 machine info, config hash), the per-benchmark reports, and the
@@ -64,7 +64,8 @@ __all__ = [
 #: The script benchmarks the harness knows how to drive, in run order.
 #: (Discovered dynamically too — this tuple is the curated smoke set.)
 SCRIPT_BENCHMARKS: Tuple[str, ...] = (
-    "bench_shard", "bench_matmul", "bench_serve", "bench_expr")
+    "bench_shard", "bench_matmul", "bench_semiring_matmul",
+    "bench_serve", "bench_expr")
 
 #: Default regression threshold: 20% — the CI gate's bar.
 DEFAULT_THRESHOLD = 0.20

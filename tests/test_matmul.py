@@ -169,3 +169,111 @@ class TestKernelSelection:
         other = _arr({("c1", "z"): 1}, ["c1", "c2", "c3"], ["z"])
         c = tiny_array.dot(other, pair)
         assert c.get("r1", "z") == 1
+
+
+class TestAutoKernelRouting:
+    """auto routes certified ufunc pairs to sortmerge; scipy keeps +.×."""
+
+    def _large_numeric_pair(self, pair):
+        import random
+        rng = random.Random(5)
+        rows = [f"r{i}" for i in range(40)]
+        inner = [f"k{i}" for i in range(40)]
+        cols = [f"c{i}" for i in range(40)]
+        da = {(rng.choice(rows), rng.choice(inner)): float(rng.randint(1, 9))
+              for _ in range(600)}
+        db = {(rng.choice(inner), rng.choice(cols)): float(rng.randint(1, 9))
+              for _ in range(600)}
+        a = AssociativeArray(da, row_keys=rows, col_keys=inner,
+                             zero=pair.zero).with_backend("numeric")
+        b = AssociativeArray(db, row_keys=inner, col_keys=cols,
+                             zero=pair.zero).with_backend("numeric")
+        return a, b
+
+    @pytest.mark.parametrize("name", [n for n in SAFE_NUMERIC_PAIRS
+                                      if n != "plus_times"])
+    def test_ufunc_pairs_route_to_sortmerge(self, name):
+        from repro.arrays.matmul import _pick_kernel
+        pair = get_op_pair(name)
+        a, b = self._large_numeric_pair(pair)
+        assert _pick_kernel(a, b, pair, "sparse") == "sortmerge"
+
+    def test_plus_times_keeps_scipy(self):
+        from repro.arrays.matmul import _pick_kernel
+        pair = get_op_pair("plus_times")
+        a, b = self._large_numeric_pair(pair)
+        assert _pick_kernel(a, b, pair, "sparse") == "scipy"
+
+    def test_sortmerge_requires_sparse_mode(self):
+        pair = get_op_pair("min_plus")
+        a = _arr({("x", "k"): 1.0}, ["x"], ["k"], zero=pair.zero)
+        b = _arr({("k", "u"): 1.0}, ["k"], ["u"], zero=pair.zero)
+        with pytest.raises(MatmulError, match="sparse semantics"):
+            multiply(a, b, pair, kernel="sortmerge", mode="dense")
+
+
+class TestCalibratedTinyPick:
+    """The tiny-operand bailout consults measured per-kernel throughput
+    from the calibration store when both contenders have rates."""
+
+    @pytest.fixture
+    def isolated_store(self, tmp_path, monkeypatch):
+        from repro.obs.calibration import (
+            get_calibration_store,
+            reset_calibration_store,
+        )
+        monkeypatch.setenv("REPRO_CALIBRATION_PATH",
+                           str(tmp_path / "calibration.json"))
+        reset_calibration_store()
+        yield get_calibration_store()
+        reset_calibration_store()
+
+    def _tiny_operands(self, pair):
+        a = _arr({("r0", "k0"): 2.0, ("r0", "k1"): 5.0, ("r1", "k1"): 1.0},
+                 ["r0", "r1"], ["k0", "k1"], zero=pair.zero)
+        b = _arr({("k0", "c0"): 3.0, ("k1", "c0"): 4.0},
+                 ["k0", "k1"], ["c0"], zero=pair.zero)
+        return a, b
+
+    def test_uncalibrated_falls_back_to_static_threshold(self,
+                                                         isolated_store):
+        from repro.arrays.matmul import _pick_kernel
+        pair = get_op_pair("min_plus")
+        a, b = self._tiny_operands(pair)
+        assert _pick_kernel(a, b, pair, "sparse") == "generic"
+
+    def test_rates_favour_generic_on_tiny_terms(self, isolated_store):
+        from repro.arrays.matmul import _pick_kernel
+        pair = get_op_pair("min_plus")
+        a, b = self._tiny_operands(pair)
+        # Both calibrated; the handful of terms cannot amortise the
+        # vectorised kernel's promotion/call surcharge.
+        isolated_store.record("generic", terms=1e6, seconds=1.0)
+        isolated_store.record("sortmerge", terms=1e8, seconds=1.0)
+        assert _pick_kernel(a, b, pair, "sparse") == "generic"
+
+    def test_rates_can_overrule_static_threshold(self, isolated_store):
+        from repro.arrays.matmul import calibrated_tiny_pick
+        # Realistic rates (generic ~1 µs/term, sortmerge ~10 ns/term):
+        # with enough estimated terms the vectorised kernel wins even
+        # below the static nnz threshold ...
+        isolated_store.record("generic", terms=1e6, seconds=1.0)
+        isolated_store.record("sortmerge", terms=1e8, seconds=1.0)
+        assert calibrated_tiny_pick("sortmerge", nnz_a=100.0, nnz_b=100.0,
+                                    inner=2.0) == "sortmerge"
+        # ... but a negligible term count stays generic (the surcharge
+        # dominates).
+        assert calibrated_tiny_pick("sortmerge", nnz_a=2.0, nnz_b=2.0,
+                                    inner=2.0) == "generic"
+
+    def test_calibration_disabled_returns_none(self, monkeypatch):
+        from repro.arrays.matmul import calibrated_tiny_pick
+        from repro.obs.calibration import reset_calibration_store
+        monkeypatch.setenv("REPRO_CALIBRATION", "0")
+        reset_calibration_store()
+        try:
+            assert calibrated_tiny_pick("sortmerge", 100.0, 100.0, 2.0) \
+                is None
+        finally:
+            monkeypatch.delenv("REPRO_CALIBRATION")
+            reset_calibration_store()

@@ -42,9 +42,14 @@ class TestEmit:
     def test_global_log_singleton_and_helper(self):
         log = get_event_log()
         assert get_event_log() is log
-        before = len(log)
-        emit_event("bench_run", run_id="r1")
-        assert len(log) == before + 1
+        # The global ring may already be at capacity (library code emits
+        # kernel-routing events); assert the emit lands as the newest
+        # entry rather than counting on headroom.
+        event = emit_event("bench_run", run_id="r1")
+        newest = log.events(limit=1)[0]
+        assert newest["seq"] == event.seq
+        assert newest["kind"] == "bench_run"
+        assert newest["run_id"] == "r1"
 
 
 class TestBoundedGrowth:

@@ -122,7 +122,7 @@ class TestKernelAgreement:
         a, b = _random_pair_of_arrays(9, m=30, k=40, n=25, density=0.4,
                                       zero=pair.zero)
         ref = multiply_generic(a, b, pair, mode="sparse")
-        got = multiply(a, b, pair)  # auto → reduceat at this size
+        got = multiply(a, b, pair)  # auto → sortmerge at this size
         assert got.allclose(ref)
 
     def test_empty_operands(self):
@@ -184,4 +184,5 @@ class TestScipyInterop:
             from_scipy(m, ["just_one_row"], a.col_keys)
 
     def test_kernels_constant(self):
-        assert set(KERNELS) == {"scipy", "reduceat", "dense_blocked"}
+        assert set(KERNELS) == {"scipy", "sortmerge", "reduceat",
+                                "dense_blocked"}
