@@ -39,11 +39,24 @@
     finished trace from a running server by id; a miss prints the
     structured "no such trace (ring evicted?)" error with the ring's
     retention bounds (see :mod:`repro.obs.trace`).
-``events [--follow] [--since SEQ] [--kind KIND]``
+``events [--follow] [--interval S] [--since SEQ] [--kind KIND]``
     Print a running server's structured event log (epoch publications,
-    rewrite refusals, shard spills, cache invalidations, bench runs)
-    as JSON Lines; ``--follow`` tails it with a seq cursor (see
+    rewrite refusals, shard spills, cache invalidations, bench runs,
+    loadgen steps/breaches) as JSON Lines; ``--follow`` tails it with
+    a seq cursor every ``--interval`` seconds, and ``--kind`` filters
+    by exact kind, comma-separated kinds, or a ``prefix.*`` wildcard
+    (``--kind 'loadgen.*'`` watches a sweep live; see
     :mod:`repro.obs.events`).
+``loadgen record|replay|sweep``
+    The workload-capture and open-loop load-generation subsystem
+    (:mod:`repro.obs.loadgen`): ``record`` synthesizes a replayable
+    schema-versioned JSONL workload from a query-mix spec over a
+    source's vertex set; ``replay`` drives it against an in-process
+    source or a running server under a Poisson/fixed-rate arrival
+    schedule, reporting coordinated-omission-corrected
+    p50/p99/p99.9/max; ``sweep`` steps the arrival rate until a
+    declared SLO (p99 bound, error budget) is violated and reports
+    the max sustainable throughput.
 ``bench [NAMES...] [--compare A B] [--baseline-refresh --reason WHY]``
     The versioned benchmark harness: run the smoke benchmarks under a
     locked manifest (git sha, machine, config hash), writing
@@ -192,7 +205,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="accept op-pairs that fail the Theorem "
                               "II.1 criteria or have order-sensitive ⊕")
     p_serve.add_argument("--verbose", action="store_true",
-                         help="log each HTTP request")
+                         help="log each HTTP request to stderr")
+    p_serve.add_argument("--log-events", action="store_true",
+                         dest="log_events",
+                         help="route the per-request access log onto "
+                              "the structured event ring (kind "
+                              "http.log) instead of stderr — bounded "
+                              "and filterable, so it stays sane under "
+                              "generated load")
 
     p_query = sub.add_parser(
         "query", help="query a running adjacency service over HTTP")
@@ -251,9 +271,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_events.add_argument("--since", type=int, default=None,
                           help="only events with seq > SINCE")
     p_events.add_argument("--kind", default=None,
-                          help="filter by event kind (epoch_published, "
-                               "rewrite_refused, shard_spill, "
-                               "cache_invalidation, bench_run, ...)")
+                          help="filter by event kind: exact "
+                               "(loadgen.slo_breach), comma-separated "
+                               "alternatives, or a prefix wildcard "
+                               "(loadgen.*); known kinds include "
+                               "epoch_published, rewrite_refused, "
+                               "shard_spill, cache_invalidation, "
+                               "bench_run, loadgen.step, "
+                               "loadgen.slo_breach, http.log")
     p_events.add_argument("--limit", type=int, default=None,
                           help="keep only the newest LIMIT events")
     p_events.add_argument("--follow", action="store_true",
@@ -262,6 +287,125 @@ def build_parser() -> argparse.ArgumentParser:
     p_events.add_argument("--interval", type=float, default=1.0,
                           help="poll interval seconds for --follow "
                                "(default: 1.0)")
+
+    p_loadgen = sub.add_parser(
+        "loadgen",
+        help="workload capture, open-loop load generation, and "
+             "SLO-gated saturation sweeps")
+    lg = p_loadgen.add_subparsers(dest="loadgen_command", required=True)
+
+    def _lg_target(p, require_source=False):
+        p.add_argument("--source", default=None,
+                       help="adjacency TSV-triple file or kept shard "
+                            "workdir to drive in-process"
+                            + ("" if not require_source else
+                               " (required)"))
+        if not require_source:
+            p.add_argument("--url", default=None,
+                           help="base URL of a running `repro serve` "
+                                "to drive over HTTP instead")
+        p.add_argument("--pair", default=None,
+                       help="op-pair registry name for --source "
+                            "(default: the source's recorded pair, "
+                            "else plus_times)")
+        p.add_argument("--unsafe-ok", action="store_true",
+                       help="accept non-compliant op-pairs for "
+                            "--source")
+
+    def _lg_schedule(p):
+        p.add_argument("--rate", type=float, default=100.0,
+                       help="offered arrival rate, requests/second "
+                            "(default: 100)")
+        p.add_argument("--process", default="poisson",
+                       choices=["poisson", "fixed", "recorded"],
+                       help="arrival process (recorded = replay the "
+                            "workload's captured offsets)")
+        p.add_argument("--threads", type=int, default=4,
+                       help="injector threads (default: 4)")
+        p.add_argument("--seed", type=int, default=0,
+                       help="schedule RNG seed (default: 0)")
+
+    lg_rec = lg.add_parser(
+        "record",
+        help="synthesize a replayable JSONL workload from a query-mix "
+             "spec over a source's vertex set")
+    _lg_target(lg_rec, require_source=True)
+    lg_rec.add_argument("-o", "--output", required=True,
+                        help="workload JSONL file to write")
+    lg_rec.add_argument("--mix", default=None,
+                        help="query mix as KIND=WEIGHT[,KIND=WEIGHT...] "
+                             "over neighbors, degrees, khop, "
+                             "path_lengths, top_k, stats (default: a "
+                             "read-heavy service mix)")
+    lg_rec.add_argument("--ops", type=int, default=1000,
+                        help="operations to generate (default: 1000)")
+    lg_rec.add_argument("--seed", type=int, default=0,
+                        help="generator seed — same seed, same "
+                             "workload (default: 0)")
+    lg_rec.add_argument("--max-k", type=int, default=3, dest="max_k",
+                        help="largest khop hop count (default: 3)")
+
+    lg_rep = lg.add_parser(
+        "replay",
+        help="open-loop replay of a workload file with "
+             "coordinated-omission-corrected latency")
+    lg_rep.add_argument("workload", help="workload JSONL file "
+                                         "(loadgen record output)")
+    _lg_target(lg_rep)
+    _lg_schedule(lg_rep)
+    lg_rep.add_argument("--duration", type=float, default=None,
+                        help="seconds of load (rate × duration "
+                             "requests, cycling the workload); "
+                             "default: one pass over the workload")
+    lg_rep.add_argument("--warmup", type=int, default=0,
+                        help="leading ops issued closed-loop and "
+                             "unmeasured first (absorbs one-time "
+                             "planning/cache-fill costs; default: 0)")
+    lg_rep.add_argument("--json", action="store_true",
+                        help="print the full report as JSON")
+
+    lg_sweep = lg.add_parser(
+        "sweep",
+        help="step the arrival rate until the SLO is violated; report "
+             "max sustainable throughput")
+    lg_sweep.add_argument("--workload", default=None,
+                          help="workload JSONL file to replay (default: "
+                               "synthesize --mix over --source)")
+    _lg_target(lg_sweep)
+    _lg_schedule(lg_sweep)
+    lg_sweep.add_argument("--mix", default=None,
+                          help="query mix for the synthesized workload "
+                               "when no --workload is given")
+    lg_sweep.add_argument("--ops", type=int, default=500,
+                          help="synthesized workload size (default: 500)")
+    lg_sweep.add_argument("--rates", default=None,
+                          help="explicit comma-separated rates to step "
+                               "(e.g. 50,100,200,400); default: "
+                               "geometric from --rate by --growth")
+    lg_sweep.add_argument("--growth", type=float, default=2.0,
+                          help="rate multiplier per step (default: 2)")
+    lg_sweep.add_argument("--steps", type=int, default=5,
+                          help="max steps when growing geometrically "
+                               "(default: 5)")
+    lg_sweep.add_argument("--duration", type=float, default=2.0,
+                          help="seconds per rate step (default: 2)")
+    lg_sweep.add_argument("--slo-p99-ms", type=float, default=50.0,
+                          dest="slo_p99_ms",
+                          help="SLO: corrected p99 bound in ms "
+                               "(default: 50)")
+    lg_sweep.add_argument("--slo-error-rate", type=float, default=0.01,
+                          dest="slo_error_rate",
+                          help="SLO: error-rate budget (default: 0.01)")
+    lg_sweep.add_argument("--warmup", type=int, default=50,
+                          help="unmeasured closed-loop ops before the "
+                               "first step, so one-time planning and "
+                               "cache-fill costs don't read as "
+                               "saturation (default: 50)")
+    lg_sweep.add_argument("--out", default=None,
+                          help="also write the full sweep report JSON "
+                               "here")
+    lg_sweep.add_argument("--json", action="store_true",
+                          help="print the full report as JSON")
 
     p_bench = sub.add_parser(
         "bench",
@@ -554,7 +698,8 @@ def _cmd_serve(args) -> int:
         print(f"refused: {msg}", file=sys.stderr)
         return 1
     server = build_server(service, args.host, args.port,
-                          quiet=not args.verbose)
+                          quiet=not args.verbose,
+                          log_events=args.log_events)
     host, port = server.server_address[:2]
     snap = service.snapshot()
     print(f"serving {args.source} on http://{host}:{port}  "
@@ -762,6 +907,108 @@ def _cmd_events(args) -> int:
         return 0
 
 
+def _load_loadgen_target(args):
+    """Resolve ``--source``/``--url`` into a loadgen target.
+
+    Returns ``(target, service_or_None)`` — the service rides along so
+    synthesized workloads can draw from its vertex set.
+    """
+    from repro.obs.loadgen import HTTPTarget, ServiceTarget
+    url = getattr(args, "url", None)
+    if args.source is not None and url is not None:
+        raise ValueError("--source and --url are mutually exclusive")
+    if url is not None:
+        return HTTPTarget(url), None
+    if args.source is None:
+        raise ValueError("one of --source or --url is required")
+    service = load_service(args.source, args.pair,
+                           unsafe_ok=args.unsafe_ok)
+    return ServiceTarget(service), service
+
+
+def _cmd_loadgen(args) -> int:
+    import json
+    from repro.obs.loadgen import (LoadgenError, SLO, Workload,
+                                   render_replay, render_sweep, replay,
+                                   sweep, synthesize)
+    from repro.values.semiring import SemiringError
+    try:
+        if args.loadgen_command == "record":
+            service = load_service(args.source, args.pair,
+                                   unsafe_ok=args.unsafe_ok)
+            vertices = list(service.snapshot().vertices)
+            workload = synthesize(vertices, mix=args.mix,
+                                  n_ops=args.ops, seed=args.seed,
+                                  max_k=args.max_k)
+            path = workload.save(args.output)
+            mix = ", ".join(f"{k}={n}"
+                            for k, n in sorted(workload.kinds().items()))
+            print(f"wrote {path}: {len(workload)} ops over "
+                  f"{len(vertices)} vertices (seed {args.seed})")
+            print(f"  mix  {mix}")
+            return 0
+        if args.loadgen_command == "replay":
+            workload = Workload.load(args.workload)
+            target, _service = _load_loadgen_target(args)
+            report = replay(workload, target, rate=args.rate,
+                            process=args.process, threads=args.threads,
+                            seed=args.seed, duration=args.duration,
+                            warmup=args.warmup)
+            if args.json:
+                print(json.dumps(report, indent=2, sort_keys=True,
+                                 default=str))
+            else:
+                print(render_replay(report))
+            return 0
+        if args.loadgen_command == "sweep":
+            target, service = _load_loadgen_target(args)
+            if args.workload is not None:
+                workload = Workload.load(args.workload)
+            elif service is not None:
+                vertices = list(service.snapshot().vertices)
+                workload = synthesize(vertices, mix=args.mix,
+                                      n_ops=args.ops, seed=args.seed)
+            else:
+                print("sweeping --url requires --workload (the vertex "
+                      "set of a remote server is not enumerable)",
+                      file=sys.stderr)
+                return 2
+            rates = None
+            if args.rates is not None:
+                rates = [float(r) for r in args.rates.split(",")
+                         if r.strip()]
+            doc = sweep(workload, target, rates=rates,
+                        start_rate=args.rate, growth=args.growth,
+                        max_steps=args.steps, duration=args.duration,
+                        slo=SLO(p99_ms=args.slo_p99_ms,
+                                max_error_rate=args.slo_error_rate),
+                        process=args.process, threads=args.threads,
+                        seed=args.seed, warmup=args.warmup)
+            if args.out is not None:
+                Path(args.out).write_text(
+                    json.dumps(doc, indent=2, sort_keys=True,
+                               default=str) + "\n", encoding="utf-8")
+            if args.json:
+                print(json.dumps(doc, indent=2, sort_keys=True,
+                                 default=str))
+            else:
+                print(render_sweep(doc))
+                if args.out is not None:
+                    print(f"  full report: {args.out}")
+            return 0
+        raise AssertionError("unreachable")  # pragma: no cover
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    except LoadgenError as exc:
+        print(f"loadgen: {exc}", file=sys.stderr)
+        return 2
+    except (SemiringError, ValueError) as exc:
+        msg = str(exc).replace("unsafe_ok=True", "--unsafe-ok")
+        print(f"refused: {msg}", file=sys.stderr)
+        return 1
+
+
 def _cmd_bench(args) -> int:
     from repro.obs.bench import (
         BenchError,
@@ -862,6 +1109,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "events":
         return _cmd_events(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     if args.command == "bench":
         return _cmd_bench(args)
     raise AssertionError("unreachable")  # pragma: no cover

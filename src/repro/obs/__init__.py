@@ -31,6 +31,13 @@ dependency-free pieces, threaded through every hot layer:
   + calibration-snapshot artifacts, ``--compare`` regression gates
   with exemplar trace links, and the ``--baseline-refresh`` lifecycle
   (provenance-stamped re-locking of ``BENCH_baseline.json``).
+* :mod:`repro.obs.loadgen` — workload capture (sampled, schema-
+  versioned JSONL query logs off a live service), synthetic query-mix
+  generation, the open-loop load generator (Poisson/fixed-rate
+  arrival schedules, coordinated-omission-corrected latency on wide
+  log-bucketed histograms), and the SLO-gated saturation sweep behind
+  ``repro loadgen record|replay|sweep`` and ``bench_loadgen``'s
+  ``sustainable_qps`` headline.
 """
 
 from repro.obs.bench import (
@@ -57,12 +64,28 @@ from repro.obs.calibration import (
     reset_calibration_store,
 )
 from repro.obs.events import Event, EventLog, emit_event, get_event_log
+from repro.obs.loadgen import (
+    SLO,
+    HTTPTarget,
+    LoadgenError,
+    ServiceTarget,
+    Workload,
+    WorkloadRecorder,
+    arrival_offsets,
+    render_replay,
+    render_sweep,
+    replay,
+    sweep,
+    synthesize,
+)
 from repro.obs.metrics import (
+    LATENCY_BUCKETS_WIDE,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     get_registry,
+    log_buckets,
     render_prometheus,
 )
 from repro.obs.trace import (
@@ -84,12 +107,20 @@ __all__ = [
     "Event",
     "EventLog",
     "Gauge",
+    "HTTPTarget",
     "Histogram",
+    "LATENCY_BUCKETS_WIDE",
+    "LoadgenError",
     "MetricDelta",
     "MetricsRegistry",
+    "SLO",
+    "ServiceTarget",
     "Span",
     "TraceNotFound",
     "Tracer",
+    "Workload",
+    "WorkloadRecorder",
+    "arrival_offsets",
     "calibration_enabled",
     "compare",
     "config_hash",
@@ -103,13 +134,19 @@ __all__ = [
     "get_registry",
     "harvest_exemplars",
     "load_run",
+    "log_buckets",
     "machine_fingerprint",
     "refresh_baseline",
     "render_markdown",
     "render_prometheus",
+    "render_replay",
+    "render_sweep",
     "render_trace",
+    "replay",
     "reset_calibration_store",
     "run_benchmarks",
     "run_metadata",
     "span",
+    "sweep",
+    "synthesize",
 ]

@@ -65,7 +65,7 @@ __all__ = [
 #: (Discovered dynamically too — this tuple is the curated smoke set.)
 SCRIPT_BENCHMARKS: Tuple[str, ...] = (
     "bench_shard", "bench_matmul", "bench_semiring_matmul",
-    "bench_serve", "bench_expr")
+    "bench_serve", "bench_expr", "bench_loadgen")
 
 #: Default regression threshold: 20% — the CI gate's bar.
 DEFAULT_THRESHOLD = 0.20

@@ -45,6 +45,33 @@ __all__ = ["Event", "EventLog", "get_event_log", "emit_event"]
 DEFAULT_CAPACITY = 1024
 
 
+def _kind_predicate(spec: str):
+    """Compile a kind-filter spec into a predicate.
+
+    A spec is a comma-separated list of alternatives; each alternative
+    matches exactly, or — with a trailing ``*`` — as a prefix.  So
+    ``"loadgen.*"`` follows every load-generator event and
+    ``"loadgen.slo_breach,bench_run"`` watches exactly two kinds.
+    Dotted event families (``loadgen.step``, ``http.log``) make the
+    prefix form the natural "one subsystem, all kinds" filter.
+    """
+    exact = set()
+    prefixes: List[str] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if part.endswith("*"):
+            prefixes.append(part[:-1])
+        else:
+            exact.add(part)
+
+    def match(kind: str) -> bool:
+        return kind in exact or any(kind.startswith(p)
+                                    for p in prefixes)
+    return match
+
+
 class Event:
     """One immutable log entry."""
 
@@ -123,15 +150,17 @@ class EventLog:
         """Stored events as dicts, oldest first.
 
         ``since`` keeps only events with ``seq > since`` (the follow
-        cursor); ``kind`` filters by event kind; ``limit`` keeps the
-        *newest* N after filtering.
+        cursor); ``kind`` filters by event kind — exact, a trailing-``*``
+        prefix (``loadgen.*``), or a comma-separated list of either;
+        ``limit`` keeps the *newest* N after filtering.
         """
         with self._lock:
             rows = list(self._events)
         if since is not None:
             rows = [e for e in rows if e.seq > since]
         if kind is not None:
-            rows = [e for e in rows if e.kind == kind]
+            match = _kind_predicate(kind)
+            rows = [e for e in rows if match(e.kind)]
         if limit is not None and limit >= 0:
             rows = rows[-limit:] if limit else []
         return [e.to_dict() for e in rows]

@@ -1,0 +1,807 @@
+"""Workload capture, open-loop load generation, and SLO gating.
+
+The instrument that judges the serving tier.  ``bench_serve.py``
+measures *closed-loop* single-query latency: issue, wait, issue again.
+Production traffic is **open-loop** — arrivals don't wait for the
+server — and under open-loop load the honest latency of a request runs
+from the moment it *should* have started, not from the moment a stalled
+injector finally got around to sending it.  A load generator that
+measures from actual send time silently forgives every server stall
+(the **coordinated omission** mistake); this module measures from the
+intended arrival time, so a half-second hiccup shows up in p99 as the
+pile-up it caused, not as one slow sample.
+
+Three stages, each usable alone:
+
+* **capture** — :class:`WorkloadRecorder` hangs off
+  :meth:`repro.serve.service.AdjacencyService.start_capture` and writes
+  a sampled, schema-versioned query log (kind, params, epoch, arrival
+  offset) as replayable JSONL (:class:`Workload`);
+  :func:`synthesize` fabricates the same shape from a query-mix spec
+  over a vertex set, deterministically under a seed.
+* **replay** — :func:`replay` drives a target (an in-process
+  :class:`ServiceTarget` or an :class:`HTTPTarget` against the JSON
+  front end) under a Poisson or fixed-rate arrival schedule
+  (:func:`arrival_offsets`) with N injector threads, recording
+  coordinated-omission-corrected latency into the wide log-bucketed
+  histograms of :mod:`repro.obs.metrics` (accurate p50/p99/p99.9/max
+  from microseconds to seconds) plus per-interval time series and the
+  slowest requests.
+* **sweep & gate** — :func:`sweep` steps the arrival rate until a
+  declared :class:`SLO` is violated, emits ``loadgen.step`` /
+  ``loadgen.slo_breach`` / ``loadgen.sweep`` events on the
+  process-global ring, and reports ``sustainable_qps`` — the headline
+  ``repro bench`` gates on (``benchmarks/bench_loadgen.py``).
+
+CLI: ``repro loadgen record|replay|sweep``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.events import emit_event
+from repro.obs.metrics import LATENCY_BUCKETS_WIDE, Histogram
+
+__all__ = [
+    "WORKLOAD_SCHEMA",
+    "DEFAULT_MIX",
+    "LoadgenError",
+    "Workload",
+    "WorkloadRecorder",
+    "SLO",
+    "ServiceTarget",
+    "HTTPTarget",
+    "arrival_offsets",
+    "synthesize",
+    "replay",
+    "sweep",
+    "render_replay",
+    "render_sweep",
+]
+
+#: Schema tag on the first line of every workload file; bump on any
+#: incompatible record change so old replayers fail loudly, not subtly.
+WORKLOAD_SCHEMA = "repro.workload/1"
+
+#: Default query mix for synthetic workloads: read-heavy, the shape of
+#: graph-service traffic (point reads dominate, analytic hops ride
+#: along, a trickle of stats polling).
+DEFAULT_MIX: Dict[str, float] = {
+    "neighbors": 0.55, "degrees": 0.15, "khop": 0.20,
+    "path_lengths": 0.05, "top_k": 0.04, "stats": 0.01,
+}
+
+class LoadgenError(RuntimeError):
+    """Raised for load-generator misuse: bad mixes, rates, workloads."""
+
+
+# ---------------------------------------------------------------------------
+# Workloads: capture, synthesis, JSONL round-trip
+# ---------------------------------------------------------------------------
+
+class Workload:
+    """An ordered list of query operations plus provenance metadata.
+
+    Each op is a dict ``{"t": arrival_offset_seconds, "kind": str,
+    "params": {...}}`` (captured ops also carry ``"epoch"``).  The
+    JSONL form opens with a schema header line so a replayer can reject
+    files it does not understand.
+    """
+
+    def __init__(self, ops: Sequence[Dict[str, Any]],
+                 meta: Optional[Dict[str, Any]] = None) -> None:
+        self.ops: List[Dict[str, Any]] = list(ops)
+        self.meta: Dict[str, Any] = dict(meta or {})
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self):
+        return iter(self.ops)
+
+    def kinds(self) -> Dict[str, int]:
+        """Op count per query kind (the mix actually in the file)."""
+        out: Dict[str, int] = {}
+        for op in self.ops:
+            out[op["kind"]] = out.get(op["kind"], 0) + 1
+        return out
+
+    def to_jsonl(self) -> str:
+        """Header line + one op per line, the canonical file form."""
+        header = {"schema": WORKLOAD_SCHEMA, "count": len(self.ops),
+                  **self.meta}
+        lines = [json.dumps(header, sort_keys=True, default=str)]
+        lines += [json.dumps(op, sort_keys=True, default=str)
+                  for op in self.ops]
+        return "\n".join(lines) + "\n"
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the JSONL form to ``path``; returns the path."""
+        p = Path(path)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(self.to_jsonl(), encoding="utf-8")
+        return p
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Workload":
+        """Read a workload file, validating the schema header."""
+        p = Path(path)
+        try:
+            lines = p.read_text(encoding="utf-8").splitlines()
+        except OSError as exc:
+            raise LoadgenError(f"cannot read workload {p}: {exc}") \
+                from None
+        rows: List[Dict[str, Any]] = []
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                rows.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise LoadgenError(
+                    f"{p}:{i + 1}: malformed JSON: {exc}") from None
+        if not rows:
+            raise LoadgenError(f"{p} is empty — not a workload file")
+        header, ops = rows[0], rows[1:]
+        schema = header.get("schema")
+        if schema != WORKLOAD_SCHEMA:
+            raise LoadgenError(
+                f"{p} has schema {schema!r}; this reader understands "
+                f"{WORKLOAD_SCHEMA!r}")
+        for i, op in enumerate(ops):
+            if "kind" not in op:
+                raise LoadgenError(f"{p}: op {i} has no 'kind'")
+        meta = {k: v for k, v in header.items()
+                if k not in ("schema", "count")}
+        return cls(ops, meta)
+
+
+class WorkloadRecorder:
+    """Sampled, bounded query-log recorder for a live service.
+
+    Installed by :meth:`AdjacencyService.start_capture`; the service
+    calls :meth:`record` once per query (before compute, so arrival
+    order is arrival order).  ``sample_rate`` keeps every Nth-ish query
+    by seeded Bernoulli draw — cheap enough to leave on under load —
+    and ``capacity`` bounds memory (past it, new samples are dropped
+    and counted, never silently).
+    """
+
+    def __init__(self, *, sample_rate: float = 1.0, seed: int = 0,
+                 capacity: int = 100_000) -> None:
+        if not 0.0 < sample_rate <= 1.0:
+            raise LoadgenError(
+                f"sample_rate must be in (0, 1], got {sample_rate}")
+        if capacity < 1:
+            raise LoadgenError(f"capacity must be >= 1, got {capacity}")
+        self.sample_rate = sample_rate
+        self.capacity = capacity
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._t0 = time.perf_counter()
+        self._started_at = time.time()
+        self._ops: List[Dict[str, Any]] = []
+        self._seen = 0
+        self._dropped = 0
+
+    def record(self, kind: str, params: Dict[str, Any],
+               epoch: int) -> None:
+        """One query arrival; samples, stamps the offset, appends."""
+        now = time.perf_counter()
+        with self._lock:
+            self._seen += 1
+            if self.sample_rate < 1.0 \
+                    and self._rng.random() >= self.sample_rate:
+                return
+            if len(self._ops) >= self.capacity:
+                self._dropped += 1
+                return
+            self._ops.append({
+                "t": round(now - self._t0, 6),
+                "kind": kind,
+                "params": dict(params),
+                "epoch": epoch,
+            })
+
+    def stats(self) -> Dict[str, Any]:
+        """Seen/kept/dropped counts — the honesty block of a capture."""
+        with self._lock:
+            return {"seen": self._seen, "kept": len(self._ops),
+                    "dropped": self._dropped,
+                    "sample_rate": self.sample_rate,
+                    "capacity": self.capacity}
+
+    def workload(self) -> Workload:
+        """The captured ops as a :class:`Workload` (metadata included)."""
+        with self._lock:
+            ops = [dict(op) for op in self._ops]
+            stats = {"seen": self._seen, "kept": len(ops),
+                     "dropped": self._dropped}
+        return Workload(ops, meta={
+            "source": "capture",
+            "sample_rate": self.sample_rate,
+            "started_at": self._started_at,
+            **stats,
+        })
+
+
+def _parse_mix(mix: Union[str, Dict[str, float], None]) -> Dict[str, float]:
+    """Normalise a query-mix spec to positive weights summing to 1.
+
+    Accepts a dict or the CLI spelling ``"khop=0.3,neighbors=0.7"``.
+    """
+    if mix is None:
+        parsed = dict(DEFAULT_MIX)
+    elif isinstance(mix, str):
+        parsed = {}
+        for part in mix.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise LoadgenError(
+                    f"mix entries are KIND=WEIGHT, got {part!r}")
+            kind, _, weight = part.partition("=")
+            try:
+                parsed[kind.strip()] = float(weight)
+            except ValueError:
+                raise LoadgenError(
+                    f"mix weight for {kind.strip()!r} must be a number, "
+                    f"got {weight!r}") from None
+    else:
+        parsed = {k: float(v) for k, v in mix.items()}
+    known = set(DEFAULT_MIX)
+    unknown = set(parsed) - known
+    if unknown:
+        raise LoadgenError(
+            f"unknown query kind(s) in mix: {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(known))}")
+    parsed = {k: v for k, v in parsed.items() if v > 0}
+    total = sum(parsed.values())
+    if not parsed or total <= 0:
+        raise LoadgenError("mix needs at least one positive weight")
+    return {k: v / total for k, v in parsed.items()}
+
+
+def synthesize(
+    vertices: Sequence[Any],
+    *,
+    mix: Union[str, Dict[str, float], None] = None,
+    n_ops: int = 1000,
+    seed: int = 0,
+    max_k: int = 3,
+    nominal_rate: float = 100.0,
+) -> Workload:
+    """A deterministic synthetic workload over ``vertices``.
+
+    ``mix`` weights the query kinds (default :data:`DEFAULT_MIX`);
+    vertices and parameters are drawn by one seeded RNG, so the same
+    seed always yields the same workload.  The recorded ``t`` offsets
+    space ops uniformly at ``nominal_rate`` — only the ``recorded``
+    replay process uses them; rate-driven replays impose their own
+    schedule.
+    """
+    if not vertices:
+        raise LoadgenError("cannot synthesize a workload over zero "
+                           "vertices")
+    if n_ops < 1:
+        raise LoadgenError(f"n_ops must be >= 1, got {n_ops}")
+    weights = _parse_mix(mix)
+    rng = random.Random(seed)
+    kinds = sorted(weights)
+    kind_weights = [weights[k] for k in kinds]
+    pool = list(vertices)
+    ops: List[Dict[str, Any]] = []
+    for i in range(n_ops):
+        kind = rng.choices(kinds, weights=kind_weights)[0]
+        params: Dict[str, Any] = {}
+        if kind in ("neighbors", "degrees"):
+            params["direction"] = rng.choice(("out", "in"))
+        if kind in ("neighbors", "khop", "path_lengths"):
+            params["vertex"] = rng.choice(pool)
+        if kind == "khop":
+            params["k"] = rng.randint(1, max(max_k, 1))
+        if kind == "top_k":
+            params["k"] = rng.choice((5, 10, 20))
+        ops.append({"t": round(i / nominal_rate, 6), "kind": kind,
+                    "params": params})
+    return Workload(ops, meta={
+        "source": "synthetic",
+        "seed": seed,
+        "mix": {k: round(v, 6) for k, v in weights.items()},
+        "vertices": len(pool),
+        "nominal_rate": nominal_rate,
+    })
+
+
+# ---------------------------------------------------------------------------
+# Arrival schedules
+# ---------------------------------------------------------------------------
+
+def arrival_offsets(n: int, rate: float, *, process: str = "poisson",
+                    seed: int = 0) -> List[float]:
+    """``n`` intended start offsets (seconds from t0) at ``rate`` req/s.
+
+    ``poisson`` draws exponential inter-arrival gaps (the memoryless
+    arrivals of independent clients); ``fixed`` spaces arrivals exactly
+    ``1/rate`` apart.  Both are deterministic under ``seed`` — a replay
+    is reproducible end to end.
+    """
+    if n < 0:
+        raise LoadgenError(f"n must be >= 0, got {n}")
+    if rate <= 0:
+        raise LoadgenError(f"rate must be > 0, got {rate}")
+    if process == "fixed":
+        return [i / rate for i in range(n)]
+    if process == "poisson":
+        rng = random.Random(seed)
+        offsets: List[float] = []
+        t = 0.0
+        for _ in range(n):
+            t += rng.expovariate(rate)
+            offsets.append(t)
+        return offsets
+    raise LoadgenError(
+        f"unknown arrival process {process!r}; known: poisson, fixed "
+        "(plus 'recorded' for replay of captured offsets)")
+
+
+# ---------------------------------------------------------------------------
+# Targets
+# ---------------------------------------------------------------------------
+
+class ServiceTarget:
+    """Drive an in-process :class:`AdjacencyService` (duck-typed)."""
+
+    def __init__(self, service: Any) -> None:
+        self._service = service
+        pair = getattr(service, "op_pair", None)
+        self.name = f"service:{pair.name}" if pair is not None \
+            else "service"
+
+    def __call__(self, kind: str, params: Dict[str, Any]) -> Any:
+        return self._service.query(kind, **params)
+
+    def exemplars(self) -> Dict[str, Any]:
+        """Slowest-bucket trace exemplars off the service's request
+        histograms — the one-hop link from a saturation tail to a
+        concrete span tree."""
+        out: Dict[str, Any] = {}
+        for family in self._service.metrics.families():
+            if family.name != "serve_request_seconds":
+                continue
+            for labels, hist in sorted(family.children.items()):
+                ex = hist.exemplar()
+                if ex is not None:
+                    out[dict(labels).get("kind", "")] = ex
+        return out
+
+
+class HTTPTarget:
+    """Drive a running JSON front end (``repro serve``) over HTTP.
+
+    Each injector thread issues plain blocking ``urllib`` GETs; error
+    responses raise, so the replay loop counts them.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 10.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.name = f"http:{self.base_url}"
+
+    def __call__(self, kind: str, params: Dict[str, Any]) -> Any:
+        import urllib.request
+        from urllib.parse import urlencode
+        if kind == "stats":
+            url = f"{self.base_url}/stats"
+        else:
+            url = f"{self.base_url}/query/{kind}"
+            if params:
+                url += "?" + urlencode(
+                    {k: v for k, v in params.items() if v is not None})
+        with urllib.request.urlopen(url, timeout=self.timeout) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+
+    def exemplars(self) -> Dict[str, Any]:
+        return {}   # server-side traces; not harvestable over the wire
+
+
+def _as_target(target: Any) -> Any:
+    """Accept a prepared target, a service, or a URL string."""
+    if callable(target):
+        return target
+    if isinstance(target, str):
+        return HTTPTarget(target)
+    if hasattr(target, "query"):
+        return ServiceTarget(target)
+    raise LoadgenError(
+        f"cannot drive {target!r}: pass a callable, an "
+        "AdjacencyService, or a base URL")
+
+
+# ---------------------------------------------------------------------------
+# Open-loop replay with coordinated-omission correction
+# ---------------------------------------------------------------------------
+
+def _percentiles_ms(hist: Histogram) -> Dict[str, Optional[float]]:
+    def ms(v: Optional[float]) -> Optional[float]:
+        return None if v is None else round(v * 1e3, 4)
+    snap = hist.snapshot()
+    return {
+        "p50_ms": ms(snap["p50"]),
+        "p99_ms": ms(snap["p99"]),
+        "p999_ms": ms(snap["p999"]),
+        "max_ms": ms(snap["max"] if snap["count"] else None),
+        "mean_ms": ms(snap["mean"] if snap["count"] else None),
+    }
+
+
+def replay(
+    workload: Union[Workload, Sequence[Dict[str, Any]]],
+    target: Any,
+    *,
+    rate: float = 100.0,
+    process: str = "poisson",
+    threads: int = 4,
+    seed: int = 0,
+    duration: Optional[float] = None,
+    interval: float = 1.0,
+    warmup: int = 0,
+    emit: bool = True,
+) -> Dict[str, Any]:
+    """Open-loop replay of ``workload`` against ``target``.
+
+    The schedule fixes every request's **intended** start time before
+    the run begins (``process`` as in :func:`arrival_offsets`, or
+    ``"recorded"`` to reuse the workload's captured offsets); injector
+    threads round-robin the requests and each waits for its intended
+    time, fires, and records two latencies:
+
+    * **corrected** — completion minus *intended* start.  This is the
+      latency an open-loop client experienced, queueing included; a
+      server stall inflates every request scheduled behind it.
+    * **service** — completion minus actual send.  The closed-loop
+      number, reported alongside so the coordinated-omission gap is
+      visible instead of silently flattering the server.
+
+    ``duration`` (seconds) sizes the request count as ``rate ×
+    duration``, cycling the workload as needed; default is one pass
+    over the workload.  ``warmup`` issues that many leading ops
+    closed-loop and unmeasured first, so one-time costs (expression
+    planning, certification, cache fill) surface as warmup, not as a
+    fake saturation tail.  Returns a JSON-ready report: corrected and
+    service-time percentiles off wide log-bucketed histograms,
+    ``achieved_qps``, per-``interval`` time series, the slowest
+    requests, injector start-lag, and (in-process targets) trace
+    exemplars.
+    """
+    ops = list(workload.ops if isinstance(workload, Workload)
+               else workload)
+    if not ops:
+        raise LoadgenError("workload has no operations to replay")
+    if threads < 1:
+        raise LoadgenError(f"threads must be >= 1, got {threads}")
+    if interval <= 0:
+        raise LoadgenError(f"interval must be > 0, got {interval}")
+    tgt = _as_target(target)
+    for op in ops[:max(warmup, 0)]:
+        try:
+            tgt(op["kind"], op.get("params") or {})
+        except Exception:
+            pass   # warmup errors repeat (and count) in the run proper
+    if process == "recorded":
+        base = float(ops[0].get("t", 0.0))
+        offsets = [max(float(op.get("t", 0.0)) - base, 0.0)
+                   for op in ops]
+        n = len(offsets)
+        eff_rate = (n / offsets[-1]) if n > 1 and offsets[-1] > 0 \
+            else float(rate)
+    else:
+        n = int(rate * duration) if duration is not None else len(ops)
+        if n < 1:
+            raise LoadgenError(
+                f"rate={rate} × duration={duration} yields no requests")
+        offsets = arrival_offsets(n, rate, process=process, seed=seed)
+        eff_rate = float(rate)
+
+    corrected_hist = Histogram(LATENCY_BUCKETS_WIDE)
+    service_hist = Histogram(LATENCY_BUCKETS_WIDE)
+    samples: List[List[Tuple[float, float, float, float, bool, int]]] = \
+        [[] for _ in range(threads)]
+    t0 = time.perf_counter() + 0.05   # let every injector reach its gate
+
+    def injector(tid: int) -> None:
+        mine = samples[tid]
+        for i in range(tid, len(offsets), threads):
+            intended = t0 + offsets[i]
+            now = time.perf_counter()
+            if intended > now:
+                time.sleep(intended - now)
+            start = time.perf_counter()
+            op = ops[i % len(ops)]
+            ok = True
+            try:
+                tgt(op["kind"], op.get("params") or {})
+            except Exception:
+                ok = False
+            end = time.perf_counter()
+            service = end - start
+            corrected = max(end - intended, service)
+            corrected_hist.observe(corrected)
+            service_hist.observe(service)
+            mine.append((offsets[i], corrected, service,
+                         start - intended, ok, i))
+
+    workers = [threading.Thread(target=injector, args=(tid,), daemon=True)
+               for tid in range(threads)]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+
+    rows = sorted(r for chunk in samples for r in chunk)
+    errors = sum(1 for r in rows if not r[4])
+    max_lag = max((r[3] for r in rows), default=0.0)
+    # Schedule start → last completion (end_i = t0 + offset_i +
+    # corrected_i), so the gate delay and thread-join overhead never
+    # dilute the throughput figure.
+    elapsed = max((r[0] + r[1] for r in rows), default=0.0)
+
+    # Per-interval time series keyed on the *intended* arrival window.
+    series: List[Dict[str, Any]] = []
+    if rows:
+        n_bins = int(rows[-1][0] // interval) + 1
+        for b in range(n_bins):
+            bin_rows = [r for r in rows
+                        if b * interval <= r[0] < (b + 1) * interval]
+            if not bin_rows:
+                continue
+            lats = sorted(r[1] for r in bin_rows)
+            p99 = lats[min(len(lats) - 1, int(0.99 * len(lats)))]
+            series.append({
+                "t": round(b * interval, 3),
+                "requests": len(bin_rows),
+                "errors": sum(1 for r in bin_rows if not r[4]),
+                "p99_ms": round(p99 * 1e3, 4),
+                "max_ms": round(lats[-1] * 1e3, 4),
+            })
+
+    slowest = sorted(rows, key=lambda r: -r[1])[:5]
+    report: Dict[str, Any] = {
+        "schema": "repro.loadgen.replay/1",
+        "target": getattr(tgt, "name", repr(tgt)),
+        "process": process,
+        "offered_rate": round(eff_rate, 4),
+        "threads": threads,
+        "seed": seed,
+        "requests": len(rows),
+        "errors": errors,
+        "error_rate": round(errors / len(rows), 6) if rows else 0.0,
+        "elapsed_seconds": round(elapsed, 4),
+        "achieved_qps": round(len(rows) / elapsed, 2) if elapsed else 0.0,
+        "corrected": _percentiles_ms(corrected_hist),
+        "service_time": _percentiles_ms(service_hist),
+        "max_start_lag_ms": round(max_lag * 1e3, 4),
+        "series": series,
+        "slowest": [{
+            "t": round(r[0], 4),
+            "kind": ops[r[5] % len(ops)]["kind"],
+            "corrected_ms": round(r[1] * 1e3, 4),
+            "service_ms": round(r[2] * 1e3, 4),
+        } for r in slowest],
+    }
+    exemplars = getattr(tgt, "exemplars", None)
+    if exemplars is not None:
+        found = exemplars()
+        if found:
+            report["exemplars"] = found
+    if emit:
+        emit_event("loadgen.replay", target=report["target"],
+                   process=process, rate=report["offered_rate"],
+                   requests=report["requests"], errors=errors,
+                   p99_ms=report["corrected"]["p99_ms"],
+                   achieved_qps=report["achieved_qps"])
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Saturation sweep with SLO gating
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SLO:
+    """A declared service-level objective a sweep gates against."""
+
+    p99_ms: float = 50.0
+    max_error_rate: float = 0.01
+
+    def breaches(self, report: Dict[str, Any]) -> List[str]:
+        """Human-readable violations of this SLO in a replay report."""
+        out: List[str] = []
+        p99 = report.get("corrected", {}).get("p99_ms")
+        if p99 is not None and p99 > self.p99_ms:
+            out.append(f"corrected p99 {p99:.3g} ms > SLO "
+                       f"{self.p99_ms:.3g} ms")
+        err = report.get("error_rate", 0.0)
+        if err > self.max_error_rate:
+            out.append(f"error rate {err:.2%} > SLO "
+                       f"{self.max_error_rate:.2%}")
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"p99_ms": self.p99_ms,
+                "max_error_rate": self.max_error_rate}
+
+
+def sweep(
+    workload: Union[Workload, Sequence[Dict[str, Any]]],
+    target: Any,
+    *,
+    rates: Optional[Sequence[float]] = None,
+    start_rate: float = 50.0,
+    growth: float = 2.0,
+    max_steps: int = 6,
+    duration: float = 2.0,
+    slo: Optional[SLO] = None,
+    process: str = "poisson",
+    threads: int = 4,
+    seed: int = 0,
+    warmup: int = 0,
+    emit: bool = True,
+) -> Dict[str, Any]:
+    """Step the offered arrival rate until the SLO is violated.
+
+    Rates come from ``rates`` verbatim, or grow geometrically from
+    ``start_rate`` by ``growth`` for up to ``max_steps`` steps.  Each
+    step is one open-loop :func:`replay` of ``duration`` seconds
+    (``warmup`` unmeasured closed-loop ops precede the first step);
+    the first SLO-violating step stops the sweep (and emits a
+    ``loadgen.slo_breach`` event with the breach detail).
+
+    The headline is ``sustainable_qps`` — the *achieved* throughput of
+    the fastest step that met the SLO (0.0 when even the first rate
+    violated it).  The full report carries every step's replay report,
+    so the latency-vs-rate curve is in the artifact, not just the
+    verdict.
+    """
+    if slo is None:
+        slo = SLO()
+    if rates is None:
+        if start_rate <= 0 or growth <= 1.0 or max_steps < 1:
+            raise LoadgenError(
+                "need start_rate > 0, growth > 1, max_steps >= 1 "
+                f"(got {start_rate}, {growth}, {max_steps})")
+        rates = [start_rate * growth ** i for i in range(max_steps)]
+    else:
+        rates = [float(r) for r in rates]
+        if not rates or any(r <= 0 for r in rates):
+            raise LoadgenError(f"rates must be positive, got {rates}")
+    if process == "recorded":
+        raise LoadgenError(
+            "a sweep imposes its own rates; use process='poisson' or "
+            "'fixed'")
+    steps: List[Dict[str, Any]] = []
+    sustainable = 0.0
+    breach: Optional[Dict[str, Any]] = None
+    for step_no, rate in enumerate(rates):
+        report = replay(workload, target, rate=rate, process=process,
+                        threads=threads, seed=seed + step_no,
+                        duration=duration,
+                        warmup=warmup if step_no == 0 else 0,
+                        emit=False)
+        breaches = slo.breaches(report)
+        step = {
+            "rate": round(rate, 4),
+            "ok": not breaches,
+            "breaches": breaches,
+            "replay": report,
+        }
+        steps.append(step)
+        if emit:
+            emit_event("loadgen.step", rate=round(rate, 4),
+                       ok=not breaches,
+                       p99_ms=report["corrected"]["p99_ms"],
+                       achieved_qps=report["achieved_qps"],
+                       errors=report["errors"])
+        if breaches:
+            breach = {"rate": round(rate, 4), "breaches": breaches,
+                      "p99_ms": report["corrected"]["p99_ms"],
+                      "error_rate": report["error_rate"]}
+            if emit:
+                emit_event("loadgen.slo_breach", rate=round(rate, 4),
+                           breaches="; ".join(breaches),
+                           p99_ms=report["corrected"]["p99_ms"],
+                           slo_p99_ms=slo.p99_ms,
+                           error_rate=report["error_rate"])
+            break
+        sustainable = max(sustainable, report["achieved_qps"])
+    doc: Dict[str, Any] = {
+        "schema": "repro.loadgen.sweep/1",
+        "target": steps[0]["replay"]["target"] if steps else "?",
+        "slo": slo.to_dict(),
+        "process": process,
+        "threads": threads,
+        "duration_per_step": duration,
+        "rates": [round(float(r), 4) for r in rates[:len(steps)]],
+        "steps": steps,
+        "sustainable_qps": round(sustainable, 2),
+        "saturated": breach is not None,
+        "breach": breach,
+    }
+    if emit:
+        emit_event("loadgen.sweep", target=doc["target"],
+                   steps=len(steps),
+                   sustainable_qps=doc["sustainable_qps"],
+                   saturated=doc["saturated"])
+    return doc
+
+
+# ---------------------------------------------------------------------------
+# Rendering (the CLI's human-readable form)
+# ---------------------------------------------------------------------------
+
+def render_replay(report: Dict[str, Any]) -> str:
+    """One replay report as an aligned text block."""
+    c, s = report["corrected"], report["service_time"]
+
+    def row(d: Dict[str, Any]) -> str:
+        return "  ".join(
+            f"{k[:-3]}={d[k]:.3g}ms" if d[k] is not None else f"{k[:-3]}=–"
+            for k in ("p50_ms", "p99_ms", "p999_ms", "max_ms"))
+    lines = [
+        f"replay {report['target']}  ({report['process']} arrivals, "
+        f"{report['offered_rate']:g} req/s offered, "
+        f"{report['threads']} injector(s))",
+        f"  requests {report['requests']}  errors {report['errors']}  "
+        f"achieved {report['achieved_qps']:g} qps  "
+        f"wall {report['elapsed_seconds']:.2f}s",
+        f"  corrected (open-loop)  {row(c)}",
+        f"  service-time (naive)   {row(s)}",
+        f"  max injector start lag {report['max_start_lag_ms']:.3g} ms",
+    ]
+    if report.get("slowest"):
+        worst = report["slowest"][0]
+        lines.append(
+            f"  slowest: {worst['kind']} at t={worst['t']:.2f}s — "
+            f"corrected {worst['corrected_ms']:.3g} ms "
+            f"(service {worst['service_ms']:.3g} ms)")
+    for kind, ex in sorted(report.get("exemplars", {}).items()):
+        lines.append(f"  exemplar[{kind}]: trace {ex.get('trace_id', '?')} "
+                     f"value {float(ex.get('value', 0.0)):.3g}s")
+    return "\n".join(lines)
+
+
+def render_sweep(doc: Dict[str, Any]) -> str:
+    """One sweep report: the rate table plus the verdict line."""
+    lines = [
+        f"sweep {doc['target']}  (SLO: p99 <= {doc['slo']['p99_ms']:g} ms, "
+        f"errors <= {doc['slo']['max_error_rate']:.2%}; "
+        f"{doc['duration_per_step']:g}s per step)",
+        "  rate_req_s  achieved_qps     p99_ms    p999_ms  errors  verdict",
+    ]
+    for step in doc["steps"]:
+        r = step["replay"]
+        p99 = r["corrected"]["p99_ms"]
+        p999 = r["corrected"]["p999_ms"]
+        lines.append(
+            f"  {step['rate']:>10g}  {r['achieved_qps']:>12g}  "
+            f"{p99 if p99 is not None else float('nan'):>9.3f}  "
+            f"{p999 if p999 is not None else float('nan'):>9.3f}  "
+            f"{r['errors']:>6d}  {'ok' if step['ok'] else 'SLO BREACH'}")
+    if doc["saturated"]:
+        b = doc["breach"]
+        lines.append(f"  saturated at {b['rate']:g} req/s: "
+                     + "; ".join(b["breaches"]))
+    else:
+        lines.append("  never saturated within the swept rates "
+                     "(raise --max-steps or rates to find the knee)")
+    lines.append(f"  max sustainable throughput under SLO: "
+                 f"{doc['sustainable_qps']:g} qps")
+    return "\n".join(lines)

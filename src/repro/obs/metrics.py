@@ -56,6 +56,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS",
+    "LATENCY_BUCKETS_WIDE",
+    "log_buckets",
     "get_registry",
     "render_prometheus",
 ]
@@ -66,6 +68,44 @@ __all__ = [
 DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
     0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
     0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0)
+
+
+def log_buckets(lo: float, hi: float,
+                per_decade: int = 9) -> Tuple[float, ...]:
+    """Logarithmically spaced bucket bounds from ``lo`` to ``hi``.
+
+    ``per_decade`` bounds per factor of ten keeps the relative
+    quantile-estimation error bounded by one bucket ratio
+    (``10^(1/per_decade)`` — ~29% at the default 9/decade) across the
+    whole range, instead of the unbounded *absolute* error a narrow
+    fixed-bucket layout produces once observations saturate its first
+    or last bucket.  Bounds are rounded to two significant digits so
+    rendered ``le`` labels stay readable; ``hi`` is always included.
+    """
+    if lo <= 0 or hi <= lo:
+        raise ValueError(
+            f"need 0 < lo < hi, got lo={lo!r} hi={hi!r}")
+    if per_decade < 1:
+        raise ValueError(f"per_decade must be >= 1, got {per_decade}")
+    bounds: List[float] = []
+    step = 10.0 ** (1.0 / per_decade)
+    value = lo
+    while value < hi * (1.0 - 1e-12):
+        rounded = float(f"{value:.1e}")
+        if not bounds or rounded > bounds[-1]:
+            bounds.append(rounded)
+        value *= step
+    bounds.append(float(hi))
+    return tuple(bounds)
+
+
+#: Wide-dynamic-range latency buckets (seconds): 1 µs .. 60 s at 9
+#: bounds per decade (~70 buckets).  The preset for request-latency
+#: histograms that must resolve both sub-millisecond cache hits *and*
+#: multi-second saturation tails — p50/p99/p99.9 stay within ~29%
+#: relative error anywhere in the range, where the narrower default
+#: preset pins everything below 100 µs into its first bucket.
+LATENCY_BUCKETS_WIDE: Tuple[float, ...] = log_buckets(1e-6, 60.0)
 
 LabelPairs = Tuple[Tuple[str, str], ...]
 
@@ -264,6 +304,7 @@ class Histogram:
             "p50": self.percentile(0.50),
             "p90": self.percentile(0.90),
             "p99": self.percentile(0.99),
+            "p999": self.percentile(0.999),
         }
         worst = self.exemplar()
         if worst is not None:

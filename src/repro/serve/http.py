@@ -44,8 +44,9 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qsl, urlsplit
 
-from repro.obs.events import get_event_log
-from repro.obs.metrics import get_registry, render_prometheus
+from repro.obs.events import emit_event, get_event_log
+from repro.obs.metrics import (LATENCY_BUCKETS_WIDE, get_registry,
+                               render_prometheus)
 from repro.obs.trace import TraceNotFound
 from repro.serve.service import QUERY_KINDS, AdjacencyService
 from repro.serve.snapshot import ServeError, UnknownVertexError
@@ -108,11 +109,26 @@ class _Handler(BaseHTTPRequestHandler):
 
     service: AdjacencyService  # injected by build_server
     quiet: bool = True
+    log_events: bool = False
     protocol_version = "HTTP/1.1"
 
     # -- plumbing ------------------------------------------------------
     def log_message(self, fmt: str, *args: Any) -> None:  # noqa: N802
-        if not self.quiet:  # pragma: no cover - opt-in logging
+        """Per-request logging, off by default.
+
+        ``BaseHTTPRequestHandler`` prints every request to stderr —
+        untenable under generated load (an open-loop sweep at 1000
+        req/s would emit 1000 stderr lines a second).  With
+        ``log_events`` the line goes onto the bounded structured event
+        ring instead (kind ``http.log``, a debug-level firehose you
+        filter for explicitly: ``repro events --kind http.log``);
+        with ``quiet=False`` it still reaches stderr for interactive
+        runs.
+        """
+        if self.log_events:
+            emit_event("http.log", client=self.address_string(),
+                       message=fmt % args)
+        elif not self.quiet:  # pragma: no cover - opt-in logging
             super().log_message(fmt, *args)
 
     def _send(self, status: int, payload: Dict[str, Any]) -> None:
@@ -173,6 +189,7 @@ class _Handler(BaseHTTPRequestHandler):
                         route=route, method=method).inc()
         metrics.histogram("http_request_seconds",
                           "Wall time spent in HTTP handlers",
+                          buckets=LATENCY_BUCKETS_WIDE,
                           route=route).observe(time.perf_counter() - started)
 
     # -- GET -----------------------------------------------------------
@@ -323,15 +340,19 @@ def build_server(
     port: int = DEFAULT_PORT,
     *,
     quiet: bool = True,
+    log_events: bool = False,
 ) -> ThreadingHTTPServer:
     """A ready-to-run ``ThreadingHTTPServer`` bound to ``host:port``.
 
     ``port=0`` binds an ephemeral port (``server.server_address[1]``
-    reports it) — the test-friendly spelling.  The caller owns the
-    server lifecycle (``serve_forever()`` / ``shutdown()``).
+    reports it) — the test-friendly spelling.  ``log_events`` routes
+    the per-request access log onto the structured event ring (kind
+    ``http.log``) instead of stderr; off by default.  The caller owns
+    the server lifecycle (``serve_forever()`` / ``shutdown()``).
     """
     handler = type("AdjacencyHandler", (_Handler,),
-                   {"service": service, "quiet": quiet})
+                   {"service": service, "quiet": quiet,
+                    "log_events": log_events})
     server = ThreadingHTTPServer((host, port), handler)
     server.daemon_threads = True
     return server
@@ -343,7 +364,9 @@ def serve_forever(
     port: int = DEFAULT_PORT,
     *,
     quiet: bool = True,
+    log_events: bool = False,
 ) -> None:
     """Blocking convenience wrapper used by ``repro serve``."""
-    with build_server(service, host, port, quiet=quiet) as server:
+    with build_server(service, host, port, quiet=quiet,
+                      log_events=log_events) as server:
         server.serve_forever()

@@ -316,3 +316,99 @@ class TestBenchCLI:
         assert "wrote" in printed
         assert list(out.glob("BENCH_*.json"))
         assert (out / "report.md").exists()
+
+
+class TestLoadgenCLI:
+    @pytest.fixture()
+    def tsv(self, tmp_path):
+        p = tmp_path / "adj.tsv"
+        p.write_text("a\tb\t2.0\nb\tc\t3.0\nc\ta\t1.0\n",
+                     encoding="utf-8")
+        return p
+
+    def test_record_writes_workload(self, tsv, tmp_path, capsys):
+        out = tmp_path / "wl.jsonl"
+        assert main(["loadgen", "record", "--source", str(tsv),
+                     "-o", str(out), "--ops", "20",
+                     "--mix", "neighbors=1"]) == 0
+        printed = capsys.readouterr().out
+        assert "20 ops" in printed and "neighbors=20" in printed
+        from repro.obs.loadgen import Workload
+        wl = Workload.load(out)
+        assert len(wl) == 20
+        assert wl.kinds() == {"neighbors": 20}
+
+    def test_record_is_deterministic(self, tsv, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        for out in (a, b):
+            assert main(["loadgen", "record", "--source", str(tsv),
+                         "-o", str(out), "--ops", "15",
+                         "--seed", "9"]) == 0
+        assert a.read_text() == b.read_text()
+
+    def test_replay_text_and_json(self, tsv, tmp_path, capsys):
+        wl = tmp_path / "wl.jsonl"
+        assert main(["loadgen", "record", "--source", str(tsv),
+                     "-o", str(wl), "--ops", "10",
+                     "--mix", "neighbors=1"]) == 0
+        capsys.readouterr()
+        assert main(["loadgen", "replay", str(wl),
+                     "--source", str(tsv), "--rate", "500",
+                     "--process", "fixed", "--threads", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "corrected (open-loop)" in out
+        assert "service-time (naive)" in out
+        assert main(["loadgen", "replay", str(wl),
+                     "--source", str(tsv), "--rate", "500",
+                     "--process", "fixed", "--json"]) == 0
+        import json as _json
+        doc = _json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.loadgen.replay/1"
+        assert doc["requests"] == 10
+
+    def test_sweep_synthesizes_and_reports(self, tsv, tmp_path, capsys):
+        report = tmp_path / "sweep.json"
+        assert main(["loadgen", "sweep", "--source", str(tsv),
+                     "--rates", "300,600", "--duration", "0.05",
+                     "--ops", "30", "--mix", "neighbors=1",
+                     "--warmup", "5", "--out", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "max sustainable throughput under SLO" in out
+        import json as _json
+        doc = _json.loads(report.read_text())
+        assert doc["schema"] == "repro.loadgen.sweep/1"
+        assert doc["rates"] == [300.0, 600.0]
+
+    def test_replay_missing_workload_exit_two(self, tsv, capsys):
+        assert main(["loadgen", "replay", "/nope/wl.jsonl",
+                     "--source", str(tsv)]) == 2
+        assert "cannot read workload" in capsys.readouterr().err
+
+    def test_record_bad_mix_exit_two(self, tsv, tmp_path, capsys):
+        assert main(["loadgen", "record", "--source", str(tsv),
+                     "-o", str(tmp_path / "x.jsonl"),
+                     "--mix", "frobnicate=1"]) == 2
+        assert "unknown query kind" in capsys.readouterr().err
+
+    def test_sweep_url_without_workload_exit_two(self, capsys):
+        assert main(["loadgen", "sweep",
+                     "--url", "http://127.0.0.1:1"]) == 2
+        assert "requires --workload" in capsys.readouterr().err
+
+    def test_source_and_url_mutually_exclusive(self, tsv, tmp_path,
+                                               capsys):
+        wl = tmp_path / "wl.jsonl"
+        assert main(["loadgen", "record", "--source", str(tsv),
+                     "-o", str(wl), "--ops", "5"]) == 0
+        capsys.readouterr()
+        assert main(["loadgen", "replay", str(wl),
+                     "--source", str(tsv),
+                     "--url", "http://127.0.0.1:1"]) == 1
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_unsafe_pair_refused(self, tsv, tmp_path, capsys):
+        assert main(["loadgen", "record", "--source", str(tsv),
+                     "--pair", "gf2_xor_and",
+                     "-o", str(tmp_path / "x.jsonl")]) == 1
+        err = capsys.readouterr().err
+        assert "refused" in err and "--unsafe-ok" in err

@@ -27,6 +27,7 @@ def _run(script: str, *args: str) -> subprocess.CompletedProcess:
     ("adjacency_service.py", "adjacency service demo complete"),
     ("lazy_pipeline.py", "lazy pipeline demo complete"),
     ("observability.py", "observability demo complete"),
+    ("loadgen_sweep.py", "loadgen sweep demo complete"),
 ])
 def test_example_runs_and_reports(script, expect):
     proc = _run(script)

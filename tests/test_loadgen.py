@@ -1,0 +1,395 @@
+"""Tests for workload capture, open-loop replay, and SLO sweeps
+(repro.obs.loadgen)."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs.events import EventLog, get_event_log
+from repro.obs.loadgen import (
+    DEFAULT_MIX,
+    SLO,
+    WORKLOAD_SCHEMA,
+    LoadgenError,
+    ServiceTarget,
+    Workload,
+    WorkloadRecorder,
+    arrival_offsets,
+    render_replay,
+    render_sweep,
+    replay,
+    sweep,
+    synthesize,
+)
+from repro.obs.loadgen import _parse_mix
+from repro.serve import AdjacencyService
+from repro.values.semiring import get_op_pair
+
+PAIR = get_op_pair("plus_times")
+
+VERTICES = [f"v{i}" for i in range(20)]
+
+
+def small_service() -> AdjacencyService:
+    svc = AdjacencyService(PAIR)
+    svc.add_edges([("e1", "alice", "bob", 2.0, 1.0),
+                   ("e2", "bob", "carol", 3.0, 1.0),
+                   ("e3", "alice", "carol", 1.5, 1.0)])
+    svc.publish()
+    return svc
+
+
+class CountingTarget:
+    """A callable target that records every request it serves."""
+
+    name = "counting"
+
+    def __init__(self, delay: float = 0.0, fail_kinds=()):
+        self.delay = delay
+        self.fail_kinds = set(fail_kinds)
+        self.calls = []
+        self._lock = threading.Lock()
+
+    def __call__(self, kind, params):
+        with self._lock:
+            self.calls.append(kind)
+        if self.delay:
+            time.sleep(self.delay)
+        if kind in self.fail_kinds:
+            raise RuntimeError(f"injected failure for {kind}")
+        return {"kind": kind}
+
+
+class TestArrivalSchedules:
+    def test_fixed_spacing_is_exact(self):
+        offs = arrival_offsets(5, 100.0, process="fixed")
+        assert offs == [0.0, 0.01, 0.02, 0.03, 0.04]
+
+    def test_poisson_deterministic_under_seed(self):
+        a = arrival_offsets(200, 50.0, process="poisson", seed=7)
+        b = arrival_offsets(200, 50.0, process="poisson", seed=7)
+        c = arrival_offsets(200, 50.0, process="poisson", seed=8)
+        assert a == b
+        assert a != c
+
+    def test_poisson_offsets_increase_and_track_rate(self):
+        offs = arrival_offsets(2000, 100.0, process="poisson", seed=1)
+        assert all(b > a for a, b in zip(offs, offs[1:]))
+        # Mean inter-arrival should be near 1/rate (law of large numbers).
+        assert offs[-1] / len(offs) == pytest.approx(0.01, rel=0.2)
+
+    def test_bad_args_raise(self):
+        with pytest.raises(LoadgenError):
+            arrival_offsets(10, 0.0)
+        with pytest.raises(LoadgenError):
+            arrival_offsets(-1, 10.0)
+        with pytest.raises(LoadgenError):
+            arrival_offsets(10, 10.0, process="uniform")
+
+
+class TestMixParsing:
+    def test_default_mix_normalised(self):
+        weights = _parse_mix(None)
+        assert set(weights) == set(DEFAULT_MIX)
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_cli_string_form(self):
+        weights = _parse_mix("khop=1, neighbors=3")
+        assert weights == {"khop": 0.25, "neighbors": 0.75}
+
+    def test_zero_weights_dropped(self):
+        weights = _parse_mix({"khop": 0.0, "neighbors": 2.0})
+        assert weights == {"neighbors": 1.0}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(LoadgenError, match="unknown query kind"):
+            _parse_mix("frobnicate=1")
+
+    def test_malformed_entries_rejected(self):
+        with pytest.raises(LoadgenError, match="KIND=WEIGHT"):
+            _parse_mix("khop")
+        with pytest.raises(LoadgenError, match="must be a number"):
+            _parse_mix("khop=lots")
+        with pytest.raises(LoadgenError, match="positive weight"):
+            _parse_mix({"khop": 0.0})
+
+
+class TestSynthesize:
+    def test_deterministic_under_seed(self):
+        a = synthesize(VERTICES, n_ops=100, seed=3)
+        b = synthesize(VERTICES, n_ops=100, seed=3)
+        c = synthesize(VERTICES, n_ops=100, seed=4)
+        assert a.ops == b.ops
+        assert a.ops != c.ops
+
+    def test_mix_respected(self):
+        wl = synthesize(VERTICES, mix={"khop": 1.0}, n_ops=50, max_k=2)
+        assert wl.kinds() == {"khop": 50}
+        assert all(1 <= op["params"]["k"] <= 2 for op in wl)
+
+    def test_offsets_follow_nominal_rate(self):
+        wl = synthesize(VERTICES, n_ops=10, nominal_rate=10.0)
+        assert [op["t"] for op in wl][:3] == [0.0, 0.1, 0.2]
+
+    def test_zero_vertices_rejected(self):
+        with pytest.raises(LoadgenError, match="zero"):
+            synthesize([])
+
+
+class TestWorkloadRoundTrip:
+    def test_jsonl_round_trip(self, tmp_path):
+        wl = synthesize(VERTICES, n_ops=25, seed=5)
+        path = wl.save(tmp_path / "wl.jsonl")
+        loaded = Workload.load(path)
+        assert loaded.ops == wl.ops
+        assert loaded.meta["source"] == "synthetic"
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["schema"] == WORKLOAD_SCHEMA
+        assert header["count"] == 25
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        p = tmp_path / "old.jsonl"
+        p.write_text('{"schema": "repro.workload/0"}\n{"kind": "stats"}\n')
+        with pytest.raises(LoadgenError, match="schema"):
+            Workload.load(p)
+
+    def test_malformed_json_rejected(self, tmp_path):
+        p = tmp_path / "bad.jsonl"
+        p.write_text('{"schema": "%s"}\nnot json\n' % WORKLOAD_SCHEMA)
+        with pytest.raises(LoadgenError, match="malformed"):
+            Workload.load(p)
+
+    def test_op_without_kind_rejected(self, tmp_path):
+        p = tmp_path / "nokind.jsonl"
+        p.write_text('{"schema": "%s"}\n{"t": 0.0}\n' % WORKLOAD_SCHEMA)
+        with pytest.raises(LoadgenError, match="kind"):
+            Workload.load(p)
+
+    def test_empty_and_missing_rejected(self, tmp_path):
+        p = tmp_path / "empty.jsonl"
+        p.write_text("")
+        with pytest.raises(LoadgenError, match="empty"):
+            Workload.load(p)
+        with pytest.raises(LoadgenError, match="cannot read"):
+            Workload.load(tmp_path / "nope.jsonl")
+
+
+class TestCaptureHook:
+    def test_start_capture_records_queries_with_epoch(self):
+        svc = small_service()
+        rec = svc.start_capture()
+        assert svc.capturing
+        svc.query("neighbors", vertex="alice")
+        svc.query("khop", vertex="alice", k=2)
+        svc.query("stats")
+        got = svc.stop_capture()
+        assert got is rec
+        assert not svc.capturing
+        wl = rec.workload()
+        assert [op["kind"] for op in wl] == ["neighbors", "khop", "stats"]
+        assert all(op["epoch"] == 1 for op in wl)
+        assert wl.ops[0]["params"] == {"vertex": "alice"}
+        assert wl.meta["source"] == "capture"
+
+    def test_capture_emits_lifecycle_events(self):
+        svc = small_service()
+        log = get_event_log()
+        before = log.retention()["last_seq"] or 0
+        svc.start_capture(sample_rate=0.5)
+        svc.stop_capture()
+        kinds = [e["kind"] for e in log.events(since=before)]
+        assert "loadgen.capture_started" in kinds
+        assert "loadgen.capture_stopped" in kinds
+
+    def test_sampling_and_capacity_are_honest(self):
+        rec = WorkloadRecorder(sample_rate=0.5, seed=1, capacity=10)
+        for i in range(100):
+            rec.record("neighbors", {"vertex": f"v{i}"}, 1)
+        stats = rec.stats()
+        assert stats["seen"] == 100
+        assert stats["kept"] == 10            # capacity-bounded
+        assert stats["dropped"] > 0           # and the drops are counted
+
+    def test_recorder_validates_args(self):
+        with pytest.raises(LoadgenError):
+            WorkloadRecorder(sample_rate=0.0)
+        with pytest.raises(LoadgenError):
+            WorkloadRecorder(capacity=0)
+
+
+class TestReplay:
+    def test_replay_counts_and_percentiles(self):
+        wl = synthesize(VERTICES, mix={"neighbors": 1.0}, n_ops=40)
+        target = CountingTarget()
+        report = replay(wl, target, rate=400.0, process="fixed",
+                        threads=2, emit=False)
+        assert report["requests"] == 40
+        assert report["errors"] == 0
+        assert len(target.calls) == 40
+        assert report["corrected"]["p99_ms"] is not None
+        # Open-loop honesty: corrected can never flatter service time.
+        assert report["corrected"]["p99_ms"] >= \
+            report["service_time"]["p99_ms"]
+        assert report["achieved_qps"] > 0
+
+    def test_coordinated_omission_correction(self):
+        """A single 300ms server stall must inflate the *corrected*
+        tail for every request scheduled behind it, while the naive
+        service-time tail stays tiny — the whole point of measuring
+        from intended start."""
+        stalled = {"done": False}
+
+        def target(kind, params):
+            if not stalled["done"]:
+                stalled["done"] = True
+                time.sleep(0.3)
+
+        # 300 requests: the one 300ms *service-time* sample is 0.33% of
+        # the population (below p99), but the queue it builds inflates
+        # ~150 *corrected* samples (far above p99).
+        wl = [{"t": 0.0, "kind": "stats", "params": {}}] * 300
+        report = replay(wl, target, rate=500.0, process="fixed",
+                        threads=1, emit=False)
+        corrected_p99 = report["corrected"]["p99_ms"]
+        naive_p99 = report["service_time"]["p99_ms"]
+        assert corrected_p99 > 100.0            # the pile-up is visible
+        assert naive_p99 < corrected_p99 / 5    # naive forgives the stall
+        # The stall also shows up in the slowest-requests table.
+        assert report["slowest"][0]["corrected_ms"] >= 100.0
+
+    def test_errors_counted_not_raised(self):
+        wl = synthesize(VERTICES, mix={"neighbors": 0.5, "stats": 0.5},
+                        n_ops=30, seed=2)
+        target = CountingTarget(fail_kinds={"stats"})
+        report = replay(wl, target, rate=500.0, process="fixed",
+                        emit=False)
+        assert report["errors"] == wl.kinds()["stats"]
+        assert 0 < report["error_rate"] < 1
+
+    def test_warmup_runs_unmeasured(self):
+        wl = synthesize(VERTICES, mix={"neighbors": 1.0}, n_ops=20)
+        target = CountingTarget()
+        report = replay(wl, target, rate=500.0, process="fixed",
+                        warmup=5, emit=False)
+        assert report["requests"] == 20          # measured count unchanged
+        assert len(target.calls) == 25           # but warmup ops did run
+
+    def test_duration_cycles_workload(self):
+        wl = synthesize(VERTICES, mix={"neighbors": 1.0}, n_ops=5)
+        target = CountingTarget()
+        report = replay(wl, target, rate=1000.0, process="fixed",
+                        duration=0.02, emit=False)
+        assert report["requests"] == 20          # rate × duration, cycled
+
+    def test_recorded_process_reuses_offsets(self):
+        wl = synthesize(VERTICES, mix={"neighbors": 1.0}, n_ops=10,
+                        nominal_rate=1000.0)
+        target = CountingTarget()
+        report = replay(wl, target, process="recorded", threads=1,
+                        emit=False)
+        assert report["requests"] == 10
+        assert report["offered_rate"] == pytest.approx(1000.0, rel=0.2)
+
+    def test_replay_emits_event(self):
+        log = get_event_log()
+        before = log.retention()["last_seq"] or 0
+        wl = synthesize(VERTICES, mix={"neighbors": 1.0}, n_ops=5)
+        replay(wl, CountingTarget(), rate=500.0, process="fixed")
+        events = log.events(since=before, kind="loadgen.replay")
+        assert len(events) == 1
+        assert events[0]["requests"] == 5
+
+    def test_service_target_collects_exemplars(self):
+        svc = small_service()
+        wl = synthesize(["alice", "bob"], mix={"neighbors": 1.0},
+                        n_ops=10, seed=1)
+        report = replay(wl, ServiceTarget(svc), rate=500.0,
+                        process="fixed", emit=False)
+        assert report["target"] == "service:plus_times"
+        assert "neighbors" in report.get("exemplars", {})
+
+    def test_bad_args_raise(self):
+        wl = synthesize(VERTICES, n_ops=5)
+        with pytest.raises(LoadgenError, match="no operations"):
+            replay([], CountingTarget(), emit=False)
+        with pytest.raises(LoadgenError, match="threads"):
+            replay(wl, CountingTarget(), threads=0, emit=False)
+        with pytest.raises(LoadgenError, match="cannot drive"):
+            replay(wl, 42, emit=False)
+
+    def test_render_replay_mentions_both_latencies(self):
+        wl = synthesize(VERTICES, mix={"neighbors": 1.0}, n_ops=10)
+        report = replay(wl, CountingTarget(), rate=500.0,
+                        process="fixed", emit=False)
+        text = render_replay(report)
+        assert "corrected (open-loop)" in text
+        assert "service-time (naive)" in text
+
+
+class TestSLO:
+    def test_breaches_on_p99_and_errors(self):
+        slo = SLO(p99_ms=10.0, max_error_rate=0.05)
+        ok = {"corrected": {"p99_ms": 9.0}, "error_rate": 0.0}
+        assert slo.breaches(ok) == []
+        slow = {"corrected": {"p99_ms": 50.0}, "error_rate": 0.0}
+        assert "p99" in slo.breaches(slow)[0]
+        flaky = {"corrected": {"p99_ms": 1.0}, "error_rate": 0.5}
+        assert "error rate" in slo.breaches(flaky)[0]
+
+
+class TestSweep:
+    def test_fast_target_never_saturates(self):
+        wl = synthesize(VERTICES, mix={"neighbors": 1.0}, n_ops=50)
+        doc = sweep(wl, CountingTarget(), rates=[200.0, 400.0],
+                    duration=0.05, emit=False)
+        assert doc["saturated"] is False
+        assert doc["breach"] is None
+        assert len(doc["steps"]) == 2
+        assert doc["sustainable_qps"] > 0
+
+    def test_slow_target_breaches_and_stops(self):
+        wl = synthesize(VERTICES, mix={"neighbors": 1.0}, n_ops=50)
+        slow = CountingTarget(delay=0.02)
+        doc = sweep(wl, slow, rates=[100.0, 200.0, 400.0],
+                    duration=0.1, threads=1,
+                    slo=SLO(p99_ms=5.0), emit=False)
+        assert doc["saturated"] is True
+        assert doc["breach"]["rate"] == 100.0
+        assert len(doc["steps"]) == 1    # stops at the first breach
+        assert doc["sustainable_qps"] == 0.0
+
+    def test_sweep_emits_step_breach_and_sweep_events(self):
+        log = get_event_log()
+        before = log.retention()["last_seq"] or 0
+        wl = synthesize(VERTICES, mix={"neighbors": 1.0}, n_ops=30)
+        sweep(wl, CountingTarget(delay=0.02), rates=[200.0],
+              duration=0.05, threads=1, slo=SLO(p99_ms=5.0))
+        kinds = [e["kind"] for e in log.events(since=before,
+                                               kind="loadgen.*")]
+        assert "loadgen.step" in kinds
+        assert "loadgen.slo_breach" in kinds
+        assert "loadgen.sweep" in kinds
+
+    def test_geometric_rates_and_validation(self):
+        wl = synthesize(VERTICES, mix={"neighbors": 1.0}, n_ops=20)
+        doc = sweep(wl, CountingTarget(), start_rate=200.0, growth=2.0,
+                    max_steps=2, duration=0.04, emit=False)
+        assert doc["rates"] == [200.0, 400.0]
+        with pytest.raises(LoadgenError):
+            sweep(wl, CountingTarget(), rates=[0.0], emit=False)
+        with pytest.raises(LoadgenError):
+            sweep(wl, CountingTarget(), start_rate=-1.0, emit=False)
+        with pytest.raises(LoadgenError, match="own rates"):
+            sweep(wl, CountingTarget(), process="recorded", emit=False)
+
+    def test_render_sweep_has_verdict_line(self):
+        wl = synthesize(VERTICES, mix={"neighbors": 1.0}, n_ops=20)
+        doc = sweep(wl, CountingTarget(), rates=[500.0], duration=0.04,
+                    emit=False)
+        text = render_sweep(doc)
+        assert "max sustainable throughput under SLO" in text
+        assert "ok" in text

@@ -121,6 +121,25 @@ class TestReads:
         assert [e["seq"] for e in newest] == [3, 4]
         assert log.events(limit=0) == []
 
+    def test_kind_filter_comma_alternatives(self):
+        log = self._filled()
+        rows = log.events(kind="shard_spill,rewrite_refused")
+        assert [e["kind"] for e in rows] == ["shard_spill",
+                                            "rewrite_refused"]
+
+    def test_kind_filter_prefix_wildcard(self):
+        log = EventLog()
+        log.emit("loadgen.step", rate=100)
+        log.emit("loadgen.slo_breach", rate=200)
+        log.emit("bench_run")
+        rows = log.events(kind="loadgen.*")
+        assert [e["kind"] for e in rows] == ["loadgen.step",
+                                            "loadgen.slo_breach"]
+        mixed = log.events(kind="loadgen.slo_*,bench_run")
+        assert [e["kind"] for e in mixed] == ["loadgen.slo_breach",
+                                              "bench_run"]
+        assert log.events(kind="loadgen") == []   # exact ≠ prefix
+
     def test_to_jsonl_round_trips(self):
         log = self._filled()
         lines = log.to_jsonl(kind="shard_spill").splitlines()

@@ -101,7 +101,7 @@ class TestHistogram:
         h.observe(0.5)
         snap = h.snapshot()
         assert set(snap) == {"count", "sum", "mean", "min", "max",
-                             "p50", "p90", "p99"}
+                             "p50", "p90", "p99", "p999"}
         assert snap["count"] == 1 and snap["min"] == 0.5
 
     def test_untraced_observations_attach_no_exemplar(self):

@@ -540,3 +540,49 @@ class TestTraceAndEventsCLI:
         assert main(["events", "--url", url,
                      "--since", str(last)]) == 0
         assert capsys.readouterr().out == ""
+
+
+class TestRequestLogRouting:
+    """Satellite: per-request stderr logging rides the event ring."""
+
+    def _serve(self, **server_kw):
+        svc = AdjacencyService(PAIR)
+        svc.add_edges([("e1", "alice", "bob", 2.0, 1.0)])
+        svc.publish()
+        httpd = build_server(svc, "127.0.0.1", 0, **server_kw)
+        thread = threading.Thread(
+            target=lambda: httpd.serve_forever(poll_interval=0.05),
+            daemon=True)
+        thread.start()
+        host, port = httpd.server_address[:2]
+        return httpd, thread, f"http://{host}:{port}"
+
+    def test_log_events_routes_access_log_to_ring(self):
+        from repro.obs.events import get_event_log
+        log = get_event_log()
+        before = log.retention()["last_seq"] or 0
+        httpd, thread, url = self._serve(log_events=True)
+        try:
+            get(url, "/query/neighbors", vertex="alice")
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            thread.join(timeout=10)
+        events = log.events(since=before, kind="http.log")
+        assert events, "no http.log events on the ring"
+        assert any("/query/neighbors" in e["message"] for e in events)
+        assert all(e["client"] for e in events)
+
+    def test_default_stays_silent_on_ring_and_stderr(self, capsys):
+        from repro.obs.events import get_event_log
+        log = get_event_log()
+        before = log.retention()["last_seq"] or 0
+        httpd, thread, url = self._serve()
+        try:
+            get(url, "/query/neighbors", vertex="alice")
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            thread.join(timeout=10)
+        assert log.events(since=before, kind="http.log") == []
+        assert "GET /query" not in capsys.readouterr().err
