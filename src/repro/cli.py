@@ -38,7 +38,20 @@
     span tree (handler → cache → expr plan → kernels) — or fetch one
     finished trace from a running server by id; a miss prints the
     structured "no such trace (ring evicted?)" error with the ring's
-    retention bounds (see :mod:`repro.obs.trace`).
+    retention bounds (see :mod:`repro.obs.trace`).  ``--list`` prints
+    a running server's newest-first trace index instead.
+``profile start|stop|dump|diff``
+    The sampling profiler (:mod:`repro.obs.profile`): ``start``/
+    ``stop`` manage a running server's process-wide session over HTTP
+    (``POST /profile/start|stop``); ``dump`` snapshots a live remote
+    session (``GET /profile``) *or* profiles a local k-hop workload
+    over ``--source`` for ``--seconds``, printing the hottest
+    functions and optionally writing collapsed stacks (``-o``) and a
+    self-contained HTML flamegraph (``--flame``); ``diff`` compares
+    two profile artifacts (collapsed files, profile JSON, or profiled
+    ``BENCH_*.json`` runs) function-by-function, most regressed
+    first.  Every dump carries the sampler's self-measured
+    ``overhead_ratio``.
 ``events [--follow] [--interval S] [--since SEQ] [--kind KIND]``
     Print a running server's structured event log (epoch publications,
     rewrite refusals, shard spills, cache invalidations, bench runs,
@@ -56,7 +69,9 @@
     schedule, reporting coordinated-omission-corrected
     p50/p99/p99.9/max; ``sweep`` steps the arrival rate until a
     declared SLO (p99 bound, error budget) is violated and reports
-    the max sustainable throughput.
+    the max sustainable throughput; ``sweep --profile`` samples each
+    step and keeps the breach step's collapsed stacks (write its
+    flamegraph with ``--flame``).
 ``bench [NAMES...] [--compare A B] [--baseline-refresh --reason WHY]``
     The versioned benchmark harness: run the smoke benchmarks under a
     locked manifest (git sha, machine, config hash), writing
@@ -65,7 +80,10 @@
     threshold (exiting non-zero on any regression, with exemplar trace
     links); or re-lock ``BENCH_baseline.json`` with provenance — the
     reason and git sha land in the baseline's manifest (see
-    :mod:`repro.obs.bench`).
+    :mod:`repro.obs.bench`).  With ``--profile`` the run executes
+    under the sampling profiler and the run doc carries a per-function
+    sample table; ``--compare`` on two such runs adds a function-level
+    diff that *attributes* any headline regression.
 """
 
 from __future__ import annotations
@@ -262,6 +280,88 @@ def build_parser() -> argparse.ArgumentParser:
                               "II.1 criteria or have order-sensitive ⊕")
     p_trace.add_argument("--json", action="store_true",
                          help="print the trace as JSON instead of a tree")
+    p_trace.add_argument("--list", action="store_true", dest="list_traces",
+                         help="print a running server's newest-first "
+                              "trace index (GET /trace) instead of "
+                              "running or fetching one trace")
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="sampling profiler: manage a server's session, dump a "
+             "local or remote profile, or diff two profiles")
+    pr = p_profile.add_subparsers(dest="profile_command", required=True)
+
+    pr_start = pr.add_parser(
+        "start", help="start a running server's profile session "
+                      "(POST /profile/start)")
+    pr_start.add_argument("--url", default="http://127.0.0.1:8631",
+                          help="server base URL")
+    pr_start.add_argument("--hz", type=float, default=None,
+                          help="sampling rate (default: the server's, "
+                               "97 Hz)")
+    pr_start.add_argument("--memory", action="store_true",
+                          help="also run tracemalloc heap-growth "
+                               "accounting (slower; off by default)")
+
+    pr_stop = pr.add_parser(
+        "stop", help="stop the server's session and print the profile "
+                     "(POST /profile/stop)")
+    pr_stop.add_argument("--url", default="http://127.0.0.1:8631",
+                         help="server base URL")
+    pr_stop.add_argument("--flame", default=None, metavar="FILE",
+                         help="also fetch the finished profile's HTML "
+                              "flamegraph (GET /profile/flame) to FILE")
+    pr_stop.add_argument("--json", action="store_true",
+                         help="print the full profile dump as JSON")
+
+    pr_dump = pr.add_parser(
+        "dump", help="snapshot a live remote session (--url), or "
+                     "profile a local k-hop workload over --source")
+    pr_dump.add_argument("--url", default=None,
+                         help="running server base URL (GET /profile); "
+                              "mutually exclusive with --source")
+    pr_dump.add_argument("--source", default=None,
+                         help="adjacency TSV-triple file or kept shard "
+                              "workdir to profile in-process")
+    pr_dump.add_argument("--pair", default=None,
+                         help="op-pair registry name for --source")
+    pr_dump.add_argument("--unsafe-ok", action="store_true",
+                         help="accept non-compliant op-pairs for "
+                              "--source")
+    pr_dump.add_argument("--seconds", type=float, default=2.0,
+                         help="how long to drive the local workload "
+                              "(default: 2)")
+    pr_dump.add_argument("--hz", type=float, default=None,
+                         help="sampling rate for --source (default: 97)")
+    pr_dump.add_argument("-k", type=int, default=3, dest="k",
+                         help="hop count of the driven k-hop queries "
+                              "(default: 3)")
+    pr_dump.add_argument("--vertex", default=None,
+                         help="query source vertex (default: cycle "
+                              "over the snapshot's vertices)")
+    pr_dump.add_argument("--memory", action="store_true",
+                         help="also run tracemalloc heap-growth "
+                              "accounting for --source")
+    pr_dump.add_argument("-o", "--out", default=None, metavar="FILE",
+                         help="write collapsed stacks (Brendan Gregg "
+                              "format) to FILE")
+    pr_dump.add_argument("--flame", default=None, metavar="FILE",
+                         help="write a self-contained HTML flamegraph "
+                              "to FILE")
+    pr_dump.add_argument("--top", type=int, default=15,
+                         help="hottest functions to print (default: 15)")
+    pr_dump.add_argument("--json", action="store_true",
+                         help="print the full dump as JSON")
+
+    pr_diff = pr.add_parser(
+        "diff", help="function-level diff of two profile artifacts, "
+                     "most regressed first")
+    pr_diff.add_argument("baseline",
+                         help="collapsed-stack file, profile JSON, or "
+                              "profiled BENCH_*.json")
+    pr_diff.add_argument("candidate", help="same formats as baseline")
+    pr_diff.add_argument("--top", type=int, default=10,
+                         help="rows to print (default: 10)")
 
     p_events = sub.add_parser(
         "events",
@@ -406,6 +506,13 @@ def build_parser() -> argparse.ArgumentParser:
                                "here")
     lg_sweep.add_argument("--json", action="store_true",
                           help="print the full report as JSON")
+    lg_sweep.add_argument("--profile", action="store_true",
+                          help="sample each step with the profiler; "
+                               "the breach step keeps its collapsed "
+                               "stacks in the report")
+    lg_sweep.add_argument("--flame", default=None, metavar="FILE",
+                          help="with --profile: write the breach "
+                               "step's HTML flamegraph to FILE")
 
     p_bench = sub.add_parser(
         "bench",
@@ -424,6 +531,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: the repo's benchmarks/)")
     p_bench.add_argument("--list", action="store_true", dest="list_only",
                          help="list runnable benchmarks and exit")
+    p_bench.add_argument("--profile", action="store_true",
+                         help="run under the sampling profiler; the "
+                              "run doc gains a per-function sample "
+                              "table (and profile.collapsed + "
+                              "profile_flame.html with --outdir), and "
+                              "--compare on two profiled runs prints "
+                              "a function-level diff")
     p_bench.add_argument("--compare", nargs=2, default=None,
                          metavar=("BASELINE", "CANDIDATE"),
                          help="diff two runs (BENCH_*.json files or "
@@ -706,8 +820,8 @@ def _cmd_serve(args) -> int:
           f"(epoch {snap.epoch}, {len(snap.vertices)} vertices, "
           f"{snap.nnz} entries, op-pair {service.op_pair.name})")
     print("  GET  /health  /healthz  /stats  /metrics  /trace  /events")
-    print("  GET  /query/<kind>?vertex=...&k=...")
-    print("  POST /edges   /publish")
+    print("  GET  /query/<kind>?vertex=...&k=...  /profile[/flame]")
+    print("  POST /edges   /publish   /profile/start   /profile/stop")
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive
@@ -772,6 +886,26 @@ def _fetch_json(url: str, timeout: float = 30.0):
             return exc.code, {"error": str(exc), "status": exc.code}
 
 
+def _post_json(url: str, payload=None, timeout: float = 30.0):
+    """``(status, doc)`` for one JSON POST; structured error bodies
+    parse just like :func:`_fetch_json`."""
+    import json
+    from urllib import error as urlerror
+    from urllib import request as urlrequest
+    body = json.dumps(payload or {}).encode("utf-8")
+    req = urlrequest.Request(
+        url, data=body, headers={"Content-Type": "application/json"},
+        method="POST")
+    try:
+        with urlrequest.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read().decode("utf-8"))
+    except urlerror.HTTPError as exc:
+        try:
+            return exc.code, json.loads(exc.read().decode("utf-8"))
+        except Exception:
+            return exc.code, {"error": str(exc), "status": exc.code}
+
+
 def _cmd_trace_fetch(args) -> int:
     """``repro trace --id``: one finished trace from a running server."""
     import json
@@ -796,10 +930,43 @@ def _cmd_trace_fetch(args) -> int:
     return 0
 
 
+def _cmd_trace_list(args) -> int:
+    """``repro trace --list``: a server's newest-first trace index."""
+    import json
+    from urllib import error as urlerror
+    url = f"{args.url.rstrip('/')}/trace"
+    try:
+        status, doc = _fetch_json(url)
+    except urlerror.URLError as exc:
+        print(f"cannot reach {args.url}: {exc.reason}", file=sys.stderr)
+        return 1
+    if status != 200:
+        print(f"trace index fetch failed: {doc.get('error', status)}",
+              file=sys.stderr)
+        return 1
+    traces = doc.get("traces", [])
+    if args.json:
+        print(json.dumps(traces, indent=2, sort_keys=True, default=str))
+        return 0
+    if not traces:
+        print("no finished traces in the ring")
+        return 0
+    print(f"{len(traces)} finished trace(s), newest first:")
+    print("  trace_id    duration_ms  spans  name")
+    for row in traces:
+        ms = row.get("duration_ms")
+        print(f"  {row.get('trace_id', '?'):<10}  "
+              f"{ms if ms is not None else float('nan'):>11.3f}  "
+              f"{row.get('spans', 0):>5}  {row.get('name', '?')}")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     import json
     from repro.obs.trace import render_trace
     from repro.values.semiring import SemiringError
+    if args.list_traces:
+        return _cmd_trace_list(args)
     if args.trace_id is not None:
         return _cmd_trace_fetch(args)
     if args.source is None:
@@ -983,7 +1150,27 @@ def _cmd_loadgen(args) -> int:
                         slo=SLO(p99_ms=args.slo_p99_ms,
                                 max_error_rate=args.slo_error_rate),
                         process=args.process, threads=args.threads,
-                        seed=args.seed, warmup=args.warmup)
+                        seed=args.seed, warmup=args.warmup,
+                        profile=args.profile)
+            breach_profile = (doc.get("breach") or {}).get("profile")
+            if args.flame is not None:
+                if breach_profile is None:
+                    print("--flame: no breach profile captured (sweep "
+                          "never saturated, or --profile not given)",
+                          file=sys.stderr)
+                else:
+                    from repro.obs.profile import (parse_collapsed,
+                                                   render_flamegraph_html)
+                    stacks = parse_collapsed(breach_profile["collapsed"])
+                    Path(args.flame).write_text(
+                        render_flamegraph_html(
+                            stacks,
+                            title=f"sweep breach @ "
+                                  f"{doc['breach']['rate']:g} req/s",
+                            meta={"hz": breach_profile["hz"],
+                                  "overhead":
+                                  f"{breach_profile['overhead_ratio']:.2%}"}),
+                        encoding="utf-8")
             if args.out is not None:
                 Path(args.out).write_text(
                     json.dumps(doc, indent=2, sort_keys=True,
@@ -995,6 +1182,8 @@ def _cmd_loadgen(args) -> int:
                 print(render_sweep(doc))
                 if args.out is not None:
                     print(f"  full report: {args.out}")
+                if args.flame is not None and breach_profile is not None:
+                    print(f"  breach flamegraph: {args.flame}")
             return 0
         raise AssertionError("unreachable")  # pragma: no cover
     except FileNotFoundError as exc:
@@ -1009,11 +1198,191 @@ def _cmd_loadgen(args) -> int:
         return 1
 
 
+def _print_profile_summary(doc, top: int = 15) -> None:
+    """The human-readable core of a profile dump: identity line,
+    honesty line, hottest functions, per-span CPU."""
+    print(f"profile {doc.get('profile_id', '?')}: "
+          f"{doc.get('samples', 0)} samples @ {doc.get('hz', '?')} Hz "
+          f"over {doc.get('duration_seconds', 0.0):.2f}s "
+          f"({doc.get('distinct_stacks', 0)} distinct stacks, "
+          f"{doc.get('threads_seen', 0)} thread(s))")
+    print(f"  sampler overhead: {float(doc.get('overhead_ratio', 0.0)):.2%} "
+          "of wall time (self-measured)")
+    rows = doc.get("top_functions", [])[:top]
+    if rows:
+        print("  hottest functions (self%  total%  function):")
+        for row in rows:
+            print(f"    {row['self_pct']:>6.2f}  {row['total_pct']:>6.2f}"
+                  f"  {row['function']}")
+    span_cpu = doc.get("span_cpu", [])
+    if span_cpu:
+        print("  sampled CPU per finished span (newest last):")
+        for entry in span_cpu[-10:]:
+            print(f"    {entry['name']}  {entry['cpu_ms']:.1f} ms "
+                  f"({entry['cpu_samples']} samples)  "
+                  f"trace {entry['trace_id']}")
+    memory = doc.get("memory")
+    if memory and memory.get("enabled"):
+        print(f"  heap: current {memory.get('current_bytes', 0)} B, "
+              f"peak {memory.get('peak_bytes', 0)} B, "
+              f"{len(memory.get('deltas', []))} labelled delta(s)")
+        for delta in memory.get("deltas", [])[-5:]:
+            print(f"    {delta['label']}: {delta['grew_bytes']:+d} B")
+
+
+def _cmd_profile_dump_local(args) -> int:
+    """Profile a local k-hop workload: the in-process spelling of
+    ``repro profile dump`` (no server needed)."""
+    import json
+    from repro.obs.profile import start_profile, stop_profile
+    from repro.values.semiring import SemiringError
+    try:
+        # cache_size=0: repeated queries must exercise the kernels, not
+        # the LRU — a cached dump would profile dictionary lookups.
+        service = load_service(args.source, args.pair, cache_size=0,
+                               unsafe_ok=args.unsafe_ok)
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    except (SemiringError, ValueError) as exc:
+        msg = str(exc).replace("unsafe_ok=True", "--unsafe-ok")
+        print(f"refused: {msg}", file=sys.stderr)
+        return 1
+    vertices = list(service.snapshot().vertices)
+    if not vertices:
+        print("source has no vertices to query", file=sys.stderr)
+        return 1
+    chosen = [args.vertex] if args.vertex is not None else vertices
+    import time as time_mod
+    session = start_profile(hz=args.hz or 97.0, memory=args.memory)
+    queries = 0
+    try:
+        deadline = time_mod.perf_counter() + max(args.seconds, 0.1)
+        while time_mod.perf_counter() < deadline:
+            service.khop(chosen[queries % len(chosen)], args.k)
+            queries += 1
+    finally:
+        profile = stop_profile()
+    doc = profile.to_dict(top=max(args.top, 1))
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True, default=str))
+    else:
+        print(f"drove {queries} khop(k={args.k}) queries over "
+              f"{len(chosen)} vertex(es), uncached")
+        _print_profile_summary(doc, top=args.top)
+    if args.out is not None:
+        Path(args.out).write_text(profile.collapsed(), encoding="utf-8")
+        print(f"wrote collapsed stacks: {args.out}")
+    if args.flame is not None:
+        Path(args.flame).write_text(profile.flamegraph_html(),
+                                    encoding="utf-8")
+        print(f"wrote flamegraph: {args.flame}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    import json
+    from urllib import error as urlerror
+    from repro.obs.profile import (ProfileError, diff_function_tables,
+                                   load_profile_functions,
+                                   render_profile_diff)
+    if args.profile_command == "diff":
+        try:
+            baseline = load_profile_functions(args.baseline)
+            candidate = load_profile_functions(args.candidate)
+        except ProfileError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        rows = diff_function_tables(baseline, candidate,
+                                    top=max(args.top, 1))
+        print(f"baseline  {args.baseline}")
+        print(f"candidate {args.candidate}")
+        print(render_profile_diff(rows))
+        return 0
+    base = args.url.rstrip("/") if args.url else None
+    try:
+        if args.profile_command == "start":
+            payload = {"memory": args.memory}
+            if args.hz is not None:
+                payload["hz"] = args.hz
+            status, doc = _post_json(f"{base}/profile/start", payload)
+            if status != 200:
+                print(f"profile start failed: {doc.get('error', status)}",
+                      file=sys.stderr)
+                return 1
+            print(f"profiling started: session {doc.get('profile_id')} "
+                  f"@ {doc.get('hz')} Hz"
+                  + (" with memory accounting" if doc.get("memory")
+                     else ""))
+            return 0
+        if args.profile_command == "stop":
+            status, doc = _post_json(f"{base}/profile/stop")
+            if status != 200:
+                print(f"profile stop failed: {doc.get('error', status)}",
+                      file=sys.stderr)
+                return 1
+            if args.json:
+                print(json.dumps(doc, indent=2, sort_keys=True,
+                                 default=str))
+            else:
+                _print_profile_summary(doc)
+            if args.flame is not None:
+                from urllib import request as urlrequest
+                with urlrequest.urlopen(f"{base}/profile/flame",
+                                        timeout=30) as resp:
+                    Path(args.flame).write_bytes(resp.read())
+                print(f"wrote flamegraph: {args.flame}")
+            return 0
+        if args.profile_command == "dump":
+            if args.url is not None and args.source is not None:
+                print("--url and --source are mutually exclusive",
+                      file=sys.stderr)
+                return 2
+            if args.url is None:
+                if args.source is None:
+                    print("one of --url or --source is required",
+                          file=sys.stderr)
+                    return 2
+                return _cmd_profile_dump_local(args)
+            url = f"{base}/profile"
+            if args.out is not None:
+                url += "?stacks=1"
+            status, doc = _fetch_json(url)
+            if status != 200:
+                print(f"profile dump failed: {doc.get('error', status)}",
+                      file=sys.stderr)
+                return 1
+            if args.json:
+                print(json.dumps(doc, indent=2, sort_keys=True,
+                                 default=str))
+            else:
+                _print_profile_summary(doc, top=args.top)
+            if args.out is not None:
+                stacks = doc.get("stacks", {})
+                text = "\n".join(f"{k} {v}" for k, v in sorted(
+                    stacks.items(), key=lambda kv: -kv[1]))
+                Path(args.out).write_text(text + ("\n" if text else ""),
+                                          encoding="utf-8")
+                print(f"wrote collapsed stacks: {args.out}")
+            if args.flame is not None:
+                from urllib import request as urlrequest
+                with urlrequest.urlopen(f"{base}/profile/flame",
+                                        timeout=30) as resp:
+                    Path(args.flame).write_bytes(resp.read())
+                print(f"wrote flamegraph: {args.flame}")
+            return 0
+    except urlerror.URLError as exc:
+        print(f"cannot reach {args.url}: {exc.reason}", file=sys.stderr)
+        return 1
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
 def _cmd_bench(args) -> int:
     from repro.obs.bench import (
         BenchError,
         DEFAULT_THRESHOLD,
         compare,
+        describe_profile_diff,
         describe_with_exemplars,
         discover_benchmarks,
         load_run,
@@ -1037,7 +1406,7 @@ def _cmd_bench(args) -> int:
                 run = run_benchmarks(args.names or None, quick=args.quick,
                                      outdir=args.outdir,
                                      bench_dir=args.bench_dir,
-                                     progress=True)
+                                     progress=True, profile=args.profile)
             doc = refresh_baseline(run, args.baseline_path,
                                    reason=args.reason)
         except BenchError as exc:
@@ -1066,6 +1435,10 @@ def _cmd_bench(args) -> int:
             print(exc, file=sys.stderr)
             return 2
         print(describe_with_exemplars(result, candidate))
+        profile_diff = describe_profile_diff(baseline, candidate)
+        if profile_diff is not None:
+            print()
+            print(profile_diff)
         return 0 if result.ok else 1
     if args.threshold is not None:
         print("--threshold only applies with --compare", file=sys.stderr)
@@ -1073,14 +1446,24 @@ def _cmd_bench(args) -> int:
     try:
         doc = run_benchmarks(args.names or None, quick=args.quick,
                              outdir=args.outdir,
-                             bench_dir=args.bench_dir, progress=True)
+                             bench_dir=args.bench_dir, progress=True,
+                             profile=args.profile)
     except BenchError as exc:
         print(exc, file=sys.stderr)
         return 2
     print(render_markdown(doc))
+    if "profile" in doc:
+        p = doc["profile"]
+        print(f"profiled: {p['samples']} samples @ {p['hz']:g} Hz, "
+              f"overhead {p['overhead_ratio']:.2%}")
+        for row in p.get("top_functions", [])[:5]:
+            print(f"  {row['self_pct']:>6.2f}%  {row['function']}")
     if "artifacts" in doc:
         print(f"wrote {doc['artifacts']['json']} and "
               f"{doc['artifacts']['markdown']}")
+        if "flamegraph" in doc["artifacts"]:
+            print(f"wrote {doc['artifacts']['collapsed']} and "
+                  f"{doc['artifacts']['flamegraph']}")
     return 0
 
 
@@ -1111,6 +1494,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_events(args)
     if args.command == "loadgen":
         return _cmd_loadgen(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "bench":
         return _cmd_bench(args)
     raise AssertionError("unreachable")  # pragma: no cover

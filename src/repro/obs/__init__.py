@@ -38,6 +38,14 @@ dependency-free pieces, threaded through every hot layer:
   log-bucketed histograms), and the SLO-gated saturation sweep behind
   ``repro loadgen record|replay|sweep`` and ``bench_loadgen``'s
   ``sustainable_qps`` headline.
+* :mod:`repro.obs.profile` — the attribution layer: a stdlib-only
+  sampling profiler (daemon thread over ``sys._current_frames()``)
+  aggregating collapsed stacks into flamegraphs (HTML/text), per-span
+  CPU attribution stamped into trace trees, ``tracemalloc`` heap-growth
+  accounting (:func:`~repro.obs.profile.heap_delta`), self-measured
+  overhead ratios, and function-level profile diffs behind
+  ``repro profile start|stop|dump|diff``, ``GET /profile[/flame]``,
+  and the bench harness's per-run profile artifacts.
 """
 
 from repro.obs.bench import (
@@ -47,6 +55,7 @@ from repro.obs.bench import (
     MetricDelta,
     compare,
     config_hash,
+    describe_profile_diff,
     describe_with_exemplars,
     discover_benchmarks,
     harvest_exemplars,
@@ -85,8 +94,28 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     get_registry,
+    install_process_gauges,
     log_buckets,
     render_prometheus,
+)
+from repro.obs.profile import (
+    DEFAULT_HZ,
+    NoActiveProfile,
+    Profile,
+    ProfileError,
+    ProfileRing,
+    ProfileSession,
+    active_session,
+    diff_function_tables,
+    get_profile_ring,
+    heap_delta,
+    load_profile_functions,
+    parse_collapsed,
+    render_flamegraph_html,
+    render_flamegraph_text,
+    render_profile_diff,
+    start_profile,
+    stop_profile,
 )
 from repro.obs.trace import (
     Span,
@@ -94,7 +123,9 @@ from repro.obs.trace import (
     Tracer,
     current_ids,
     current_span,
+    get_span_observer,
     render_trace,
+    set_span_observer,
     span,
 )
 
@@ -103,6 +134,7 @@ __all__ = [
     "CalibrationStore",
     "CompareResult",
     "Counter",
+    "DEFAULT_HZ",
     "DEFAULT_THRESHOLD",
     "Event",
     "EventLog",
@@ -113,6 +145,11 @@ __all__ = [
     "LoadgenError",
     "MetricDelta",
     "MetricsRegistry",
+    "NoActiveProfile",
+    "Profile",
+    "ProfileError",
+    "ProfileRing",
+    "ProfileSession",
     "SLO",
     "ServiceTarget",
     "Span",
@@ -120,24 +157,36 @@ __all__ = [
     "Tracer",
     "Workload",
     "WorkloadRecorder",
+    "active_session",
     "arrival_offsets",
     "calibration_enabled",
     "compare",
     "config_hash",
     "current_ids",
     "current_span",
+    "describe_profile_diff",
     "describe_with_exemplars",
+    "diff_function_tables",
     "discover_benchmarks",
     "emit_event",
     "get_calibration_store",
     "get_event_log",
+    "get_profile_ring",
     "get_registry",
+    "get_span_observer",
     "harvest_exemplars",
+    "heap_delta",
+    "install_process_gauges",
+    "load_profile_functions",
     "load_run",
     "log_buckets",
     "machine_fingerprint",
+    "parse_collapsed",
     "refresh_baseline",
+    "render_flamegraph_html",
+    "render_flamegraph_text",
     "render_markdown",
+    "render_profile_diff",
     "render_prometheus",
     "render_replay",
     "render_sweep",
@@ -146,7 +195,10 @@ __all__ = [
     "reset_calibration_store",
     "run_benchmarks",
     "run_metadata",
+    "set_span_observer",
     "span",
+    "start_profile",
+    "stop_profile",
     "sweep",
     "synthesize",
 ]

@@ -42,6 +42,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 from repro.obs.calibration import get_calibration_store
 from repro.obs.events import emit_event
 from repro.obs.metrics import get_registry
+from repro.obs.profile import (active_session, heap_delta, start_profile,
+                               stop_profile)
 
 __all__ = [
     "SCRIPT_BENCHMARKS",
@@ -57,6 +59,7 @@ __all__ = [
     "load_run",
     "compare",
     "describe_with_exemplars",
+    "describe_profile_diff",
     "refresh_baseline",
     "DEFAULT_THRESHOLD",
 ]
@@ -184,6 +187,7 @@ def run_benchmarks(
     outdir: Optional[Union[str, Path]] = None,
     bench_dir: Optional[Union[str, Path]] = None,
     progress: bool = False,
+    profile: bool = False,
 ) -> Dict[str, Any]:
     """Execute benchmarks under one locked run; returns the run doc.
 
@@ -191,6 +195,16 @@ def run_benchmarks(
     (:data:`SCRIPT_BENCHMARKS`).  When ``outdir`` is given the run doc
     is written as ``BENCH_<runid>.json`` plus ``report.md`` (and the
     doc's ``"artifacts"`` entry records both paths).
+
+    ``profile=True`` runs the whole set under a sampling-profiler
+    session (:mod:`repro.obs.profile`), attaching a ``"profile"``
+    section — per-function sample table, hottest functions, and the
+    self-measured ``overhead_ratio`` — to the run doc, plus
+    ``profile.collapsed`` and ``profile_flame.html`` artifacts when
+    ``outdir`` is given.  Two such runs diff function-by-function under
+    ``repro bench --compare``.  Memory accounting stays *off* here:
+    tracemalloc taxes every allocation and would pollute the very
+    timings being locked.
     """
     root = Path(bench_dir) if bench_dir is not None \
         else _default_bench_dir()
@@ -201,19 +215,31 @@ def run_benchmarks(
     results: Dict[str, Any] = {}
     headline: Dict[str, Dict[str, Any]] = {}
     timings: Dict[str, float] = {}
-    for name in chosen:
-        module = _load_bench_module(name, root)
-        if progress:
-            print(f"[{run_id}] running {name} "
-                  f"({'quick' if quick else 'full'}) ...",
-                  file=sys.stderr)
-        t0 = time.perf_counter()
-        report = module.run(quick)
-        timings[name] = round(time.perf_counter() - t0, 4)
-        results[name] = report
-        extract = getattr(module, "headline", None)
-        if extract is not None:
-            headline[name] = extract(report)
+    session = None
+    if profile:
+        if active_session() is not None:
+            raise BenchError(
+                "a profile session is already active; stop it before "
+                "`repro bench --profile` (the run must own its sampler "
+                "for an honest overhead ratio)")
+        session = start_profile()
+    try:
+        for name in chosen:
+            module = _load_bench_module(name, root)
+            if progress:
+                print(f"[{run_id}] running {name} "
+                      f"({'quick' if quick else 'full'}) ...",
+                      file=sys.stderr)
+            t0 = time.perf_counter()
+            with heap_delta(f"bench_{name}"):
+                report = module.run(quick)
+            timings[name] = round(time.perf_counter() - t0, 4)
+            results[name] = report
+            extract = getattr(module, "headline", None)
+            if extract is not None:
+                headline[name] = extract(report)
+    finally:
+        run_profile = stop_profile() if session is not None else None
     doc: Dict[str, Any] = {
         "run_id": run_id,
         "manifest": {
@@ -240,6 +266,16 @@ def run_benchmarks(
     if store is not None:
         store.flush()
         doc["calibration"] = store.snapshot()
+    if run_profile is not None:
+        doc["profile"] = {
+            "profile_id": run_profile.profile_id,
+            "hz": run_profile.hz,
+            "samples": run_profile.samples,
+            "duration_seconds": round(run_profile.duration, 4),
+            "overhead_ratio": round(run_profile.overhead_ratio, 5),
+            "top_functions": run_profile.top_functions(20),
+            "functions": run_profile.function_totals(),
+        }
     if outdir is not None:
         out = Path(outdir)
         out.mkdir(parents=True, exist_ok=True)
@@ -255,6 +291,16 @@ def run_benchmarks(
                 json.dumps(doc["calibration"], indent=2, sort_keys=True,
                            default=str) + "\n", encoding="utf-8")
             doc["artifacts"]["calibration"] = str(cal_path)
+        if run_profile is not None:
+            collapsed_path = out / "profile.collapsed"
+            collapsed_path.write_text(run_profile.collapsed(),
+                                      encoding="utf-8")
+            flame_path = out / "profile_flame.html"
+            flame_path.write_text(
+                run_profile.flamegraph_html(f"bench {run_id}"),
+                encoding="utf-8")
+            doc["artifacts"]["collapsed"] = str(collapsed_path)
+            doc["artifacts"]["flamegraph"] = str(flame_path)
     emit_event("bench_run", run_id=run_id, benchmarks=",".join(chosen),
                quick=quick, seconds=round(sum(timings.values()), 4))
     return doc
@@ -480,6 +526,26 @@ def describe_with_exemplars(result: CompareResult,
             f"span {ex.get('span_id', '?')} "
             f"value {float(ex.get('value', 0.0)):.6g}")
     return "\n".join(lines)
+
+
+def describe_profile_diff(baseline: Dict[str, Any],
+                          candidate: Dict[str, Any],
+                          *, top: int = 10) -> Optional[str]:
+    """Function-level profile diff of two run docs, or ``None``.
+
+    When both runs were produced with ``--profile``, their per-function
+    sample tables diff by self-time share (most regressed first) — the
+    attribution a failed headline gate needs.  ``None`` when either run
+    carries no profile (the caller prints nothing rather than a
+    fabricated diff).
+    """
+    from repro.obs.profile import diff_function_tables, render_profile_diff
+    base = (baseline.get("profile") or {}).get("functions")
+    cand = (candidate.get("profile") or {}).get("functions")
+    if not base or not cand:
+        return None
+    rows = diff_function_tables(base, cand, top=top)
+    return render_profile_diff(rows)
 
 
 # ---------------------------------------------------------------------------

@@ -13,7 +13,11 @@ greps for when a dashboard looks wrong:
   disk;
 * ``cache_invalidation`` — a publication reclaimed superseded query
   cache entries;
-* ``bench_run`` — the versioned harness completed a run.
+* ``bench_run`` — the versioned harness completed a run;
+* ``profile.start`` / ``profile.stop`` — a sampling-profiler session
+  opened or closed (:mod:`repro.obs.profile`), bracketing the window
+  whose samples the resulting profile covers (the stop event carries
+  sample count and the self-measured overhead ratio).
 
 Every event is stamped with a monotone sequence number, a UNIX
 timestamp, and — when one is active — the current trace/span ids

@@ -655,6 +655,7 @@ def sweep(
     seed: int = 0,
     warmup: int = 0,
     emit: bool = True,
+    profile: bool = False,
 ) -> Dict[str, Any]:
     """Step the offered arrival rate until the SLO is violated.
 
@@ -670,6 +671,14 @@ def sweep(
     violated it).  The full report carries every step's replay report,
     so the latency-vs-rate curve is in the artifact, not just the
     verdict.
+
+    ``profile=True`` runs each step under its own sampling-profiler
+    session (:mod:`repro.obs.profile`): every step's report gains a
+    small ``"profile"`` summary, and the *breach* step — the one whose
+    attribution matters — additionally carries its collapsed stacks,
+    so ``repro loadgen sweep --profile`` can write the saturation
+    flamegraph.  In-process targets put the service work on the
+    sampled threads; over HTTP only the injector side is visible.
     """
     if slo is None:
         slo = SLO()
@@ -687,15 +696,34 @@ def sweep(
         raise LoadgenError(
             "a sweep imposes its own rates; use process='poisson' or "
             "'fixed'")
+    if profile:
+        from repro.obs.profile import active_session
+        if active_session() is not None:
+            raise LoadgenError(
+                "a profile session is already active; stop it before "
+                "sweeping with profile=True (each step owns its sampler)")
     steps: List[Dict[str, Any]] = []
     sustainable = 0.0
     breach: Optional[Dict[str, Any]] = None
     for step_no, rate in enumerate(rates):
-        report = replay(workload, target, rate=rate, process=process,
-                        threads=threads, seed=seed + step_no,
-                        duration=duration,
-                        warmup=warmup if step_no == 0 else 0,
-                        emit=False)
+        step_profile = None
+        if profile:
+            from repro.obs.profile import start_profile, stop_profile
+            start_profile()
+            try:
+                report = replay(workload, target, rate=rate,
+                                process=process, threads=threads,
+                                seed=seed + step_no, duration=duration,
+                                warmup=warmup if step_no == 0 else 0,
+                                emit=False)
+            finally:
+                step_profile = stop_profile()
+        else:
+            report = replay(workload, target, rate=rate, process=process,
+                            threads=threads, seed=seed + step_no,
+                            duration=duration,
+                            warmup=warmup if step_no == 0 else 0,
+                            emit=False)
         breaches = slo.breaches(report)
         step = {
             "rate": round(rate, 4),
@@ -703,6 +731,13 @@ def sweep(
             "breaches": breaches,
             "replay": report,
         }
+        if step_profile is not None:
+            step["profile"] = {
+                "profile_id": step_profile.profile_id,
+                "samples": step_profile.samples,
+                "overhead_ratio": round(step_profile.overhead_ratio, 5),
+                "top_functions": step_profile.top_functions(5),
+            }
         steps.append(step)
         if emit:
             emit_event("loadgen.step", rate=round(rate, 4),
@@ -714,6 +749,19 @@ def sweep(
             breach = {"rate": round(rate, 4), "breaches": breaches,
                       "p99_ms": report["corrected"]["p99_ms"],
                       "error_rate": report["error_rate"]}
+            if step_profile is not None:
+                # The breach step is the one whose attribution matters:
+                # keep its full collapsed stacks so the saturation
+                # flamegraph can be rendered from the artifact.
+                breach["profile"] = {
+                    "profile_id": step_profile.profile_id,
+                    "hz": step_profile.hz,
+                    "samples": step_profile.samples,
+                    "overhead_ratio": round(
+                        step_profile.overhead_ratio, 5),
+                    "top_functions": step_profile.top_functions(10),
+                    "collapsed": step_profile.collapsed(),
+                }
             if emit:
                 emit_event("loadgen.slo_breach", rate=round(rate, 4),
                            breaches="; ".join(breaches),
@@ -799,6 +847,14 @@ def render_sweep(doc: Dict[str, Any]) -> str:
         b = doc["breach"]
         lines.append(f"  saturated at {b['rate']:g} req/s: "
                      + "; ".join(b["breaches"]))
+        if b.get("profile"):
+            p = b["profile"]
+            lines.append(
+                f"  breach profile: {p['samples']} samples, "
+                f"overhead {p['overhead_ratio']:.2%}; hottest frames:")
+            for row in p.get("top_functions", [])[:5]:
+                lines.append(f"    {row['self_pct']:>6.2f}%  "
+                             f"{row['function']}")
     else:
         lines.append("  never saturated within the swept rates "
                      "(raise --max-steps or rates to find the knee)")

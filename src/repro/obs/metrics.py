@@ -43,7 +43,9 @@ percentile to the concrete span tree behind it.
 
 from __future__ import annotations
 
+import gc
 import math
+import os
 import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -60,6 +62,7 @@ __all__ = [
     "log_buckets",
     "get_registry",
     "render_prometheus",
+    "install_process_gauges",
 ]
 
 #: Default histogram buckets (seconds): 100 µs .. 60 s, roughly
@@ -553,3 +556,65 @@ _GLOBAL_REGISTRY = MetricsRegistry()
 def get_registry() -> MetricsRegistry:
     """The process-global metrics registry."""
     return _GLOBAL_REGISTRY
+
+
+# ---------------------------------------------------------------------------
+# Process runtime gauges
+# ---------------------------------------------------------------------------
+
+def _rss_bytes() -> float:
+    """Resident set size.  ``/proc/self/statm`` field 2 (pages) × page
+    size on Linux; elsewhere, ``resource.getrusage`` ``ru_maxrss``
+    (peak, in KiB on Linux / bytes on macOS — close enough for a
+    fallback gauge)."""
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as fh:
+            pages = int(fh.read().split()[1])
+        return float(pages * os.sysconf("SC_PAGESIZE"))
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+        rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # Linux reports KiB, macOS bytes; heuristically a value under
+        # 1 GiB-as-KiB is KiB.
+        return float(rss * 1024 if rss < 1 << 30 else rss)
+    except Exception:
+        return math.nan
+
+
+def _open_fds() -> float:
+    """Open file descriptors via ``/proc/self/fd``; NaN where absent."""
+    try:
+        return float(len(os.listdir("/proc/self/fd")))
+    except OSError:
+        return math.nan
+
+
+def install_process_gauges(
+        registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Register process runtime gauges (idempotent, callback-based).
+
+    RSS, per-generation GC collections/collected, live thread count,
+    and open FD count on ``registry`` (default: the process-global
+    one), each as a callback :class:`Gauge` sampled at collection time
+    — the serving tier calls this once at startup and ``GET /metrics``
+    reports live values with zero steady-state cost.
+    """
+    reg = registry if registry is not None else _GLOBAL_REGISTRY
+    reg.gauge("process_resident_memory_bytes",
+              "Resident set size of this process", fn=_rss_bytes)
+    reg.gauge("process_open_fds",
+              "Open file descriptors held by this process", fn=_open_fds)
+    reg.gauge("process_threads",
+              "Live Python threads", fn=lambda: float(threading.active_count()))
+    for gen in range(3):
+        reg.gauge("python_gc_collections_total",
+                  "GC runs per generation",
+                  fn=(lambda g=gen: float(gc.get_stats()[g]["collections"])),
+                  generation=gen)
+        reg.gauge("python_gc_collected_total",
+                  "Objects collected by the GC per generation",
+                  fn=(lambda g=gen: float(gc.get_stats()[g]["collected"])),
+                  generation=gen)
+    return reg

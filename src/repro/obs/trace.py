@@ -33,11 +33,40 @@ from collections import OrderedDict
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 __all__ = ["Span", "Tracer", "TraceNotFound", "span", "current_span",
-           "current_ids", "render_trace"]
+           "current_ids", "render_trace", "set_span_observer",
+           "get_span_observer"]
 
 #: The innermost open span of the current execution context.
 _CURRENT: "contextvars.ContextVar[Optional[Span]]" = \
     contextvars.ContextVar("repro_obs_current_span", default=None)
+
+#: Optional process-wide span observer (``span_pushed``/``span_popped``
+#: callbacks).  Installed by :mod:`repro.obs.profile` while a sampling
+#: session is active so the sampler can attribute CPU samples to the
+#: span each thread currently has open — ``contextvars`` are invisible
+#: across threads, so the profiler needs an explicit push/pop feed.
+#: When no observer is installed (the overwhelmingly common case) the
+#: cost is one module-global read and an ``is None`` check per span
+#: enter/exit.
+_OBSERVER: Optional[Any] = None
+
+
+def set_span_observer(observer: Optional[Any]) -> None:
+    """Install (or, with ``None``, remove) the process-wide span
+    observer.  At most one observer exists at a time; installing over a
+    live one raises — two profilers sampling the same process would
+    double-count each other's overhead."""
+    global _OBSERVER
+    if observer is not None and _OBSERVER is not None:
+        raise RuntimeError(
+            "a span observer is already installed; stop the active "
+            "profile session first")
+    _OBSERVER = observer
+
+
+def get_span_observer() -> Optional[Any]:
+    """The currently installed span observer, or ``None``."""
+    return _OBSERVER
 
 _ids = itertools.count(1)
 _id_lock = threading.Lock()
@@ -83,11 +112,17 @@ class Span:
         if self.parent is not None:
             self.parent.children.append(self)
         self._token = _CURRENT.set(self)
+        observer = _OBSERVER
+        if observer is not None:
+            observer.span_pushed(self)
         self._t0 = time.perf_counter()
         return self
 
     def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
         self.duration = time.perf_counter() - self._t0
+        observer = _OBSERVER
+        if observer is not None:
+            observer.span_popped(self)
         if exc is not None:
             self.error = f"{type(exc).__name__}: {exc}"
         if self._token is not None:

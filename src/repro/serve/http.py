@@ -19,6 +19,16 @@ The golden path for serving without importing library internals:
 * ``GET /query/<kind>?vertex=...&direction=...&k=...&pair=...`` — the
   versioned read API (``kind`` as in
   :data:`repro.serve.service.QUERY_KINDS`);
+* ``GET /profile`` — a live dump of the active sampling-profiler
+  session (:mod:`repro.obs.profile`): hottest functions, per-span CPU,
+  self-measured overhead ratio.  With no session active this is a
+  *structured 409* naming the start verb — idle is a client state
+  mismatch, not a server fault;
+* ``GET /profile/flame`` — the flamegraph as self-contained HTML
+  (live session if one is running, else the newest finished profile
+  in the ring);
+* ``POST /profile/start`` / ``POST /profile/stop`` — manage the
+  process-wide session (body ``{"hz": 97, "memory": false}``);
 * ``POST /edges`` — buffer streaming edge deltas (JSON body
   ``{"edges": [[key, src, dst], [key, src, dst, w_out, w_in], ...],
   "publish": false}``);
@@ -46,7 +56,10 @@ from urllib.parse import parse_qsl, urlsplit
 
 from repro.obs.events import emit_event, get_event_log
 from repro.obs.metrics import (LATENCY_BUCKETS_WIDE, get_registry,
-                               render_prometheus)
+                               install_process_gauges, render_prometheus)
+from repro.obs.profile import (DEFAULT_HZ, START_HINT, ProfileError,
+                               active_session, get_profile_ring,
+                               start_profile, stop_profile)
 from repro.obs.trace import TraceNotFound
 from repro.serve.service import QUERY_KINDS, AdjacencyService
 from repro.serve.snapshot import ServeError, UnknownVertexError
@@ -217,6 +230,12 @@ class _Handler(BaseHTTPRequestHandler):
             if path == "/stats":
                 self._send(200, self.service.query("stats"))
                 return
+            if path == "/profile":
+                self._do_profile(params)
+                return
+            if path == "/profile/flame":
+                self._do_profile_flame(params)
+                return
             if path.startswith("/query/"):
                 self._do_query(path[len("/query/"):], params)
                 return
@@ -277,6 +296,42 @@ class _Handler(BaseHTTPRequestHandler):
         self._send(200, {"events": log.events(**filters),
                          "retention": log.retention()})
 
+    def _do_profile(self, params: Dict[str, str]) -> None:
+        session = active_session()
+        if session is None:
+            # 409, not 500: no-session is a client/state mismatch, and
+            # the body names the verb that fixes it plus what the ring
+            # still holds.
+            self._send(409, {"error": START_HINT, "status": 409,
+                             "profiles": get_profile_ring().profiles(),
+                             "retention": get_profile_ring().retention()})
+            return
+        top = 20
+        if "top" in params:
+            try:
+                top = max(1, int(params["top"]))
+            except ValueError:
+                self._error(400, f"top must be an integer, "
+                            f"got {params['top']!r}")
+                return
+        self._send(200, session.dump(top=top,
+                                     stacks=params.get("stacks") == "1"))
+
+    def _do_profile_flame(self, params: Dict[str, str]) -> None:
+        session = active_session()
+        if session is not None:
+            profile = session.snapshot_profile()
+        else:
+            ring = get_profile_ring()
+            profile = ring.get(params["id"]) if "id" in params \
+                else ring.latest()
+            if profile is None:
+                self._send(409, {"error": START_HINT, "status": 409,
+                                 "retention": ring.retention()})
+                return
+        self._send_text(200, profile.flamegraph_html(),
+                        "text/html; charset=utf-8")
+
     def _do_query(self, kind: str, params: Dict[str, str]) -> None:
         kind = kind.replace("-", "_")
         if kind not in QUERY_KINDS:
@@ -304,12 +359,40 @@ class _Handler(BaseHTTPRequestHandler):
             if path == "/publish":
                 self._send(200, {"epoch": self.service.publish()})
                 return
+            if path == "/profile/start":
+                self._do_profile_start(doc)
+                return
+            if path == "/profile/stop":
+                self._do_profile_stop()
+                return
             self._error(404, f"unknown path {path!r}")
         except (ServeError, ValueError) as exc:
             # GraphError (duplicate keys, zero values) is a ValueError.
             self._error(400, str(exc))
         finally:
             self._observe(path, "POST", started)
+
+    def _do_profile_start(self, doc: Dict[str, Any]) -> None:
+        try:
+            hz = float(doc.get("hz", DEFAULT_HZ))
+        except (TypeError, ValueError):
+            self._error(400, f"hz must be a number, got {doc.get('hz')!r}")
+            return
+        try:
+            session = start_profile(hz=hz, memory=bool(doc.get("memory")))
+        except ProfileError as exc:
+            self._send(409, {"error": str(exc), "status": 409})
+            return
+        self._send(200, {"profile_id": session.profile_id,
+                         "hz": session.hz, "memory": session.memory})
+
+    def _do_profile_stop(self) -> None:
+        try:
+            profile = stop_profile()
+        except ProfileError as exc:   # includes NoActiveProfile
+            self._send(409, {"error": str(exc), "status": 409})
+            return
+        self._send(200, profile.to_dict())
 
     def _do_edges(self, doc: Dict[str, Any]) -> None:
         edges = doc.get("edges")
@@ -350,6 +433,9 @@ def build_server(
     ``http.log``) instead of stderr; off by default.  The caller owns
     the server lifecycle (``serve_forever()`` / ``shutdown()``).
     """
+    # Serving is when process health matters: RSS, GC, threads, and FD
+    # gauges join the global registry so GET /metrics reports them.
+    install_process_gauges()
     handler = type("AdjacencyHandler", (_Handler,),
                    {"service": service, "quiet": quiet,
                     "log_events": log_events})

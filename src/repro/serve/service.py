@@ -46,6 +46,7 @@ from repro.graphs.digraph import GraphError
 from repro.obs.events import emit_event
 from repro.obs.loadgen import WorkloadRecorder
 from repro.obs.metrics import LATENCY_BUCKETS_WIDE, MetricsRegistry
+from repro.obs.profile import heap_delta
 from repro.obs.trace import Tracer, span
 from repro.serve.cache import QueryCache
 from repro.serve.snapshot import ServeError, Snapshot, UnknownVertexError
@@ -336,7 +337,10 @@ class AdjacencyService:
         a single reference assignment.  In-flight readers keep their
         epoch; new queries see the new one.  Cache entries of
         superseded epochs are reclaimed.  A publish with no buffered
-        edges is a no-op returning the current epoch.
+        edges is a no-op returning the current epoch.  While a
+        memory-accounting profile session is active
+        (:func:`repro.obs.profile.heap_delta`), the heap growth of the
+        fold/merge/swap is recorded against ``publish_epoch_<n>``.
         """
         with self._write_lock:
             delta = self._delta
@@ -346,7 +350,8 @@ class AdjacencyService:
             stages: Dict[str, float] = {}
             with self.tracer.span("service.publish",
                                   pending=delta.num_edges) as sp, \
-                    self._publish_seconds.time():
+                    self._publish_seconds.time(), \
+                    heap_delta(f"publish_epoch_{self._snapshot.epoch + 1}"):
                 delta_edges = delta.num_edges
                 with span("publish.fold_delta", edges=delta_edges):
                     t0 = time.perf_counter()

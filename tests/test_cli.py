@@ -412,3 +412,108 @@ class TestLoadgenCLI:
                      "-o", str(tmp_path / "x.jsonl")]) == 1
         err = capsys.readouterr().err
         assert "refused" in err and "--unsafe-ok" in err
+
+
+class TestProfileCLI:
+    @pytest.fixture(autouse=True)
+    def _no_leftover_session(self):
+        from repro.obs.profile import ProfileError, stop_profile
+        yield
+        try:
+            stop_profile()
+        except ProfileError:
+            pass
+
+    @pytest.fixture()
+    def tsv(self, tmp_path):
+        p = tmp_path / "adj.tsv"
+        p.write_text("".join(f"v{i}\tv{(i * 3 + 1) % 60}\t1.0\n"
+                             for i in range(60)), encoding="utf-8")
+        return p
+
+    def test_profile_args_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(["profile", "start", "--hz", "50",
+                                  "--memory"])
+        assert args.profile_command == "start"
+        assert args.hz == 50.0 and args.memory is True
+        args = parser.parse_args(["profile", "dump", "--source", "x.tsv",
+                                  "--seconds", "0.5", "-k", "2"])
+        assert args.seconds == 0.5 and args.k == 2
+        args = parser.parse_args(["profile", "diff", "a.json", "b.json",
+                                  "--top", "5"])
+        assert args.baseline == "a.json" and args.top == 5
+
+    def test_dump_local_workload(self, tsv, tmp_path, capsys):
+        collapsed = tmp_path / "prof.collapsed"
+        flame = tmp_path / "prof.html"
+        assert main(["profile", "dump", "--source", str(tsv),
+                     "--seconds", "0.5", "-k", "3",
+                     "-o", str(collapsed), "--flame", str(flame)]) == 0
+        out = capsys.readouterr().out
+        assert "khop(k=3)" in out and "uncached" in out
+        assert "sampler overhead" in out
+        assert "hottest functions" in out
+        text = collapsed.read_text()
+        assert text.strip(), "collapsed dump is empty"
+        # Every line parses back; the dump round-trips into diff input.
+        from repro.obs.profile import parse_collapsed
+        assert parse_collapsed(text)
+        assert "<!doctype html" in flame.read_text().lower()
+
+    def test_dump_local_json(self, tsv, capsys):
+        import json as _json
+        assert main(["profile", "dump", "--source", str(tsv),
+                     "--seconds", "0.4", "--json"]) == 0
+        doc = _json.loads(capsys.readouterr().out)
+        assert doc["samples"] >= 0
+        assert "overhead_ratio" in doc and "top_functions" in doc
+
+    def test_dump_needs_exactly_one_target(self, tsv, capsys):
+        assert main(["profile", "dump"]) == 2
+        assert "one of --url or --source" in capsys.readouterr().err
+        assert main(["profile", "dump", "--source", str(tsv),
+                     "--url", "http://127.0.0.1:1"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_dump_missing_source_exit_two(self, tmp_path, capsys):
+        assert main(["profile", "dump", "--source",
+                     str(tmp_path / "nope.tsv")]) == 2
+
+    def test_diff_collapsed_files(self, tmp_path, capsys):
+        base = tmp_path / "base.collapsed"
+        cand = tmp_path / "cand.collapsed"
+        base.write_text("main;hot 50\nmain;warm 50\n")
+        cand.write_text("main;hot 90\nmain;warm 10\n")
+        assert main(["profile", "diff", str(base), str(cand)]) == 0
+        out = capsys.readouterr().out
+        assert "most regressed first" in out
+        assert "+40.00" in out and "hot" in out
+
+    def test_diff_bench_run_docs(self, tmp_path, capsys):
+        import json as _json
+        docs = []
+        for name, hot in (("base", 10), ("cand", 80)):
+            p = tmp_path / f"BENCH_{name}.json"
+            p.write_text(_json.dumps({"profile": {"functions": {
+                "hot": {"self": hot, "total": 100},
+                "other": {"self": 100 - hot, "total": 100}}}}))
+            docs.append(str(p))
+        assert main(["profile", "diff", *docs]) == 0
+        assert "hot" in capsys.readouterr().out
+
+    def test_diff_unreadable_exit_two(self, tmp_path, capsys):
+        ok = tmp_path / "ok.collapsed"
+        ok.write_text("main 1\n")
+        assert main(["profile", "diff", str(ok),
+                     str(tmp_path / "missing.json")]) == 2
+
+    def test_start_unreachable_server_exit_one(self, capsys):
+        assert main(["profile", "start",
+                     "--url", "http://127.0.0.1:1"]) == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_trace_list_unreachable_exit_one(self, capsys):
+        assert main(["trace", "--list",
+                     "--url", "http://127.0.0.1:1"]) == 1
+        assert "cannot reach" in capsys.readouterr().err

@@ -28,6 +28,7 @@ def _run(script: str, *args: str) -> subprocess.CompletedProcess:
     ("lazy_pipeline.py", "lazy pipeline demo complete"),
     ("observability.py", "observability demo complete"),
     ("loadgen_sweep.py", "loadgen sweep demo complete"),
+    ("profiling.py", "profiling demo complete"),
 ])
 def test_example_runs_and_reports(script, expect):
     proc = _run(script)

@@ -107,6 +107,36 @@ class TestTracerRing:
         with pytest.raises(ValueError):
             Tracer(max_traces=0)
 
+    def test_eviction_under_concurrent_writers(self):
+        """Many threads hammering a small ring: the bound holds, the
+        index stays consistent, and no writer ever sees an error."""
+        tracer = Tracer(max_traces=4)
+        errors = []
+
+        def writer(tag: int) -> None:
+            try:
+                for i in range(50):
+                    with tracer.span(f"w{tag}.r{i}"):
+                        with span("child"):
+                            pass
+            except Exception as exc:   # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(t,))
+                   for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        index = tracer.traces()
+        assert len(index) <= 4
+        # Every surviving entry is a complete, fetchable tree.
+        for entry in index:
+            root = tracer.get(entry["trace_id"])
+            assert root is not None
+            assert entry["spans"] == 2
+
     def test_threads_build_isolated_trees(self):
         tracer = Tracer()
         barrier = threading.Barrier(2, timeout=30)
@@ -148,6 +178,28 @@ class TestRenderTrace:
         assert any("└─ execute" in ln for ln in lines)
         assert any("kernel=scipy" in ln for ln in lines)
         assert all("ms]" in ln for ln in lines[1:])
+
+
+    def test_deep_trace_renders_without_recursion(self):
+        """A 1000-deep hop chain must render iteratively — a recursive
+        renderer would die on Python's default recursion limit."""
+        tracer = Tracer()
+        with tracer.span("hop0") as root:
+            import contextlib
+            with contextlib.ExitStack() as stack:
+                for i in range(1, 1000):
+                    stack.enter_context(span(f"hop{i}"))
+        depth = 0
+        node = root
+        while node.children:
+            node = node.children[0]
+            depth += 1
+        assert depth == 999
+        text = render_trace(root)
+        lines = text.splitlines()
+        assert len(lines) == 1001      # header + 1000 spans
+        assert "hop999" in lines[-1]
+        assert list(root.walk())[-1].name == "hop999"
 
 
 class TestExprPropagation:

@@ -459,6 +459,122 @@ class TestObservabilityEndpoints:
         assert status == 400 and "unknown" in doc["error"]
 
 
+class TestProfileEndpoints:
+    @pytest.fixture(autouse=True)
+    def _no_leftover_session(self):
+        """Profiler state is process-global: never leak it across tests."""
+        from repro.obs.profile import ProfileError, stop_profile
+        yield
+        try:
+            stop_profile()
+        except ProfileError:
+            pass
+
+    def test_idle_profile_is_409_naming_the_start_verb(self, server):
+        url, _svc = server
+        status, doc = get(url, "/profile")
+        assert status == 409                       # client-state, not 500
+        assert doc["status"] == 409
+        assert "repro profile start" in doc["error"]
+        assert "POST /profile/start" in doc["error"]
+        assert "profiles" in doc and "retention" in doc
+        status, doc = get_text(url, "/profile/flame")[0], None
+        assert status in (200, 409)   # 200 iff an earlier test left a ring entry
+
+    def test_start_query_dump_stop_flow(self, server):
+        url, _svc = server
+        status, doc = post(url, "/profile/start", {})
+        assert status == 200 and doc["profile_id"].startswith("p")
+        profile_id = doc["profile_id"]
+        # Double-start is a conflict, and names the live session.
+        status, dup = post(url, "/profile/start", {})
+        assert status == 409 and profile_id in dup["error"]
+        deadline = time.time() + 5
+        while time.time() < deadline:
+            get(url, "/query/khop", vertex="alice", k=2)
+            status, dump = get(url, "/profile", top=5)
+            if dump.get("samples", 0) > 0:
+                break
+        assert status == 200
+        assert dump["running"] is True
+        assert dump["profile_id"] == profile_id
+        assert dump["samples"] > 0 and dump["top_functions"]
+        assert "overhead_ratio" in dump
+        # A traced query's finished spans carry sampled CPU.
+        status, final = post(url, "/profile/stop")
+        assert status == 200
+        assert final["profile_id"] == profile_id
+        assert final["samples"] >= dump["samples"]
+        # After stop the session is gone but the flame survives in the ring.
+        status, _doc = get(url, "/profile")
+        assert status == 409
+        fstatus, ctype, html = get_text(url,
+                                        f"/profile/flame?id={profile_id}")
+        assert fstatus == 200 and ctype.startswith("text/html")
+        assert "<!doctype html" in html.lower()
+        status, doc = post(url, "/profile/stop")
+        assert status == 409 and "repro profile start" in doc["error"]
+
+    def test_profile_start_bad_hz_400(self, server):
+        url, _svc = server
+        status, doc = post(url, "/profile/start", {"hz": "fast"})
+        assert status == 400
+        status, doc = post(url, "/profile/start", {"hz": 100000})
+        assert status == 409 or status == 400
+
+    def test_traced_span_reports_cpu_over_http(self, server):
+        url, svc = server
+        # The 3-edge fixture graph answers in microseconds — no sampler
+        # tick ever lands inside a span.  Give the kernels real work.
+        n = 1500
+        svc.add_edges([(f"x{i}", f"v{i}", f"v{(i * 7 + 1) % n}", 1.0, 1.0)
+                       for i in range(n)])
+        svc.publish()
+        status, _doc = post(url, "/profile/start", {"hz": 200})
+        assert status == 200
+        def spans_with_cpu(node):
+            found = []
+            work = [node]
+            while work:
+                cur = work.pop()
+                if "cpu_ms" in cur.get("attrs", {}):
+                    found.append(cur)
+                work.extend(cur.get("children", []))
+            return found
+
+        deadline = time.time() + 15
+        cpu_spans = []
+        i = 0
+        while time.time() < deadline and not cpu_spans:
+            for _ in range(10):
+                i += 1   # vary the vertex so the query cache never hits
+                get(url, "/query/khop", vertex=f"v{i % n}", k=6)
+            _s, index = get(url, "/trace")
+            for entry in index["traces"]:
+                _s2, tree = get(url, f"/trace/{entry['trace_id']}")
+                cpu_spans = spans_with_cpu(tree)
+                if cpu_spans:
+                    break
+        post(url, "/profile/stop")
+        assert cpu_spans, "no traced span picked up sampled CPU"
+        attrs = cpu_spans[0]["attrs"]
+        assert attrs["cpu_samples"] >= 1 and attrs["cpu_ms"] > 0
+
+    def test_process_gauges_in_metrics(self, server):
+        url, _svc = server
+        _s, _c, text = get_text(url, "/metrics")
+        assert "process_resident_memory_bytes" in text
+        rss = next(float(ln.rsplit(" ", 1)[1])
+                   for ln in text.splitlines()
+                   if ln.startswith("process_resident_memory_bytes "))
+        assert rss > 1 << 20          # a live interpreter exceeds 1 MiB
+        assert "process_open_fds" in text
+        assert "process_threads" in text
+        assert 'python_gc_collections_total{generation="0"}' in text
+        assert 'python_gc_collections_total{generation="2"}' in text
+        assert 'python_gc_collected_total{generation="0"}' in text
+
+
 class TestQueryCLI:
     def test_query_cli_roundtrip(self, server, capsys):
         from repro.cli import main
@@ -505,6 +621,24 @@ class TestTraceAndEventsCLI:
         assert main(["trace", "--id", trace_id, "--url", url]) == 0
         doc = json.loads(capsys.readouterr().out)
         assert doc["trace_id"] == trace_id
+
+    def test_trace_list_newest_first(self, server, capsys):
+        from repro.cli import main
+        url, _svc = server
+        get(url, "/query/khop", vertex="alice", k=1)
+        get(url, "/query/neighbors", vertex="bob")
+        assert main(["trace", "--list", "--url", url]) == 0
+        out = capsys.readouterr().out
+        assert "newest first" in out
+        assert "trace_id" in out and "spans" in out
+        lines = [ln for ln in out.splitlines() if ln.strip().startswith("t")]
+        assert len(lines) >= 2
+        # --json yields the raw index, same order as GET /trace.
+        assert main(["trace", "--list", "--url", url, "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        _s, index = get(url, "/trace")
+        assert [r["trace_id"] for r in rows] == \
+            [r["trace_id"] for r in index["traces"]]
 
     def test_trace_fetch_missing_id_reports_retention(self, server,
                                                       capsys):
